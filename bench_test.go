@@ -1,0 +1,312 @@
+// Package crosssched's root benchmarks regenerate every table and figure
+// in the paper's evaluation (see DESIGN.md's per-experiment index). Each
+// benchmark measures the full regeneration of one experiment — workload
+// generation is cached per suite, so iterations measure the analysis or
+// simulation itself. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// and print the figure data itself with cmd/lumos.
+package crosssched
+
+import (
+	"sync"
+	"testing"
+
+	"crosssched/internal/experiments"
+	"crosssched/internal/figures"
+	"crosssched/internal/predict"
+	"crosssched/internal/rl"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// benchSuite is shared across benchmarks so traces generate once.
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *figures.Suite
+)
+
+func suite(b *testing.B) *figures.Suite {
+	b.Helper()
+	benchSuiteOnce.Do(func() {
+		benchSuite = figures.NewSuite(figures.Config{Days: 5, SimDays: 4, Seed: 1})
+	})
+	return benchSuite
+}
+
+// prime generates all characterization traces outside the timed region
+// (concurrently; generators are independent).
+func prime(b *testing.B, s *figures.Suite) {
+	b.Helper()
+	if err := s.Prewarm(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Geometries(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2CoreHours(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3to5Scheduling(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3to5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6and7Failures(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6and7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8UserGroups(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9and10QueueBehavior(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9and10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11UserStatus(b *testing.B) {
+	s := suite(b)
+	prime(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Prediction measures the full five-model prediction
+// experiment on a compact Philly-like trace (the paper's Figure 12).
+func BenchmarkFig12Prediction(b *testing.B) {
+	p := synth.Philly(2)
+	tr, err := p.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Run(tr, predict.Config{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIIAdaptiveBackfill measures the relaxed-vs-adaptive
+// comparison across the three walltime-bearing systems.
+func BenchmarkTableIIAdaptiveBackfill(b *testing.B) {
+	s := suite(b)
+	for _, name := range figures.TableIISystems {
+		if _, err := s.SimTrace(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benchmarks: the substrates the experiments are built on.
+
+func benchTrace(b *testing.B, name string, days float64) *trace.Trace {
+	b.Helper()
+	p, err := synth.ByName(name, days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := p.Generate(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkGenerateHelios measures raw trace generation throughput.
+func BenchmarkGenerateHelios(b *testing.B) {
+	p := synth.Helios(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEASY measures the scheduling simulator on a congested
+// Theta-like workload with EASY backfilling.
+func BenchmarkSimulatorEASY(b *testing.B) {
+	tr := benchTrace(b, "Theta", 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorConservative measures the heavier conservative
+// backfilling planner.
+func BenchmarkSimulatorConservative(b *testing.B) {
+	tr := benchTrace(b, "Theta", 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Conservative}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design-choice studies beyond the paper's
+// headline tables; see internal/experiments).
+
+// BenchmarkAblationPolicyMatrix measures the policy x backfilling grid.
+func BenchmarkAblationPolicyMatrix(b *testing.B) {
+	tr := benchTrace(b, "Theta", 4)
+	pols := []sim.Policy{sim.FCFS, sim.SJF, sim.Fair}
+	bfs := []sim.BackfillKind{sim.NoBackfill, sim.EASY}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PolicyMatrix(tr, pols, bfs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRelaxSweep measures the relaxation-factor sweep.
+func BenchmarkAblationRelaxSweep(b *testing.B) {
+	tr := benchTrace(b, "Theta", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RelaxFactorSweep(tr, []float64{0.05, 0.1, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPredictionBackfill measures the Tsafrir-style
+// estimate-source comparison.
+func BenchmarkAblationPredictionBackfill(b *testing.B) {
+	tr := benchTrace(b, "Theta", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PredictionBackfill(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3VCWaste measures the cross-VC stranding analysis on the
+// partitioned Philly workload.
+func BenchmarkFig3VCWaste(b *testing.B) {
+	s := suite(b)
+	if _, err := s.Trace("Philly"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3VCWaste(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatusPrediction measures the final-status prediction extension
+// (the paper's Section V-C observation made concrete).
+func BenchmarkStatusPrediction(b *testing.B) {
+	p := synth.Philly(2)
+	tr, err := p.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.RunStatus(tr, predict.StatusConfig{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHybridSweep measures the DL-injection stress test (the paper's
+// motivating hybrid-workload scenario).
+func BenchmarkHybridSweep(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HybridSweep(2, 1, []float64{0, 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLearnedSchedulerTraining measures one ES training run of the
+// learned linear scheduling policy (internal/rl).
+func BenchmarkLearnedSchedulerTraining(b *testing.B) {
+	tr := benchTrace(b, "Theta", 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rl.Train(tr, rl.TrainConfig{
+			Iterations: 5, Population: 4, Seed: 1, Backfill: sim.EASY,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command lumos is the characterization CLI (named after the paper's
+// released analysis package): it regenerates any of the paper's tables and
+// figures from the built-in calibrated workloads, or characterizes a
+// user-supplied SWF trace.
+//
+// Usage:
+//
+//	lumos -fig all                 # every table and figure
+//	lumos -fig 2 -days 10          # Figure 2 only
+//	lumos -fig 12 -system Mira     # runtime prediction on Mira
+//	lumos -input mytrace.swf       # characterize your own trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crosssched/internal/core"
+	"crosssched/internal/figures"
+	"crosssched/internal/report"
+	"crosssched/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to render: "+strings.Join(figures.FigureNames, ", "))
+		days    = flag.Float64("days", 10, "synthetic trace duration in days")
+		simDays = flag.Float64("simdays", 8, "duration for simulator-driven experiments")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		system  = flag.String("system", "Philly", "system for figure 12")
+		input   = flag.String("input", "", "characterize this SWF trace instead of the built-ins")
+		series  = flag.Bool("series", false, "print raw CDF series (for external plotting) instead of summaries")
+		rpt     = flag.Bool("report", false, "emit a markdown reproduction report (claims vs measured)")
+		full    = flag.Bool("full", false, "with -input: render every figure for the trace, not just the summary")
+	)
+	flag.Parse()
+	if err := run(*fig, *days, *simDays, *seed, *system, *input, *series, *rpt, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "lumos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, days, simDays float64, seed uint64, system, input string, series, rpt, full bool) error {
+	if input != "" {
+		return characterizeFile(input, full)
+	}
+	s := figures.NewSuite(figures.Config{Days: days, SimDays: simDays, Seed: seed})
+	if rpt {
+		r, err := report.Build(s, days, seed, time.Now())
+		if err != nil {
+			return err
+		}
+		return r.WriteMarkdown(os.Stdout)
+	}
+	if series {
+		out, err := figures.RenderFig1Series(s, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	out, err := s.Render(fig, system)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+// characterizeFile runs the single-trace analyses on a user's SWF file and
+// prints a compact report (or, with full, every figure).
+func characterizeFile(path string, full bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		return err
+	}
+	if full {
+		fmt.Println(figures.RenderSingle(tr))
+		return nil
+	}
+	r := core.Characterize(tr)
+	fmt.Printf("System %s (%s): %d jobs, %d cores\n",
+		r.System.Name, r.System.Kind, r.Jobs, r.System.TotalCores)
+	fmt.Printf("  runtime  p50 %.0fs p90 %.0fs\n",
+		r.Geometry.RuntimeCDF.Inverse(0.5), r.Geometry.RuntimeCDF.Inverse(0.9))
+	fmt.Printf("  interval p50 %.1fs  diurnal max/min %.1fx\n",
+		r.Geometry.IntervalCDF.Inverse(0.5), r.Geometry.DiurnalRatio)
+	fmt.Printf("  cores    p50 %.0f\n", r.Geometry.CoresCDF.Inverse(0.5))
+	fmt.Printf("  util %.3f  wait p50 %.0fs\n",
+		r.Scheduling.Utilization, r.Scheduling.WaitCDF.Inverse(0.5))
+	fmt.Printf("  pass %.0f%%  wasted core-hours %.0f%%\n",
+		100*r.Failures.PassRate(), 100*r.Failures.WastedCoreHourShare())
+	if len(r.UserGroups.Coverage) >= 10 {
+		fmt.Printf("  top-10 config-group coverage %.0f%% over %d heavy users\n",
+			100*r.UserGroups.Coverage[9], r.UserGroups.Users)
+	}
+	fmt.Printf("  dominant core-hour class: %s size / %s length\n",
+		r.CoreHours.DominantSize(), r.CoreHours.DominantLength())
+	return nil
+}

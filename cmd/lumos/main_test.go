@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// quiet routes stdout to /dev/null for the duration of the test so figure
+// dumps do not clutter `go test` output.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunFigure(t *testing.T) {
+	quiet(t)
+	if err := run("2", 1, 1, 1, "Philly", "", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	quiet(t)
+	if err := run("99", 1, 1, 1, "Philly", "", false, false, false); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunInputCharacterization(t *testing.T) {
+	quiet(t)
+	p := synth.Helios(0.5)
+	tr, err := p.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "h.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSWF(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("", 0, 0, 0, "", path, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	quiet(t)
+	if err := run("", 1, 1, 1, "Philly", "", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInputFull(t *testing.T) {
+	quiet(t)
+	p := synth.Helios(0.5)
+	tr, err := p.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "full.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSWF(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("", 0, 0, 0, "", path, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	quiet(t)
+	if err := run("", 1, 1, 1, "Philly", "", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInputMissing(t *testing.T) {
+	quiet(t)
+	if err := run("", 0, 0, 0, "", "/does/not/exist.swf", false, false, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Command lumosweb serves the paper's figures over HTTP — the stdlib
+// equivalent of the authors' Streamlit site. Figures are computed lazily
+// from the calibrated workloads and cached.
+//
+// Usage:
+//
+//	lumosweb -addr :8080 -days 10
+//
+// then browse http://localhost:8080/ for the index,
+// /fig/2 for a figure, /fig/table2 for Table II.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"crosssched/internal/figures"
+)
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>crosssched — {{.Title}}</title>
+<style>
+ body { font-family: sans-serif; margin: 2rem; max-width: 72rem; }
+ pre { background: #f6f6f6; padding: 1rem; overflow-x: auto; }
+ nav a { margin-right: 0.8rem; }
+</style></head>
+<body>
+<h1>crosssched figure browser</h1>
+<nav>{{range .Links}}<a href="/fig/{{.}}">{{.}}</a>{{end}}</nav>
+<h2>{{.Title}}</h2>
+<pre>{{.Body}}</pre>
+</body></html>`))
+
+// server caches rendered figures.
+type server struct {
+	suite *figures.Suite
+
+	mu    sync.Mutex
+	cache map[string]string
+}
+
+func (s *server) render(name string) (string, error) {
+	s.mu.Lock()
+	if out, ok := s.cache[name]; ok {
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.mu.Unlock()
+	out, err := s.suite.Render(name, "Philly")
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.cache[name] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/fig/")
+	if name == "" {
+		http.Redirect(w, r, "/", http.StatusFound)
+		return
+	}
+	out, err := s.render(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.page(w, "Figure "+name, out)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.page(w, "index",
+		"Select a figure above.\n\nEvery table and figure of the paper\n"+
+			"\"Cross-System Analysis of Job Characterization and Scheduling\n"+
+			"in Large-Scale Computing Clusters\" (IPPS 2024), regenerated\n"+
+			"from calibrated synthetic workloads.")
+}
+
+func (s *server) page(w http.ResponseWriter, title, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err := pageTmpl.Execute(w, struct {
+		Title, Body string
+		Links       []string
+	}{title, body, figures.FigureNames})
+	if err != nil {
+		log.Printf("lumosweb: render: %v", err)
+	}
+}
+
+// newMux builds the HTTP routes (split out for tests).
+func newMux(suite *figures.Suite) *http.ServeMux {
+	s := &server{suite: suite, cache: map[string]string{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/fig/", s.handleFig)
+	return mux
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		days    = flag.Float64("days", 10, "synthetic trace duration in days")
+		simDays = flag.Float64("simdays", 8, "duration for simulator-driven figures")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	suite := figures.NewSuite(figures.Config{Days: *days, SimDays: *simDays, Seed: *seed})
+	fmt.Printf("lumosweb: serving on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(suite)))
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crosssched/internal/figures"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	suite := figures.NewSuite(figures.Config{Days: 1, SimDays: 1, Seed: 3})
+	srv := httptest.NewServer(newMux(suite))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "crosssched figure browser") {
+		t.Fatalf("index missing header:\n%s", body)
+	}
+	if !strings.Contains(body, `href="/fig/table2"`) {
+		t.Fatal("index missing nav links")
+	}
+}
+
+func TestFigurePage(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/fig/2")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "core-hour share") {
+		t.Fatalf("figure 2 content missing:\n%s", body)
+	}
+}
+
+func TestFigureCached(t *testing.T) {
+	srv := testServer(t)
+	_, first := get(t, srv.URL+"/fig/table1")
+	_, second := get(t, srv.URL+"/fig/table1")
+	if first != second {
+		t.Fatal("cached render differs")
+	}
+}
+
+func TestUnknownFigure404(t *testing.T) {
+	srv := testServer(t)
+	code, _ := get(t, srv.URL+"/fig/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d want 404", code)
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	srv := testServer(t)
+	code, _ := get(t, srv.URL+"/bogus")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d want 404", code)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// quiet routes stdout to /dev/null for the duration of the test.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunSingleModel(t *testing.T) {
+	quiet(t)
+	if err := run("Philly", "", 1, 1, "LR", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatusMode(t *testing.T) {
+	quiet(t)
+	if err := run("Philly", "", 1, 1, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultAwareMode(t *testing.T) {
+	quiet(t)
+	if err := run("Philly", "", 1, 1, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	quiet(t)
+	if err := run("Nope", "", 1, 1, "", false, false); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if err := run("Philly", "", 1, 1, "SVM", false, false); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run("", "/does/not/exist.swf", 1, 1, "", false, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Command schedsim replays a job trace through the discrete-event
+// scheduling simulator under a chosen priority policy and backfilling
+// strategy, and reports the paper's metrics (wait, bsld, util, violations).
+//
+// Usage:
+//
+//	schedsim -system Mira -days 16 -policy FCFS -backfill easy
+//	schedsim -system Theta -compare          # Table II on one system
+//	schedsim -input mytrace.swf -backfill relaxed -relax 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crosssched/internal/experiments"
+	"crosssched/internal/figures"
+	"crosssched/internal/rl"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "Mira", "built-in system profile")
+		input     = flag.String("input", "", "SWF trace to schedule instead of a built-in")
+		days      = flag.Float64("days", 8, "synthetic trace duration in days")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		policy    = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, LJF, SAF, WFP3, F1, F2, F3, Fair")
+		backfill  = flag.String("backfill", "easy", "backfilling: none, easy, conservative, relaxed, adaptive")
+		relax     = flag.Float64("relax", 0.10, "relaxation factor for relaxed/adaptive")
+		compare   = flag.Bool("compare", false, "run the Table II relaxed-vs-adaptive comparison")
+		matrix    = flag.Bool("matrix", false, "run the full policy x backfilling ablation")
+		sweep     = flag.Bool("sweep", false, "run the relaxation-factor sweep ablation")
+		estimates = flag.Bool("estimates", false, "compare walltime-estimate sources for EASY backfilling")
+		learned   = flag.Bool("learned", false, "train a learned linear policy (ES) and compare against the baselines")
+		out       = flag.String("o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
+	)
+	flag.Parse()
+	if err := run(*system, *input, *days, *seed, *policy, *backfill, *relax,
+		*compare, *matrix, *sweep, *estimates, *learned, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned bool, out string) error {
+	tr, err := loadTrace(system, input, days, seed)
+	if err != nil {
+		return err
+	}
+	switch {
+	case learned:
+		return runLearned(tr)
+	case compare:
+		row, err := figures.CompareRelaxedAdaptive(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Print(figures.RenderTableII([]figures.TableIIRow{*row}))
+		return nil
+	case matrix:
+		cells, err := experiments.PolicyMatrix(tr, sim.Policies,
+			[]sim.BackfillKind{sim.NoBackfill, sim.EASY, sim.Conservative, sim.Relaxed, sim.AdaptiveRelaxed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderPolicyMatrix(tr.System.Name, cells))
+		return nil
+	case sweep:
+		pts, err := experiments.RelaxFactorSweep(tr, []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep(tr.System.Name, pts))
+		return nil
+	case estimates:
+		res, err := experiments.PredictionBackfill(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	}
+
+	pol, err := sim.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	bf, err := sim.ParseBackfill(backfill)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(tr, sim.Options{Policy: pol, Backfill: bf, RelaxFactor: relax})
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		annotated := trace.New(tr.System)
+		annotated.Jobs = res.Jobs
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteSWF(f, annotated); err != nil {
+			return err
+		}
+		fmt.Printf("wrote re-scheduled trace to %s\n", out)
+	}
+	fmt.Printf("%s: %d jobs under %s + %s backfilling\n", tr.System.Name, tr.Len(), pol, bf)
+	fmt.Printf("  avg wait        %.2f s\n", res.AvgWait)
+	fmt.Printf("  avg bsld        %.2f\n", res.AvgBsld)
+	fmt.Printf("  utilization     %.4f\n", res.Utilization)
+	fmt.Printf("  violations      %d (total delay %.0f s)\n", res.Violations, res.ViolationDelay)
+	fmt.Printf("  backfilled jobs %d\n", res.Backfilled)
+	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
+	fmt.Printf("  makespan        %.0f s\n", res.Makespan)
+	return nil
+}
+
+// runLearned trains an ES policy on the trace and prints the comparison.
+func runLearned(tr *trace.Trace) error {
+	policy, history, err := rl.Train(tr, rl.TrainConfig{
+		Iterations: 20, Population: 8, Seed: 1, Backfill: sim.EASY,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ES training on %s: bsld %.2f -> %.2f (%d iterations)\n",
+		tr.System.Name, history[0], history[len(history)-1], len(history)-1)
+	fmt.Printf("weights [logRT logN logWait logArea bias]: %.2f\n\n", policy.W)
+	fmt.Printf("%-8s  %10s  %10s\n", "policy", "avg bsld", "avg wait")
+	for _, p := range []sim.Policy{sim.FCFS, sim.SJF, sim.F1} {
+		res, err := sim.Run(tr, sim.Options{Policy: p, Backfill: sim.EASY})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %10.2f  %10.1f\n", p, res.AvgBsld, res.AvgWait)
+	}
+	res, err := sim.Run(tr, policy.Options(sim.EASY))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s  %10.2f  %10.1f\n", "learned", res.AvgBsld, res.AvgWait)
+	return nil
+}
+
+func loadTrace(system, input string, days float64, seed uint64) (*trace.Trace, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadSWF(f)
+	}
+	p, err := synth.ByName(system, days)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(seed)
+}

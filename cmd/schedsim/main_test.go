@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+// quiet routes stdout to /dev/null for the duration of the test so command
+// output does not clutter `go test` output.
+func quiet(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunBasicSimulation(t *testing.T) {
+	quiet(t)
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	quiet(t)
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, true, false, false, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEstimates(t *testing.T) {
+	quiet(t)
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	quiet(t)
+	if err := run("Nope", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, ""); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if err := run("Theta", "", 1, 1, "BOGUS", "easy", 0.1, false, false, false, false, false, ""); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run("Theta", "", 1, 1, "FCFS", "bogus", 0.1, false, false, false, false, false, ""); err == nil {
+		t.Fatal("unknown backfill accepted")
+	}
+	if err := run("Theta", "/does/not/exist.swf", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, ""); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunWritesAnnotatedTrace(t *testing.T) {
+	quiet(t)
+	out := filepath.Join(t.TempDir(), "annotated.swf")
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("annotated trace empty")
+	}
+	for _, j := range tr.Jobs {
+		if j.Wait < 0 {
+			t.Fatal("annotated trace missing waits")
+		}
+	}
+}

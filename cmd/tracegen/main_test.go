@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+func TestRunGeneratesSWF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.swf")
+	if err := run("Helios", 0.5, 1, "swf", out, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 100 || tr.System.Name != "Helios" {
+		t.Fatalf("bad generated trace: %d jobs, system %q", tr.Len(), tr.System.Name)
+	}
+}
+
+func TestRunGeneratesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.csv")
+	if err := run("Theta", 0.5, 1, "csv", out, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f, trace.System{Name: "Theta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty CSV trace")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("Nope", 1, 1, "swf", "", ""); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if err := run("Theta", 1, 1, "xml", filepath.Join(t.TempDir(), "x"), ""); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run("", 1, 1, "swf", "", "/does/not/exist.swf"); err == nil {
+		t.Fatal("missing fit input accepted")
+	}
+}
+
+func TestRunFitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.swf")
+	if err := run("Philly", 2, 1, "swf", src, ""); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "fit.swf")
+	if err := run("", 0, 2, "swf", dst, src); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 1000 {
+		t.Fatalf("fitted regeneration too small: %d jobs", tr.Len())
+	}
+}

@@ -1,0 +1,14 @@
+// Package crosssched reproduces "Cross-System Analysis of Job
+// Characterization and Scheduling in Large-Scale Computing Clusters"
+// (IPPS 2024) as a self-contained Go library: calibrated workload
+// generators for five production systems, a discrete-event scheduling
+// simulator, a from-scratch ML stack for runtime and status prediction,
+// and the full characterization methodology behind the paper's tables,
+// figures, and eight takeaways.
+//
+// The root package holds only the benchmark harness (bench_test.go),
+// which regenerates every table and figure under `go test -bench=.`.
+// Start with internal/core for the public API, cmd/lumos for the figure
+// CLI, and DESIGN.md / EXPERIMENTS.md for the reproduction inventory and
+// paper-vs-measured results.
+package crosssched

@@ -1,0 +1,48 @@
+// Quickstart: generate a calibrated workload for one system, characterize
+// it with the paper's methodology, and print the headline statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crosssched/internal/core"
+)
+
+func main() {
+	// Generate two days of the Philly-like DL workload (14 isolated
+	// virtual clusters, ~80% single-GPU jobs, heavy failure rates).
+	tr, err := core.GenerateSystem("Philly", 2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d jobs over %.1f days on %s (%d GPUs, %d VCs)\n\n",
+		tr.Len(), tr.Duration()/86400, tr.System.Name,
+		tr.System.TotalCores, tr.System.VirtualClusters)
+
+	r := core.Characterize(tr)
+
+	fmt.Println("Job geometries (paper Fig. 1):")
+	fmt.Printf("  median runtime   %8.0f s\n", r.Geometry.RuntimeCDF.Inverse(0.5))
+	fmt.Printf("  median interval  %8.1f s\n", r.Geometry.IntervalCDF.Inverse(0.5))
+	fmt.Printf("  median GPUs      %8.0f\n", r.Geometry.CoresCDF.Inverse(0.5))
+
+	fmt.Println("\nScheduling outcomes (paper Figs. 3-4):")
+	fmt.Printf("  utilization      %8.3f\n", r.Scheduling.Utilization)
+	fmt.Printf("  median wait      %8.0f s\n", r.Scheduling.WaitCDF.Inverse(0.5))
+
+	fmt.Println("\nFailures (paper Fig. 6):")
+	fmt.Printf("  passed jobs      %8.1f %%\n", 100*r.Failures.PassRate())
+	fmt.Printf("  wasted GPU-hours %8.1f %%\n", 100*r.Failures.WastedCoreHourShare())
+
+	fmt.Println("\nUser behavior (paper Fig. 8):")
+	if len(r.UserGroups.Coverage) >= 10 {
+		fmt.Printf("  top-10 config-group coverage %.0f%% (over %d heavy users)\n",
+			100*r.UserGroups.Coverage[9], r.UserGroups.Users)
+	}
+
+	fmt.Printf("\nDominant core-hour class: %s jobs by size, %s jobs by length\n",
+		r.CoreHours.DominantSize(), r.CoreHours.DominantLength())
+}

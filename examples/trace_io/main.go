@@ -1,0 +1,75 @@
+// Trace I/O workflow: generate a workload, write it as SWF, read it back,
+// window it the way the paper aligns its datasets (Section II-B), fit a
+// generator profile to the window, and regenerate a matched synthetic
+// trace — the full "bring your own trace" loop around the library.
+//
+//	go run ./examples/trace_io
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"crosssched/internal/core"
+	"crosssched/internal/stats"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+func main() {
+	// 1. Generate a six-day Helios-like workload.
+	orig, err := core.GenerateSystem("Helios", 6, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated  %6d jobs (%s)\n", orig.Len(), orig.System.Name)
+
+	// 2. Round-trip through SWF (what you would do with a real archive).
+	var buf bytes.Buffer
+	if err := trace.WriteSWF(&buf, orig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized %6d bytes of SWF\n", buf.Len())
+	loaded, err := trace.ReadSWF(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		log.Fatalf("round trip lost jobs: %d vs %d", loaded.Len(), orig.Len())
+	}
+	fmt.Printf("reloaded   %6d jobs, system metadata intact (%s, %d GPUs)\n",
+		loaded.Len(), loaded.System.Name, loaded.System.TotalCores)
+
+	// 3. Align to a window, as the paper does with its multi-year traces.
+	window := loaded.Window(86400, 5*86400) // days 2-5
+	fmt.Printf("windowed   %6d jobs (days 2-5)\n", window.Len())
+
+	// 4. Fit a generator profile to the window and regenerate.
+	profile, err := synth.FromTrace(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regen, err := profile.Generate(99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refit+regen %5d jobs from the fitted profile\n\n", regen.Len())
+
+	fmt.Printf("%-22s %12s %12s\n", "statistic", "window", "regenerated")
+	stat := func(name string, f func(*trace.Trace) float64) {
+		fmt.Printf("%-22s %12.1f %12.1f\n", name, f(window), f(regen))
+	}
+	stat("median runtime (s)", func(t *trace.Trace) float64 { return stats.Median(t.Runtimes()) })
+	stat("median interval (s)", func(t *trace.Trace) float64 { return stats.Median(t.ArrivalIntervals()) })
+	stat("median GPUs", func(t *trace.Trace) float64 { return stats.Median(t.Procs()) })
+	stat("pass rate (%)", func(t *trace.Trace) float64 {
+		n := 0
+		for _, j := range t.Jobs {
+			if j.Status == trace.Passed {
+				n++
+			}
+		}
+		return 100 * float64(n) / float64(t.Len())
+	})
+}

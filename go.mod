@@ -1,0 +1,3 @@
+module crosssched
+
+go 1.22

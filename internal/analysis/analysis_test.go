@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+func sys(kind trace.SystemKind, cores int) trace.System {
+	return trace.System{Name: "T", Kind: kind, TotalCores: cores}
+}
+
+func TestClassifySizeHPC(t *testing.T) {
+	s := sys(trace.HPC, 1000)
+	cases := []struct {
+		procs int
+		want  SizeCategory
+	}{
+		{50, SizeSmall}, {99, SizeSmall}, {100, SizeMiddle},
+		{300, SizeMiddle}, {301, SizeLarge}, {1000, SizeLarge},
+	}
+	for _, c := range cases {
+		if got := ClassifySize(s, c.procs); got != c.want {
+			t.Fatalf("ClassifySize(HPC, %d) = %v want %v", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestClassifySizeDL(t *testing.T) {
+	s := sys(trace.DL, 2000)
+	cases := []struct {
+		procs int
+		want  SizeCategory
+	}{
+		{1, SizeSmall}, {2, SizeMiddle}, {8, SizeMiddle}, {9, SizeLarge}, {2000, SizeLarge},
+	}
+	for _, c := range cases {
+		if got := ClassifySize(s, c.procs); got != c.want {
+			t.Fatalf("ClassifySize(DL, %d) = %v want %v", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestClassifySizeHybridUsesRelative(t *testing.T) {
+	s := sys(trace.Hybrid, 1000)
+	if ClassifySize(s, 1) != SizeSmall || ClassifySize(s, 500) != SizeLarge {
+		t.Fatal("hybrid should follow the relative convention")
+	}
+}
+
+func TestClassifyLength(t *testing.T) {
+	cases := []struct {
+		run  float64
+		want LengthCategory
+	}{
+		{0, LengthShort}, {3599, LengthShort}, {3600, LengthMiddle},
+		{86400, LengthMiddle}, {86401, LengthLong},
+	}
+	for _, c := range cases {
+		if got := ClassifyLength(c.run); got != c.want {
+			t.Fatalf("ClassifyLength(%v) = %v want %v", c.run, got, c.want)
+		}
+	}
+}
+
+// testTrace builds a deterministic mini-trace with known shares.
+func testTrace() *trace.Trace {
+	tr := trace.New(trace.System{Name: "X", Kind: trace.HPC, TotalCores: 1000, StartHour: 0})
+	tr.Jobs = []trace.Job{
+		// small short passed: 50 cores, 600s
+		{User: 0, Submit: 0, Wait: 10, Run: 600, Walltime: 1200, Procs: 50, VC: -1, Status: trace.Passed},
+		// small middle killed: 50 cores, 7200s
+		{User: 0, Submit: 100, Wait: 20, Run: 7200, Walltime: 7200, Procs: 50, VC: -1, Status: trace.Killed},
+		// middle short failed: 200 cores, 60s
+		{User: 1, Submit: 200, Wait: 0, Run: 60, Walltime: 3600, Procs: 200, VC: -1, Status: trace.Failed},
+		// large long passed: 400 cores, 100000s
+		{User: 1, Submit: 3600, Wait: 50, Run: 100000, Walltime: 200000, Procs: 400, VC: -1, Status: trace.Passed},
+	}
+	tr.SortBySubmit()
+	return tr
+}
+
+func TestAnalyzeGeometry(t *testing.T) {
+	g := AnalyzeGeometry(testTrace())
+	if g.RuntimeSummary.N != 4 {
+		t.Fatalf("runtime N %d", g.RuntimeSummary.N)
+	}
+	if g.RuntimeCDF.At(600) != 0.5 {
+		t.Fatalf("runtime CDF wrong: %v", g.RuntimeCDF.At(600))
+	}
+	if g.IntervalSummary.N != 3 {
+		t.Fatalf("interval N %d", g.IntervalSummary.N)
+	}
+	// hourly: submits at 0,100,200 in hour 0; 3600 in hour 1
+	if g.HourlyArrivals[0] != 3 || g.HourlyArrivals[1] != 1 {
+		t.Fatalf("hourly arrivals %v", g.HourlyArrivals)
+	}
+	if g.CoresSummary.Max != 400 {
+		t.Fatalf("cores max %v", g.CoresSummary.Max)
+	}
+	// percentage CDF: 400/1000 = 40%
+	if got := g.CoresPctCDF.At(39.9); got != 0.75 {
+		t.Fatalf("pct CDF %v want 0.75", got)
+	}
+}
+
+func TestAnalyzeCoreHours(t *testing.T) {
+	ch := AnalyzeCoreHours(testTrace())
+	// core hours: j0 50*600/3600=8.33, j1 50*7200/3600=100,
+	// j2 200*60/3600=3.33, j3 400*100000/3600=11111.1
+	wantTotal := (50*600 + 50*7200 + 200*60 + 400*100000) / 3600.0
+	if math.Abs(ch.Total-wantTotal) > 1e-6 {
+		t.Fatalf("total CH %v want %v", ch.Total, wantTotal)
+	}
+	// j0,j1 small; j2 middle; j3 large
+	if ch.DominantSize() != SizeLarge {
+		t.Fatalf("dominant size %v want large", ch.DominantSize())
+	}
+	if ch.DominantLength() != LengthLong {
+		t.Fatalf("dominant length %v want long", ch.DominantLength())
+	}
+	if math.Abs(ch.CountBySize[SizeSmall]-0.5) > 1e-12 {
+		t.Fatalf("small count share %v want 0.5", ch.CountBySize[SizeSmall])
+	}
+	shareSum := ch.BySize[0] + ch.BySize[1] + ch.BySize[2]
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("size shares sum %v", shareSum)
+	}
+	empty := AnalyzeCoreHours(trace.New(sys(trace.HPC, 10)))
+	if empty.Total != 0 {
+		t.Fatal("empty trace CH should be 0")
+	}
+}
+
+func TestAnalyzeScheduling(t *testing.T) {
+	s := AnalyzeScheduling(testTrace())
+	if s.WaitSummary.N != 4 {
+		t.Fatalf("wait N %d", s.WaitSummary.N)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("utilization %v", s.Utilization)
+	}
+	// turnaround = wait + run for each job
+	if s.TurnaroundCDF.At(609) != 0.25 {
+		t.Fatalf("turnaround CDF %v", s.TurnaroundCDF.At(609))
+	}
+	// wait by length: short jobs are j0(600s,10) and j2(60s,0) -> median 5
+	if s.WaitByLength[LengthShort] != 5 {
+		t.Fatalf("short wait median %v want 5", s.WaitByLength[LengthShort])
+	}
+	if s.WaitBySize[SizeLarge] != 50 {
+		t.Fatalf("large wait median %v want 50", s.WaitBySize[SizeLarge])
+	}
+	degenerate := AnalyzeScheduling(trace.New(sys(trace.HPC, 10)))
+	if degenerate.Utilization != 0 {
+		t.Fatal("empty scheduling should be zeroed")
+	}
+}
+
+func TestAnalyzeFailures(t *testing.T) {
+	f := AnalyzeFailures(testTrace())
+	if math.Abs(f.CountShare[trace.Passed]-0.5) > 1e-12 {
+		t.Fatalf("pass share %v want 0.5", f.CountShare[trace.Passed])
+	}
+	if math.Abs(f.PassRate()-0.5) > 1e-12 {
+		t.Fatal("PassRate mismatch")
+	}
+	sum := f.CoreHourShare[0] + f.CoreHourShare[1] + f.CoreHourShare[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("CH shares sum %v", sum)
+	}
+	if f.WastedCoreHourShare() <= 0 {
+		t.Fatal("wasted share should be positive")
+	}
+	// size class small contains j0 (passed) and j1 (killed): 50/50
+	if math.Abs(f.StatusBySize[SizeSmall][trace.Passed]-0.5) > 1e-12 {
+		t.Fatalf("small pass rate %v want 0.5", f.StatusBySize[SizeSmall][trace.Passed])
+	}
+	if f.SizeCounts[SizeSmall] != 2 || f.LengthCounts[LengthLong] != 1 {
+		t.Fatalf("class counts wrong: %v %v", f.SizeCounts, f.LengthCounts)
+	}
+	// long class is 100% passed in this toy trace
+	if f.StatusByLength[LengthLong][trace.Passed] != 1 {
+		t.Fatalf("long pass rate %v", f.StatusByLength[LengthLong][trace.Passed])
+	}
+}
+
+func TestAnalyzeUserGroupsRepetition(t *testing.T) {
+	// user 0 submits the same config 8 times plus 2 odd ones
+	tr := trace.New(sys(trace.HPC, 1000))
+	for i := 0; i < 8; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i), Wait: 0, Run: 100, Procs: 10, VC: -1,
+		})
+	}
+	tr.Jobs = append(tr.Jobs,
+		trace.Job{User: 0, Submit: 8, Wait: 0, Run: 5000, Procs: 10, VC: -1},
+		trace.Job{User: 0, Submit: 9, Wait: 0, Run: 100, Procs: 99, VC: -1},
+	)
+	tr.SortBySubmit()
+	g := AnalyzeUserGroups(tr, 10, 5, 5)
+	if g.Users != 1 {
+		t.Fatalf("users counted %d want 1", g.Users)
+	}
+	if math.Abs(g.Coverage[0]-0.8) > 1e-12 {
+		t.Fatalf("top-1 coverage %v want 0.8", g.Coverage[0])
+	}
+	if math.Abs(g.Coverage[9]-1.0) > 1e-12 {
+		t.Fatalf("top-10 coverage %v want 1.0", g.Coverage[9])
+	}
+	// coverage must be nondecreasing
+	for k := 1; k < len(g.Coverage); k++ {
+		if g.Coverage[k] < g.Coverage[k-1]-1e-12 {
+			t.Fatal("coverage not monotone")
+		}
+	}
+}
+
+func TestUserGroupSizes10PercentRule(t *testing.T) {
+	tr := trace.New(sys(trace.HPC, 1000))
+	// runtimes 100 and 105 group together (within 10%); 200 does not
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Run: 100, Procs: 10, VC: -1},
+		{User: 0, Submit: 1, Run: 105, Procs: 10, VC: -1},
+		{User: 0, Submit: 2, Run: 200, Procs: 10, VC: -1},
+		{User: 0, Submit: 3, Run: 100, Procs: 20, VC: -1}, // different procs
+	}
+	tr.SortBySubmit()
+	sizes := userGroupSizes(tr, []int{0, 1, 2, 3})
+	// expect groups: {100,105}, {200}, {100@20procs}
+	if len(sizes) != 3 {
+		t.Fatalf("groups %v want 3 groups", sizes)
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if max != 2 {
+		t.Fatalf("largest group %d want 2", max)
+	}
+}
+
+func TestQueueLengths(t *testing.T) {
+	tr := trace.New(sys(trace.HPC, 100))
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 100, Run: 10, Procs: 1, VC: -1},  // starts at 100
+		{User: 0, Submit: 10, Wait: 100, Run: 10, Procs: 1, VC: -1}, // sees 1 queued
+		{User: 0, Submit: 20, Wait: 0, Run: 10, Procs: 1, VC: -1},   // sees 2 queued
+		{User: 0, Submit: 200, Wait: 0, Run: 10, Procs: 1, VC: -1},  // all started
+	}
+	tr.SortBySubmit()
+	q := QueueLengths(tr)
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("queue lengths %v want %v", q, want)
+		}
+	}
+}
+
+func TestAnalyzeQueueBehavior(t *testing.T) {
+	tr := trace.New(sys(trace.HPC, 100))
+	// Build a congestion ramp: early jobs see no queue and are large;
+	// later jobs see a deep queue and are minimal and short.
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i), Wait: 0, Run: 5000, Procs: 50, VC: -1,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: 100 + float64(i), Wait: 10000, Run: 30, Procs: 1, VC: -1,
+		})
+	}
+	tr.SortBySubmit()
+	qb := AnalyzeQueueBehavior(tr)
+	if qb.MaxQueue == 0 {
+		t.Fatal("expected queueing")
+	}
+	// the long-queue bucket should be more minimal-heavy than short
+	if qb.SizeShare[QueueLong][0] <= qb.SizeShare[QueueShort][0] {
+		t.Fatalf("minimal share should grow with queue: %v vs %v",
+			qb.SizeShare[QueueShort][0], qb.SizeShare[QueueLong][0])
+	}
+	if qb.MedianRuntime[QueueLong] >= qb.MedianRuntime[QueueShort] {
+		t.Fatal("runtime under load should be shorter in this construction")
+	}
+	counts := qb.Counts[0] + qb.Counts[1] + qb.Counts[2]
+	if counts != tr.Len() {
+		t.Fatalf("bucket counts %d want %d", counts, tr.Len())
+	}
+}
+
+func TestAnalyzeQueueBehaviorNoQueues(t *testing.T) {
+	tr := trace.New(sys(trace.HPC, 100))
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 0, Run: 10, Procs: 1, VC: -1},
+		{User: 0, Submit: 100, Wait: 0, Run: 10, Procs: 1, VC: -1},
+	}
+	tr.SortBySubmit()
+	qb := AnalyzeQueueBehavior(tr)
+	if qb.Counts[QueueShort] != 2 {
+		t.Fatalf("no-queue trace should land in the short bucket: %v", qb.Counts)
+	}
+}
+
+func TestAnalyzeUserStatusRuntimes(t *testing.T) {
+	tr := trace.New(sys(trace.HPC, 100))
+	// user 0: passed jobs ~100s, killed jobs ~10000s
+	for i := 0; i < 20; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i), Wait: 0, Run: 100 + float64(i),
+			Procs: 1, VC: -1, Status: trace.Passed,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: 100 + float64(i), Wait: 0, Run: 10000 + float64(i),
+			Procs: 1, VC: -1, Status: trace.Killed,
+		})
+	}
+	tr.SortBySubmit()
+	r := AnalyzeUserStatusRuntimes(tr, 3)
+	if len(r.Users) != 1 {
+		t.Fatalf("users %d want 1", len(r.Users))
+	}
+	p := r.Users[0]
+	if p.Counts[trace.Passed] != 20 || p.Counts[trace.Killed] != 10 {
+		t.Fatalf("counts %v", p.Counts)
+	}
+	if p.Medians[trace.Killed] <= p.Medians[trace.Passed] {
+		t.Fatal("killed median should exceed passed in this construction")
+	}
+	if p.StatusSeparation() < 1.5 {
+		t.Fatalf("separation %v want ~2 decades", p.StatusSeparation())
+	}
+}
+
+func TestMinimalProcs(t *testing.T) {
+	tr := testTrace()
+	if MinimalProcs(tr) != 50 {
+		t.Fatalf("minimal procs %d want 50", MinimalProcs(tr))
+	}
+	if MinimalProcs(trace.New(sys(trace.HPC, 1))) != 0 {
+		t.Fatal("empty trace minimal should be 0")
+	}
+}

@@ -1,0 +1,97 @@
+// Package analysis implements the paper's cross-system characterization
+// methodology (Sections III-V): job geometry analyses, core-hour
+// domination, scheduling outcomes, failure characterization, and user
+// behavior profiling. Each function returns structured data that
+// internal/figures renders into the corresponding paper figure.
+package analysis
+
+import "crosssched/internal/trace"
+
+// SizeCategory indexes the paper's three job-size classes.
+type SizeCategory int
+
+const (
+	// SizeSmall is <10% of machine cores (HPC/hybrid) or 1 GPU (DL).
+	SizeSmall SizeCategory = iota
+	// SizeMiddle is 10-30% of cores (HPC/hybrid) or 2-8 GPUs (DL).
+	SizeMiddle
+	// SizeLarge is >30% of cores (HPC/hybrid) or >8 GPUs (DL).
+	SizeLarge
+)
+
+// SizeNames are the display labels in category order.
+var SizeNames = [3]string{"small", "middle", "large"}
+
+// String names the category.
+func (c SizeCategory) String() string { return SizeNames[c] }
+
+// ClassifySize places a job's request into the paper's size classes. HPC
+// and hybrid systems are classified relative to the machine (following
+// Patel et al.); DL systems use absolute GPU counts (following Hu et al.).
+func ClassifySize(sys trace.System, procs int) SizeCategory {
+	if sys.Kind == trace.DL {
+		switch {
+		case procs <= 1:
+			return SizeSmall
+		case procs <= 8:
+			return SizeMiddle
+		default:
+			return SizeLarge
+		}
+	}
+	frac := float64(procs) / float64(sys.TotalCores)
+	switch {
+	case frac < 0.10:
+		return SizeSmall
+	case frac <= 0.30:
+		return SizeMiddle
+	default:
+		return SizeLarge
+	}
+}
+
+// LengthCategory indexes the paper's three runtime classes (shared across
+// all systems, following Rodrigo et al.).
+type LengthCategory int
+
+const (
+	// LengthShort is <1 hour.
+	LengthShort LengthCategory = iota
+	// LengthMiddle is 1 hour to 1 day.
+	LengthMiddle
+	// LengthLong is >1 day.
+	LengthLong
+)
+
+// LengthNames are the display labels in category order.
+var LengthNames = [3]string{"short", "middle", "long"}
+
+// String names the category.
+func (c LengthCategory) String() string { return LengthNames[c] }
+
+// ClassifyLength places a runtime (seconds) into the paper's classes.
+func ClassifyLength(run float64) LengthCategory {
+	switch {
+	case run < 3600:
+		return LengthShort
+	case run <= 86400:
+		return LengthMiddle
+	default:
+		return LengthLong
+	}
+}
+
+// MinimalProcs returns the smallest request size present in the trace —
+// the paper's extra "Minimal" class in Figures 9-10 (one CPU/GPU).
+func MinimalProcs(tr *trace.Trace) int {
+	if tr.Len() == 0 {
+		return 0
+	}
+	m := tr.Jobs[0].Procs
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Procs < m {
+			m = tr.Jobs[i].Procs
+		}
+	}
+	return m
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/trace"
+)
+
+// ExampleClassifySize shows the paper's dual size conventions: relative to
+// the machine on HPC, absolute GPU counts on DL clusters.
+func ExampleClassifySize() {
+	hpc := trace.System{Kind: trace.HPC, TotalCores: 1000}
+	dl := trace.System{Kind: trace.DL, TotalCores: 1000}
+	fmt.Println(analysis.ClassifySize(hpc, 50))  // 5% of the machine
+	fmt.Println(analysis.ClassifySize(hpc, 500)) // 50% of the machine
+	fmt.Println(analysis.ClassifySize(dl, 1))    // one GPU
+	fmt.Println(analysis.ClassifySize(dl, 50))   // >8 GPUs
+	// Output:
+	// small
+	// large
+	// small
+	// large
+}
+
+// ExampleClassifyLength shows the shared runtime classes.
+func ExampleClassifyLength() {
+	fmt.Println(analysis.ClassifyLength(60))        // a minute
+	fmt.Println(analysis.ClassifyLength(7200))      // two hours
+	fmt.Println(analysis.ClassifyLength(2 * 86400)) // two days
+	// Output:
+	// short
+	// middle
+	// long
+}
+
+// ExampleAnalyzeCoreHours computes the Figure 2 domination shares.
+func ExampleAnalyzeCoreHours() {
+	tr := trace.New(trace.System{Name: "demo", Kind: trace.HPC, TotalCores: 100})
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Run: 7200, Procs: 50, VC: -1}, // large-ish, middle length
+		{User: 0, Submit: 1, Run: 60, Procs: 1, VC: -1},    // small, short
+	}
+	tr.SortBySubmit()
+	ch := analysis.AnalyzeCoreHours(tr)
+	fmt.Println(ch.DominantSize(), ch.DominantLength())
+	// Output:
+	// large middle
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"crosssched/internal/trace"
+)
+
+// Failures is the Figures 6-7 data: status distributions by count and core
+// hours, and status breakdowns by size and length class.
+type Failures struct {
+	System string
+
+	// CountShare and CoreHourShare are indexed by trace.Status.
+	CountShare    [3]float64
+	CoreHourShare [3]float64
+
+	// StatusBySize[s][st] is the share of jobs in size class s with
+	// status st (each row sums to 1 when the class is populated).
+	StatusBySize [3][3]float64
+	// StatusByLength[l][st] likewise for length classes.
+	StatusByLength [3][3]float64
+	// SizeCounts/LengthCounts report class populations (for confidence).
+	SizeCounts   [3]int
+	LengthCounts [3]int
+}
+
+// AnalyzeFailures computes the Figures 6-7 panels.
+func AnalyzeFailures(tr *trace.Trace) Failures {
+	out := Failures{System: tr.System.Name}
+	if tr.Len() == 0 {
+		return out
+	}
+	var counts [3]float64
+	var hours [3]float64
+	totalCH := 0.0
+	var bySize [3][3]float64
+	var byLen [3][3]float64
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		counts[j.Status]++
+		ch := j.CoreHours()
+		hours[j.Status] += ch
+		totalCH += ch
+		bySize[ClassifySize(tr.System, j.Procs)][j.Status]++
+		byLen[ClassifyLength(j.Run)][j.Status]++
+	}
+	n := float64(tr.Len())
+	for st := 0; st < 3; st++ {
+		out.CountShare[st] = counts[st] / n
+		if totalCH > 0 {
+			out.CoreHourShare[st] = hours[st] / totalCH
+		}
+	}
+	for c := 0; c < 3; c++ {
+		var sTot, lTot float64
+		for st := 0; st < 3; st++ {
+			sTot += bySize[c][st]
+			lTot += byLen[c][st]
+		}
+		out.SizeCounts[c] = int(sTot)
+		out.LengthCounts[c] = int(lTot)
+		for st := 0; st < 3; st++ {
+			if sTot > 0 {
+				out.StatusBySize[c][st] = bySize[c][st] / sTot
+			}
+			if lTot > 0 {
+				out.StatusByLength[c][st] = byLen[c][st] / lTot
+			}
+		}
+	}
+	return out
+}
+
+// PassRate returns the overall fraction of Passed jobs.
+func (f Failures) PassRate() float64 { return f.CountShare[trace.Passed] }
+
+// WastedCoreHourShare returns the fraction of core hours spent on jobs
+// that did not pass — the paper's headline waste number (e.g. 66% of
+// Philly's GPU hours).
+func (f Failures) WastedCoreHourShare() float64 {
+	return f.CoreHourShare[trace.Failed] + f.CoreHourShare[trace.Killed]
+}

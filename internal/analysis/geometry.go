@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// Geometry is the Figure 1 data for one system: runtime, arrival, and
+// resource-allocation distributions.
+type Geometry struct {
+	System string
+
+	RuntimeCDF     *stats.ECDF
+	RuntimeViolin  stats.Violin
+	RuntimeSummary stats.Summary
+
+	IntervalCDF     *stats.ECDF
+	IntervalSummary stats.Summary
+	HourlyArrivals  [24]int
+	DiurnalRatio    float64
+
+	CoresCDF *stats.ECDF
+	// CoresPctCDF is the CDF over requested cores as a percentage of the
+	// machine (Figure 1(c) bottom).
+	CoresPctCDF  *stats.ECDF
+	CoresSummary stats.Summary
+}
+
+// AnalyzeGeometry computes the Figure 1 panels for a trace.
+func AnalyzeGeometry(tr *trace.Trace) Geometry {
+	g := Geometry{System: tr.System.Name}
+	rt := tr.Runtimes()
+	g.RuntimeCDF = stats.NewECDF(rt)
+	g.RuntimeViolin = stats.NewViolin(rt, 120, true)
+	g.RuntimeSummary = stats.Summarize(rt)
+
+	iv := tr.ArrivalIntervals()
+	g.IntervalCDF = stats.NewECDF(iv)
+	g.IntervalSummary = stats.Summarize(iv)
+	g.HourlyArrivals = stats.HourlyCounts(tr.Submits(), tr.System.StartHour)
+	g.DiurnalRatio = stats.MaxMinRatio(g.HourlyArrivals)
+
+	procs := tr.Procs()
+	g.CoresCDF = stats.NewECDF(procs)
+	pct := make([]float64, len(procs))
+	for i, p := range procs {
+		pct[i] = 100 * p / float64(tr.System.TotalCores)
+	}
+	g.CoresPctCDF = stats.NewECDF(pct)
+	g.CoresSummary = stats.Summarize(procs)
+	return g
+}
+
+// CoreHourShares is the Figure 2 data: the share of total core hours
+// consumed by each size class and each length class.
+type CoreHourShares struct {
+	System   string
+	Total    float64 // total core hours
+	BySize   [3]float64
+	ByLength [3]float64
+	// Job-count shares for the same classes, for count-vs-consumption
+	// contrasts.
+	CountBySize   [3]float64
+	CountByLength [3]float64
+}
+
+// AnalyzeCoreHours computes the Figure 2 shares.
+func AnalyzeCoreHours(tr *trace.Trace) CoreHourShares {
+	out := CoreHourShares{System: tr.System.Name}
+	if tr.Len() == 0 {
+		return out
+	}
+	var chSize, chLen [3]float64
+	var nSize, nLen [3]float64
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		ch := j.CoreHours()
+		s := ClassifySize(tr.System, j.Procs)
+		l := ClassifyLength(j.Run)
+		chSize[s] += ch
+		chLen[l] += ch
+		nSize[s]++
+		nLen[l]++
+		out.Total += ch
+	}
+	n := float64(tr.Len())
+	for i := 0; i < 3; i++ {
+		if out.Total > 0 {
+			out.BySize[i] = chSize[i] / out.Total
+			out.ByLength[i] = chLen[i] / out.Total
+		}
+		out.CountBySize[i] = nSize[i] / n
+		out.CountByLength[i] = nLen[i] / n
+	}
+	return out
+}
+
+// DominantSize returns the size class with the largest core-hour share.
+func (c CoreHourShares) DominantSize() SizeCategory {
+	best := SizeSmall
+	for i := SizeMiddle; i <= SizeLarge; i++ {
+		if c.BySize[i] > c.BySize[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// DominantLength returns the length class with the largest core-hour share.
+func (c CoreHourShares) DominantLength() LengthCategory {
+	best := LengthShort
+	for i := LengthMiddle; i <= LengthLong; i++ {
+		if c.ByLength[i] > c.ByLength[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// Scheduling is the Figures 3-5 data for one system: utilization, wait and
+// turnaround distributions, and wait correlations with job geometry. It is
+// computed from the waits recorded in the trace (what a real trace carries)
+// — use internal/sim to re-schedule under different policies.
+type Scheduling struct {
+	System string
+
+	// Utilization over the submission window (Figure 3), plus a per-day
+	// utilization series for the time axis.
+	Utilization float64
+	DailyUtil   []float64
+
+	WaitCDF           *stats.ECDF
+	WaitSummary       stats.Summary
+	TurnaroundCDF     *stats.ECDF
+	TurnaroundSummary stats.Summary
+
+	// Median wait by size class and by length class (Figure 5).
+	WaitBySize   [3]float64
+	WaitByLength [3]float64
+}
+
+// AnalyzeScheduling computes the Figures 3-5 panels.
+func AnalyzeScheduling(tr *trace.Trace) Scheduling {
+	out := Scheduling{System: tr.System.Name}
+	if tr.Len() < 2 {
+		return out
+	}
+	out.Utilization, out.DailyUtil = windowUtilization(tr)
+
+	waits := tr.Waits()
+	out.WaitCDF = stats.NewECDF(waits)
+	out.WaitSummary = stats.Summarize(waits)
+
+	turn := make([]float64, 0, tr.Len())
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Wait >= 0 {
+			turn = append(turn, tr.Jobs[i].Turnaround())
+		}
+	}
+	out.TurnaroundCDF = stats.NewECDF(turn)
+	out.TurnaroundSummary = stats.Summarize(turn)
+
+	var bySize, byLen [3][]float64
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Wait < 0 {
+			continue
+		}
+		bySize[ClassifySize(tr.System, j.Procs)] = append(bySize[ClassifySize(tr.System, j.Procs)], j.Wait)
+		byLen[ClassifyLength(j.Run)] = append(byLen[ClassifyLength(j.Run)], j.Wait)
+	}
+	for c := 0; c < 3; c++ {
+		out.WaitBySize[c] = stats.Median(bySize[c])
+		out.WaitByLength[c] = stats.Median(byLen[c])
+	}
+	return out
+}
+
+// windowUtilization computes core occupancy over the submission window
+// [first submit, last submit], clipping each job's execution interval to
+// the window, plus a per-day series.
+func windowUtilization(tr *trace.Trace) (float64, []float64) {
+	lo := tr.Jobs[0].Submit
+	hi := tr.Jobs[tr.Len()-1].Submit
+	if hi <= lo {
+		return 0, nil
+	}
+	nDays := int((hi-lo)/86400) + 1
+	dayBusy := make([]float64, nDays)
+	busy := 0.0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Wait < 0 {
+			continue
+		}
+		s, e := j.Start(), j.End()
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e <= s {
+			continue
+		}
+		busy += (e - s) * float64(j.Procs)
+		// distribute into day buckets
+		for d := int((s - lo) / 86400); d < nDays; d++ {
+			dLo := lo + float64(d)*86400
+			dHi := dLo + 86400
+			if dLo >= e {
+				break
+			}
+			ss, ee := s, e
+			if ss < dLo {
+				ss = dLo
+			}
+			if ee > dHi {
+				ee = dHi
+			}
+			if ee > ss {
+				dayBusy[d] += (ee - ss) * float64(j.Procs)
+			}
+		}
+	}
+	cap := float64(tr.System.TotalCores)
+	util := busy / (cap * (hi - lo))
+	daily := make([]float64, nDays)
+	for d := range dayBusy {
+		span := 86400.0
+		if d == nDays-1 {
+			span = hi - (lo + float64(d)*86400)
+			if span <= 0 {
+				span = 86400
+			}
+		}
+		daily[d] = dayBusy[d] / (cap * span)
+	}
+	return util, daily
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// UserAdaptation refines Figures 9-10 to the per-user level the paper's
+// narrative uses ("users tend to submit jobs needing less resources"):
+// for each heavy user, the rank correlation between the queue length they
+// observed at submission and the size/runtime they submitted.
+type UserAdaptation struct {
+	System string
+	// Users holds one entry per qualifying heavy user.
+	Users []UserAdaptationProfile
+	// SizeAdaptShare is the fraction of users with a negative
+	// size-vs-queue correlation (smaller requests under pressure).
+	SizeAdaptShare float64
+	// RuntimeAdaptShare is the fraction with a negative runtime-vs-queue
+	// correlation (shorter jobs under pressure).
+	RuntimeAdaptShare float64
+}
+
+// UserAdaptationProfile is one user's adaptation signature.
+type UserAdaptationProfile struct {
+	User int
+	Jobs int
+	// SizeCorr is Spearman(queueLen, procs): negative = adapts size.
+	SizeCorr float64
+	// RuntimeCorr is Spearman(queueLen, runtime): negative = adapts
+	// runtime.
+	RuntimeCorr float64
+}
+
+// AnalyzeUserAdaptation computes per-user adaptation for the topK heaviest
+// users with at least minJobs submissions spanning some queue variation.
+func AnalyzeUserAdaptation(tr *trace.Trace, topK, minJobs int) UserAdaptation {
+	out := UserAdaptation{System: tr.System.Name}
+	if tr.Len() == 0 {
+		return out
+	}
+	q := QueueLengths(tr)
+	byUser := tr.JobsByUser()
+	var sizeAdapt, runtimeAdapt, counted int
+	for _, u := range tr.TopUsersByJobCount(topK) {
+		idxs := byUser[u]
+		if len(idxs) < minJobs {
+			continue
+		}
+		ql := make([]float64, 0, len(idxs))
+		sizes := make([]float64, 0, len(idxs))
+		runs := make([]float64, 0, len(idxs))
+		for _, i := range idxs {
+			ql = append(ql, float64(q[i]))
+			sizes = append(sizes, float64(tr.Jobs[i].Procs))
+			runs = append(runs, tr.Jobs[i].Run)
+		}
+		if stats.Stddev(ql) == 0 {
+			continue // user never saw queue variation; correlation undefined
+		}
+		p := UserAdaptationProfile{
+			User:        u,
+			Jobs:        len(idxs),
+			SizeCorr:    stats.Spearman(ql, sizes),
+			RuntimeCorr: stats.Spearman(ql, runs),
+		}
+		out.Users = append(out.Users, p)
+		counted++
+		if p.SizeCorr < 0 {
+			sizeAdapt++
+		}
+		if p.RuntimeCorr < 0 {
+			runtimeAdapt++
+		}
+	}
+	if counted > 0 {
+		out.SizeAdaptShare = float64(sizeAdapt) / float64(counted)
+		out.RuntimeAdaptShare = float64(runtimeAdapt) / float64(counted)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+func TestUserAdaptationEmpty(t *testing.T) {
+	tr := trace.New(trace.System{Name: "X", TotalCores: 10})
+	out := AnalyzeUserAdaptation(tr, 5, 10)
+	if len(out.Users) != 0 || out.SizeAdaptShare != 0 {
+		t.Fatal("empty trace should yield an empty report")
+	}
+}
+
+func TestUserAdaptationDetectsShrinking(t *testing.T) {
+	// One user: under no queue submits 10-core 1000s jobs; under deep
+	// queue submits 1-core 10s jobs.
+	tr := trace.New(trace.System{Name: "X", Kind: trace.HPC, TotalCores: 100})
+	// Phase 1: idle system, big jobs.
+	for i := 0; i < 15; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i * 2000), Wait: 0, Run: 1000, Procs: 10, VC: -1,
+		})
+	}
+	// Phase 2: a backlog (jobs submitted earlier still waiting), small jobs.
+	base := 40000.0
+	for i := 0; i < 10; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{ // backlog fillers from user 1
+			User: 1, Submit: base + float64(i), Wait: 50000, Run: 10, Procs: 50, VC: -1,
+		})
+	}
+	for i := 0; i < 15; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: base + 100 + float64(i*10), Wait: 5000, Run: 10, Procs: 1, VC: -1,
+		})
+	}
+	tr.SortBySubmit()
+	out := AnalyzeUserAdaptation(tr, 5, 20)
+	if len(out.Users) == 0 {
+		t.Fatal("no users qualified")
+	}
+	var u0 *UserAdaptationProfile
+	for i := range out.Users {
+		if out.Users[i].User == 0 {
+			u0 = &out.Users[i]
+		}
+	}
+	if u0 == nil {
+		t.Fatal("user 0 missing")
+	}
+	if u0.SizeCorr >= 0 {
+		t.Fatalf("user 0 size correlation %v should be negative", u0.SizeCorr)
+	}
+	if u0.RuntimeCorr >= 0 {
+		t.Fatalf("user 0 runtime correlation %v should be negative", u0.RuntimeCorr)
+	}
+	if out.SizeAdaptShare == 0 {
+		t.Fatal("size adapt share should count user 0")
+	}
+}
+
+func TestUserAdaptationSkipsConstantQueue(t *testing.T) {
+	tr := trace.New(trace.System{Name: "X", Kind: trace.HPC, TotalCores: 100})
+	for i := 0; i < 30; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i * 1000), Wait: 0, Run: 10, Procs: 1, VC: -1,
+		})
+	}
+	tr.SortBySubmit()
+	out := AnalyzeUserAdaptation(tr, 5, 10)
+	if len(out.Users) != 0 {
+		t.Fatalf("constant-queue user should be skipped: %+v", out.Users)
+	}
+}

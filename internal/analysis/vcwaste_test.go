@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+func TestVCWasteNoPartitions(t *testing.T) {
+	tr := trace.New(trace.System{Name: "X", TotalCores: 100})
+	tr.Jobs = []trace.Job{{User: 0, Submit: 0, Wait: 10, Run: 10, Procs: 1, VC: -1}}
+	w := AnalyzeVCWaste(tr)
+	if w.StrandedWaitShare != 0 || w.PerVCUtil != nil {
+		t.Fatal("unpartitioned trace should return a zero report")
+	}
+}
+
+func TestVCWasteStrandedJob(t *testing.T) {
+	// Two VCs of 10 cores. VC0 is occupied by a long job; a VC0 job waits
+	// while VC1 is completely idle -> it is stranded.
+	tr := trace.New(trace.System{Name: "P", Kind: trace.DL, TotalCores: 20, VirtualClusters: 2})
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 0, Run: 1000, Procs: 10, VC: 0},
+		{User: 1, Submit: 10, Wait: 990, Run: 50, Procs: 5, VC: 0}, // waits; VC1 idle
+	}
+	tr.SortBySubmit()
+	w := AnalyzeVCWaste(tr)
+	if w.StrandedJobShare != 1 {
+		t.Fatalf("stranded job share %v want 1", w.StrandedJobShare)
+	}
+	if math.Abs(w.StrandedWaitShare-1) > 1e-12 {
+		t.Fatalf("stranded wait share %v want 1", w.StrandedWaitShare)
+	}
+	if w.TotalWaitSeconds != 990 {
+		t.Fatalf("total wait %v want 990", w.TotalWaitSeconds)
+	}
+}
+
+func TestVCWasteNotStrandedWhenAllBusy(t *testing.T) {
+	// Both VCs full: the waiting job could not have run anywhere.
+	tr := trace.New(trace.System{Name: "P", Kind: trace.DL, TotalCores: 20, VirtualClusters: 2})
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 0, Run: 1000, Procs: 10, VC: 0},
+		{User: 1, Submit: 0, Wait: 0, Run: 1000, Procs: 10, VC: 1},
+		{User: 2, Submit: 10, Wait: 990, Run: 50, Procs: 5, VC: 0},
+	}
+	tr.SortBySubmit()
+	w := AnalyzeVCWaste(tr)
+	if w.StrandedJobShare != 0 {
+		t.Fatalf("stranded job share %v want 0 (all VCs busy)", w.StrandedJobShare)
+	}
+}
+
+func TestVCWastePerVCUtil(t *testing.T) {
+	tr := trace.New(trace.System{Name: "P", Kind: trace.DL, TotalCores: 20, VirtualClusters: 2})
+	// VC0 fully busy over the window, VC1 idle.
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 0, Run: 100, Procs: 10, VC: 0},
+		{User: 1, Submit: 100, Wait: 0, Run: 1, Procs: 1, VC: 1},
+	}
+	tr.SortBySubmit()
+	w := AnalyzeVCWaste(tr)
+	if len(w.PerVCUtil) != 2 {
+		t.Fatalf("per-VC util missing: %v", w.PerVCUtil)
+	}
+	if math.Abs(w.PerVCUtil[0]-1) > 1e-9 {
+		t.Fatalf("VC0 util %v want ~1", w.PerVCUtil[0])
+	}
+	if w.PerVCUtil[1] > 0.05 {
+		t.Fatalf("VC1 util %v want ~0", w.PerVCUtil[1])
+	}
+}

@@ -1,0 +1,162 @@
+// Package cluster models the compute resource a scheduler allocates from:
+// a pool of interchangeable cores (CPU cores or GPUs) optionally partitioned
+// into isolated virtual clusters (VCs), as in Microsoft's Philly. It also
+// accumulates the busy core-seconds needed for utilization reporting.
+//
+// The model is deliberately count-based (no topology): the paper's
+// simulator, SchedGym, schedules against core counts, and all of the
+// paper's metrics (utilization, wait, bsld, violations) depend only on
+// counts and times.
+package cluster
+
+import "fmt"
+
+// Cluster tracks free capacity per partition and the utilization integral.
+type Cluster struct {
+	total int   // total cores across all partitions
+	free  []int // free cores per partition (len >= 1)
+	caps  []int // capacity per partition
+
+	// Utilization accounting: busyCoreSeconds integrates (busy cores) dt.
+	lastTime        float64
+	busyCoreSeconds float64
+}
+
+// New creates a single-partition cluster with the given core count.
+func New(totalCores int) *Cluster {
+	return NewPartitioned([]int{totalCores})
+}
+
+// NewPartitioned creates a cluster with one isolated partition per entry of
+// capacities. Jobs bound to partition i can only use capacity i; jobs with
+// partition -1 may use the single partition 0 (only valid for unpartitioned
+// clusters).
+func NewPartitioned(capacities []int) *Cluster {
+	if len(capacities) == 0 {
+		panic("cluster: no partitions")
+	}
+	c := &Cluster{
+		free: append([]int(nil), capacities...),
+		caps: append([]int(nil), capacities...),
+	}
+	for _, cap := range capacities {
+		if cap <= 0 {
+			panic(fmt.Sprintf("cluster: non-positive partition capacity %d", cap))
+		}
+		c.total += cap
+	}
+	return c
+}
+
+// EvenPartitions splits totalCores into n near-equal partitions (Philly's
+// 14 virtual clusters). Remainders go to the first partitions.
+func EvenPartitions(totalCores, n int) []int {
+	if n <= 0 {
+		n = 1
+	}
+	base := totalCores / n
+	rem := totalCores % n
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Total returns the total core count.
+func (c *Cluster) Total() int { return c.total }
+
+// Partitions returns the number of partitions.
+func (c *Cluster) Partitions() int { return len(c.caps) }
+
+// Capacity returns the capacity of partition p (p = -1 means partition 0).
+func (c *Cluster) Capacity(p int) int {
+	return c.caps[c.norm(p)]
+}
+
+// Free returns the free cores in partition p (p = -1 means partition 0).
+func (c *Cluster) Free(p int) int {
+	return c.free[c.norm(p)]
+}
+
+// FreeTotal returns free cores across all partitions.
+func (c *Cluster) FreeTotal() int {
+	sum := 0
+	for _, f := range c.free {
+		sum += f
+	}
+	return sum
+}
+
+// Busy returns the busy core count across all partitions.
+func (c *Cluster) Busy() int { return c.total - c.FreeTotal() }
+
+func (c *Cluster) norm(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p >= len(c.caps) {
+		panic(fmt.Sprintf("cluster: partition %d out of range (%d partitions)", p, len(c.caps)))
+	}
+	return p
+}
+
+// CanAllocate reports whether n cores are currently free in partition p.
+func (c *Cluster) CanAllocate(p, n int) bool {
+	return n <= c.free[c.norm(p)]
+}
+
+// Allocate takes n cores from partition p at time now. It returns an error
+// (and changes nothing) when the partition lacks capacity.
+func (c *Cluster) Allocate(now float64, p, n int) error {
+	i := c.norm(p)
+	if n <= 0 {
+		return fmt.Errorf("cluster: allocate non-positive count %d", n)
+	}
+	if n > c.free[i] {
+		return fmt.Errorf("cluster: partition %d has %d free, need %d", i, c.free[i], n)
+	}
+	c.advance(now)
+	c.free[i] -= n
+	return nil
+}
+
+// Release returns n cores to partition p at time now. It returns an error
+// when the release would exceed the partition capacity.
+func (c *Cluster) Release(now float64, p, n int) error {
+	i := c.norm(p)
+	if n <= 0 {
+		return fmt.Errorf("cluster: release non-positive count %d", n)
+	}
+	if c.free[i]+n > c.caps[i] {
+		return fmt.Errorf("cluster: releasing %d would exceed partition %d capacity", n, i)
+	}
+	c.advance(now)
+	c.free[i] += n
+	return nil
+}
+
+// advance integrates busy core-seconds up to now.
+func (c *Cluster) advance(now float64) {
+	if now > c.lastTime {
+		c.busyCoreSeconds += float64(c.Busy()) * (now - c.lastTime)
+		c.lastTime = now
+	}
+}
+
+// Utilization returns busy core-seconds divided by total capacity over
+// [0, now] — the paper's "util" metric. It finalizes the integral at now.
+func (c *Cluster) Utilization(now float64) float64 {
+	c.advance(now)
+	if now <= 0 {
+		return 0
+	}
+	return c.busyCoreSeconds / (float64(c.total) * now)
+}
+
+// BusyCoreSeconds returns the utilization integral so far (through the last
+// advance).
+func (c *Cluster) BusyCoreSeconds() float64 { return c.busyCoreSeconds }

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	c := New(100)
+	if c.Total() != 100 || c.Partitions() != 1 || c.Free(-1) != 100 || c.Capacity(0) != 100 {
+		t.Fatalf("bad initial state: %+v", c)
+	}
+	if c.Busy() != 0 || c.FreeTotal() != 100 {
+		t.Fatal("fresh cluster should be idle")
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := New(10)
+	if err := c.Allocate(0, -1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Free(0) != 6 || c.Busy() != 4 {
+		t.Fatalf("free=%d busy=%d", c.Free(0), c.Busy())
+	}
+	if err := c.Allocate(1, 0, 7); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if err := c.Release(2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Free(0) != 10 {
+		t.Fatalf("free after release = %d", c.Free(0))
+	}
+	if err := c.Release(3, 0, 1); err == nil {
+		t.Fatal("over-release accepted")
+	}
+}
+
+func TestAllocateRejectsNonPositive(t *testing.T) {
+	c := New(10)
+	if err := c.Allocate(0, 0, 0); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+	if err := c.Release(0, 0, -1); err == nil {
+		t.Fatal("negative release accepted")
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	c := NewPartitioned([]int{5, 5})
+	if err := c.Allocate(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// partition 0 is full; partition 1 still has room
+	if c.CanAllocate(0, 1) {
+		t.Fatal("partition 0 should be full")
+	}
+	if !c.CanAllocate(1, 5) {
+		t.Fatal("partition 1 should be free")
+	}
+	if err := c.Allocate(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeTotal() != 2 || c.Busy() != 8 {
+		t.Fatalf("free=%d busy=%d", c.FreeTotal(), c.Busy())
+	}
+}
+
+func TestPartitionOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Free(3)
+}
+
+func TestBadConstruction(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewPartitioned(nil) },
+		func() { NewPartitioned([]int{5, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEvenPartitions(t *testing.T) {
+	p := EvenPartitions(10, 3)
+	if p[0] != 4 || p[1] != 3 || p[2] != 3 {
+		t.Fatalf("partitions = %v", p)
+	}
+	sum := 0
+	for _, v := range p {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("partition sum %d want 10", sum)
+	}
+	if got := EvenPartitions(10, 0); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("n=0 fallback wrong: %v", got)
+	}
+}
+
+func TestUtilizationIntegral(t *testing.T) {
+	c := New(10)
+	// 5 cores busy from t=0 to t=10, idle from 10 to 20 -> util over 20s = 0.25
+	if err := c.Allocate(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(10, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Utilization(20)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("utilization %v want 0.25", got)
+	}
+	if c.Utilization(0) != 0 {
+		// now<=0 guard — utilization at t=0 should be 0 not NaN
+		t.Fatal("utilization at t=0 should be 0")
+	}
+}
+
+func TestUtilizationFullLoad(t *testing.T) {
+	c := New(4)
+	if err := c.Allocate(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full-load utilization %v want 1", got)
+	}
+}
+
+// Property: any sequence of valid allocations and releases conserves
+// capacity: free + busy == total, 0 <= free <= capacity per partition.
+func TestConservationPropertyQuick(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Part  uint8
+		N     uint8
+	}
+	f := func(ops []op) bool {
+		c := NewPartitioned([]int{8, 8, 8})
+		now := 0.0
+		for _, o := range ops {
+			now += 1
+			p := int(o.Part) % 3
+			n := int(o.N)%8 + 1
+			if o.Alloc {
+				_ = c.Allocate(now, p, n) // errors allowed; must not corrupt
+			} else {
+				_ = c.Release(now, p, n)
+			}
+			if c.FreeTotal()+c.Busy() != c.Total() {
+				return false
+			}
+			for i := 0; i < 3; i++ {
+				if c.Free(i) < 0 || c.Free(i) > c.Capacity(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization is always within [0, 1].
+func TestUtilizationBoundedPropertyQuick(t *testing.T) {
+	f := func(steps []uint8) bool {
+		c := New(16)
+		now := 0.0
+		allocated := 0
+		for _, s := range steps {
+			now += float64(s%10) + 0.5
+			n := int(s)%5 + 1
+			if allocated+n <= 16 && s%2 == 0 {
+				if c.Allocate(now, 0, n) == nil {
+					allocated += n
+				}
+			} else if allocated >= n {
+				if c.Release(now, 0, n) == nil {
+					allocated -= n
+				}
+			}
+			u := c.Utilization(now)
+			if u < 0 || u > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package core is the public facade of the crosssched library: one-call
+// pipelines that generate a calibrated workload, characterize it with the
+// paper's methodology, evaluate the paper's eight takeaways against the
+// data, and run the two use-case studies (elapsed-time runtime prediction
+// and adaptive relaxed backfilling).
+package core
+
+import (
+	"fmt"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/figures"
+	"crosssched/internal/predict"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// Report bundles every characterization the paper applies to one system.
+type Report struct {
+	System        trace.System
+	Jobs          int
+	Geometry      analysis.Geometry
+	CoreHours     analysis.CoreHourShares
+	Scheduling    analysis.Scheduling
+	Failures      analysis.Failures
+	UserGroups    analysis.UserGroups
+	QueueBehavior analysis.QueueBehavior
+	UserStatus    analysis.UserStatusRuntimes
+}
+
+// Characterize runs the full analysis suite on a trace. The trace must
+// carry waits (real traces do; synth-generated traces do too).
+func Characterize(tr *trace.Trace) *Report {
+	return &Report{
+		System:        tr.System,
+		Jobs:          tr.Len(),
+		Geometry:      analysis.AnalyzeGeometry(tr),
+		CoreHours:     analysis.AnalyzeCoreHours(tr),
+		Scheduling:    analysis.AnalyzeScheduling(tr),
+		Failures:      analysis.AnalyzeFailures(tr),
+		UserGroups:    analysis.AnalyzeUserGroups(tr, 10, 20, 50),
+		QueueBehavior: analysis.AnalyzeQueueBehavior(tr),
+		UserStatus:    analysis.AnalyzeUserStatusRuntimes(tr, 3),
+	}
+}
+
+// GenerateSystem produces a calibrated trace for one of the paper's five
+// systems (Mira, Theta, BlueWaters, Philly, Helios).
+func GenerateSystem(name string, days float64, seed uint64) (*trace.Trace, error) {
+	p, err := synth.ByName(name, days)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(seed)
+}
+
+// Comparison is a cross-system study: per-system reports plus the paper's
+// takeaways evaluated against the data.
+type Comparison struct {
+	Reports   []*Report
+	Takeaways []Takeaway
+}
+
+// Compare characterizes each trace and evaluates the takeaways.
+func Compare(traces []*trace.Trace) *Comparison {
+	c := &Comparison{}
+	for _, tr := range traces {
+		c.Reports = append(c.Reports, Characterize(tr))
+	}
+	c.Takeaways = EvaluateTakeaways(c.Reports)
+	return c
+}
+
+// CompareBuiltin generates all five built-in systems and compares them.
+func CompareBuiltin(days float64, seed uint64) (*Comparison, error) {
+	var traces []*trace.Trace
+	for _, name := range synth.SystemNames {
+		tr, err := GenerateSystem(name, days, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		traces = append(traces, tr)
+	}
+	return Compare(traces), nil
+}
+
+// RunRuntimePrediction executes use case 1 on a trace.
+func RunRuntimePrediction(tr *trace.Trace, seed uint64) (*predict.Result, error) {
+	return predict.Run(tr, predict.Config{Seed: seed})
+}
+
+// RunAdaptiveBackfill executes use case 2 on a trace (requires walltimes).
+func RunAdaptiveBackfill(tr *trace.Trace) (*figures.TableIIRow, error) {
+	return figures.CompareRelaxedAdaptive(tr)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+// comparison is computed once for the package tests.
+var cached *Comparison
+
+func compared(t *testing.T) *Comparison {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	c, err := CompareBuiltin(6, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = c
+	return c
+}
+
+func TestGenerateSystemUnknown(t *testing.T) {
+	if _, err := GenerateSystem("Summit", 1, 1); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestCharacterizeProducesAllSections(t *testing.T) {
+	tr, err := GenerateSystem("Helios", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Characterize(tr)
+	if r.Jobs != tr.Len() || r.System.Name != "Helios" {
+		t.Fatalf("report header wrong: %+v", r.System)
+	}
+	if r.Geometry.RuntimeSummary.N == 0 {
+		t.Fatal("geometry missing")
+	}
+	if r.CoreHours.Total <= 0 {
+		t.Fatal("core hours missing")
+	}
+	if r.Scheduling.WaitSummary.N == 0 {
+		t.Fatal("scheduling missing")
+	}
+	if r.Failures.PassRate() <= 0 {
+		t.Fatal("failures missing")
+	}
+	if len(r.UserStatus.Users) == 0 {
+		t.Fatal("user status missing")
+	}
+}
+
+func TestCompareBuiltinFiveSystems(t *testing.T) {
+	c := compared(t)
+	if len(c.Reports) != 5 {
+		t.Fatalf("reports %d want 5", len(c.Reports))
+	}
+	if len(c.Takeaways) != 8 {
+		t.Fatalf("takeaways %d want 8", len(c.Takeaways))
+	}
+	for i, tw := range c.Takeaways {
+		if tw.ID != i+1 {
+			t.Fatalf("takeaway IDs out of order: %+v", tw)
+		}
+		if tw.Title == "" || tw.Evidence == "" {
+			t.Fatalf("takeaway %d missing text", tw.ID)
+		}
+	}
+}
+
+// TestTakeawaysHoldOnCalibratedData is the core end-to-end claim: the
+// calibrated generators reproduce all eight of the paper's observations.
+func TestTakeawaysHoldOnCalibratedData(t *testing.T) {
+	c := compared(t)
+	for _, tw := range c.Takeaways {
+		if !tw.Holds {
+			t.Errorf("takeaway %d (%s) does not hold: %s", tw.ID, tw.Title, tw.Evidence)
+		}
+	}
+}
+
+func TestTakeawaysDegradeGracefully(t *testing.T) {
+	// Single HPC system: cross-kind takeaways must not panic and should
+	// explain what is missing.
+	tr, err := GenerateSystem("Theta", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare([]*trace.Trace{tr})
+	if len(c.Takeaways) != 8 {
+		t.Fatalf("takeaways %d", len(c.Takeaways))
+	}
+	if c.Takeaways[0].Holds {
+		t.Fatal("takeaway 1 cannot hold without a DL system")
+	}
+	empty := EvaluateTakeaways(nil)
+	for _, tw := range empty {
+		if tw.Holds {
+			t.Fatalf("takeaway %d holds on empty input", tw.ID)
+		}
+	}
+}
+
+func TestRunRuntimePredictionSmoke(t *testing.T) {
+	tr, err := GenerateSystem("Philly", 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRuntimePrediction(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 5 {
+		t.Fatalf("models %d want 5", len(res.Models))
+	}
+}
+
+func TestRunAdaptiveBackfillSmoke(t *testing.T) {
+	tr, err := GenerateSystem("Theta", 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunAdaptiveBackfill(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.System != "Theta" || row.RelaxedUtil <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/core"
+)
+
+// ExampleGenerateSystem shows the one-call path from a system name to a
+// calibrated synthetic trace.
+func ExampleGenerateSystem() {
+	tr, err := core.GenerateSystem("Helios", 1, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.System.Name, tr.System.TotalCores, "GPUs")
+	fmt.Println(tr.Len() > 1000)
+	// Output:
+	// Helios 6416 GPUs
+	// true
+}
+
+// ExampleCharacterize runs the paper's full analysis suite on a trace.
+func ExampleCharacterize() {
+	tr, err := core.GenerateSystem("Philly", 1, 42)
+	if err != nil {
+		panic(err)
+	}
+	r := core.Characterize(tr)
+	fmt.Println("virtual clusters:", r.System.VirtualClusters)
+	fmt.Println("pass rate below 75%:", r.Failures.PassRate() < 0.75)
+	fmt.Println("dominant length:", r.CoreHours.DominantLength())
+	// Output:
+	// virtual clusters: 14
+	// pass rate below 75%: true
+	// dominant length: long
+}
+
+// ExampleEvaluateTakeaways checks the paper's observations against data.
+func ExampleEvaluateTakeaways() {
+	var reports []*core.Report
+	for _, name := range []string{"Theta", "Helios"} {
+		tr, err := core.GenerateSystem(name, 1, 7)
+		if err != nil {
+			panic(err)
+		}
+		reports = append(reports, core.Characterize(tr))
+	}
+	tws := core.EvaluateTakeaways(reports)
+	fmt.Println(len(tws), "takeaways")
+	fmt.Println("T1:", tws[0].Holds) // DL shorter & more diverse than HPC
+	// Output:
+	// 8 takeaways
+	// T1: true
+}

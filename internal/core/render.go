@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderReport renders a single-system characterization as text — the
+// summary a downstream user gets for their own trace.
+func RenderReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s (%s) — %d jobs, %d cores", r.System.Name,
+		r.System.Kind, r.Jobs, r.System.TotalCores)
+	if r.System.VirtualClusters > 1 {
+		fmt.Fprintf(&b, ", %d virtual clusters", r.System.VirtualClusters)
+	}
+	b.WriteString(" ===\n")
+
+	fmt.Fprintf(&b, "geometries: runtime p50 %.0fs p90 %.0fs | arrival gap p50 %.1fs | cores p50 %.0f\n",
+		r.Geometry.RuntimeCDF.Inverse(0.5), r.Geometry.RuntimeCDF.Inverse(0.9),
+		r.Geometry.IntervalCDF.Inverse(0.5), r.Geometry.CoresCDF.Inverse(0.5))
+	fmt.Fprintf(&b, "diurnal max/min %.1fx | dominant core-hour class %s/%s\n",
+		r.Geometry.DiurnalRatio, r.CoreHours.DominantSize(), r.CoreHours.DominantLength())
+	fmt.Fprintf(&b, "scheduling: util %.3f | wait p50 %.0fs p80 %.0fs\n",
+		r.Scheduling.Utilization,
+		r.Scheduling.WaitCDF.Inverse(0.5), r.Scheduling.WaitCDF.Inverse(0.8))
+	fmt.Fprintf(&b, "failures: passed %.0f%% | wasted core-hours %.0f%%\n",
+		100*r.Failures.PassRate(), 100*r.Failures.WastedCoreHourShare())
+	if len(r.UserGroups.Coverage) >= 10 && r.UserGroups.Users > 0 {
+		fmt.Fprintf(&b, "users: top-10 config groups cover %.0f%% (%d heavy users)\n",
+			100*r.UserGroups.Coverage[9], r.UserGroups.Users)
+	}
+	return b.String()
+}
+
+// RenderComparison renders a cross-system study: per-system one-liners and
+// the eight takeaways with evidence.
+func RenderComparison(c *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %7s %7s %9s\n",
+		"system", "jobs", "medRun(s)", "medGap(s)", "util", "pass%", "medWait(s)")
+	for _, r := range c.Reports {
+		fmt.Fprintf(&b, "%-12s %8d %10.0f %10.1f %7.3f %7.1f %9.0f\n",
+			r.System.Name, r.Jobs,
+			r.Geometry.RuntimeCDF.Inverse(0.5),
+			r.Geometry.IntervalCDF.Inverse(0.5),
+			r.Scheduling.Utilization,
+			100*r.Failures.PassRate(),
+			r.Scheduling.WaitCDF.Inverse(0.5))
+	}
+	b.WriteString("\nTakeaways:\n")
+	for _, tw := range c.Takeaways {
+		mark := "HOLDS"
+		if !tw.Holds {
+			mark = "FAILS"
+		}
+		fmt.Fprintf(&b, "  [%s] T%d %s\n        %s\n", mark, tw.ID, tw.Title, tw.Evidence)
+	}
+	return b.String()
+}

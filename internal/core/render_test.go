@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderReport(t *testing.T) {
+	tr, err := GenerateSystem("Philly", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderReport(Characterize(tr))
+	for _, want := range []string{"Philly", "virtual clusters", "geometries", "failures", "util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderReportUnpartitioned(t *testing.T) {
+	tr, err := GenerateSystem("Theta", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderReport(Characterize(tr))
+	if strings.Contains(out, "virtual clusters") {
+		t.Fatal("unpartitioned system should not mention virtual clusters")
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	c := compared(t)
+	out := RenderComparison(c)
+	for _, want := range []string{"system", "Takeaways:", "[HOLDS]", "T8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison missing %q", want)
+		}
+	}
+	for _, name := range []string{"BlueWaters", "Mira", "Theta", "Philly", "Helios"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("comparison missing system %s", name)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/trace"
+)
+
+// Takeaway is one of the paper's eight cross-system observations evaluated
+// against measured data.
+type Takeaway struct {
+	ID       int
+	Title    string
+	Holds    bool
+	Evidence string
+}
+
+// byKind partitions reports into DL and non-DL (HPC+hybrid) groups.
+func byKind(reports []*Report) (dl, hpc []*Report) {
+	for _, r := range reports {
+		if r.System.Kind == trace.DL {
+			dl = append(dl, r)
+		} else {
+			hpc = append(hpc, r)
+		}
+	}
+	return dl, hpc
+}
+
+// EvaluateTakeaways checks each of the paper's eight takeaways against the
+// reports. With fewer than one DL and one non-DL system, cross-kind
+// takeaways report Holds=false with an explanatory evidence string.
+func EvaluateTakeaways(reports []*Report) []Takeaway {
+	return []Takeaway{
+		takeaway1(reports),
+		takeaway2(reports),
+		takeaway3(reports),
+		takeaway4(reports),
+		takeaway5(reports),
+		takeaway6(reports),
+		takeaway7(reports),
+		takeaway8(reports),
+	}
+}
+
+// takeaway1: DL runtimes are shorter and more diverse than HPC runtimes.
+func takeaway1(reports []*Report) Takeaway {
+	t := Takeaway{ID: 1, Title: "DL job runtimes are shorter and more diverse"}
+	dl, hpc := byKind(reports)
+	if len(dl) == 0 || len(hpc) == 0 {
+		t.Evidence = "needs at least one DL and one non-DL system"
+		return t
+	}
+	dlMed, dlSpread := geoStats(dl)
+	hpcMed, hpcSpread := geoStats(hpc)
+	t.Holds = dlMed < hpcMed && dlSpread > hpcSpread
+	t.Evidence = fmt.Sprintf(
+		"median runtime DL %.0fs vs HPC %.0fs; p99/p1 log-spread DL %.1f vs HPC %.1f decades",
+		dlMed, hpcMed, dlSpread, hpcSpread)
+	return t
+}
+
+func geoStats(rs []*Report) (medianRuntime, logSpread float64) {
+	for _, r := range rs {
+		medianRuntime += r.Geometry.RuntimeCDF.Inverse(0.5)
+		p99 := r.Geometry.RuntimeCDF.Inverse(0.99)
+		p01 := r.Geometry.RuntimeCDF.Inverse(0.01)
+		if p01 < 1 {
+			p01 = 1
+		}
+		logSpread += math.Log10(p99) - math.Log10(p01)
+	}
+	n := float64(len(rs))
+	return medianRuntime / n, logSpread / n
+}
+
+// takeaway2: diurnal patterns exist but are system-specific.
+func takeaway2(reports []*Report) Takeaway {
+	t := Takeaway{ID: 2, Title: "Diurnal submission patterns are system-specific"}
+	if len(reports) < 2 {
+		t.Evidence = "needs at least two systems"
+		return t
+	}
+	minR, maxR := math.Inf(1), 0.0
+	for _, r := range reports {
+		ratio := r.Geometry.DiurnalRatio
+		if math.IsInf(ratio, 1) {
+			ratio = 50
+		}
+		if ratio < minR {
+			minR = ratio
+		}
+		if ratio > maxR {
+			maxR = ratio
+		}
+	}
+	// patterns exist (some system is peaked) but generality fails (another
+	// is much flatter)
+	t.Holds = maxR >= 4 && maxR/minR >= 2
+	t.Evidence = fmt.Sprintf("hourly max/min ratios span %.1fx to %.1fx across systems", minR, maxR)
+	return t
+}
+
+// takeaway3: small (single-accelerator) jobs dominate DL submissions.
+func takeaway3(reports []*Report) Takeaway {
+	t := Takeaway{ID: 3, Title: "DL clusters are dominated by small (1-GPU) requests"}
+	dl, _ := byKind(reports)
+	if len(dl) == 0 {
+		t.Evidence = "needs a DL system"
+		return t
+	}
+	minShare := 1.0
+	for _, r := range dl {
+		share := r.CoreHours.CountBySize[analysis.SizeSmall]
+		if share < minShare {
+			minShare = share
+		}
+	}
+	t.Holds = minShare >= 0.6
+	t.Evidence = fmt.Sprintf("smallest single-GPU job-count share among DL systems: %.0f%%", 100*minShare)
+	return t
+}
+
+// takeaway4: dominant core-hour groups exist everywhere but shift.
+func takeaway4(reports []*Report) Takeaway {
+	t := Takeaway{ID: 4, Title: "Dominant job groups exist but shift across systems"}
+	if len(reports) < 2 {
+		t.Evidence = "needs at least two systems"
+		return t
+	}
+	allDominated := true
+	lengths := map[analysis.LengthCategory]bool{}
+	sizes := map[analysis.SizeCategory]bool{}
+	for _, r := range reports {
+		dl := r.CoreHours.DominantLength()
+		ds := r.CoreHours.DominantSize()
+		if r.CoreHours.ByLength[dl] < 0.5 && r.CoreHours.BySize[ds] < 0.5 {
+			allDominated = false
+		}
+		lengths[dl] = true
+		sizes[ds] = true
+	}
+	t.Holds = allDominated && (len(lengths) > 1 || len(sizes) > 1)
+	t.Evidence = fmt.Sprintf("every system has a >50%% core-hour class; %d distinct dominant length classes, %d size classes",
+		len(lengths), len(sizes))
+	return t
+}
+
+// takeaway5: DL clusters run at lower utilization.
+func takeaway5(reports []*Report) Takeaway {
+	t := Takeaway{ID: 5, Title: "DL clusters show lower utilization despite queued jobs"}
+	dl, hpc := byKind(reports)
+	if len(dl) == 0 || len(hpc) == 0 {
+		t.Evidence = "needs at least one DL and one non-DL system"
+		return t
+	}
+	minDL, minHPC := math.Inf(1), math.Inf(1)
+	for _, r := range dl {
+		if u := r.Scheduling.Utilization; u < minDL {
+			minDL = u
+		}
+	}
+	for _, r := range hpc {
+		if u := r.Scheduling.Utilization; u < minHPC {
+			minHPC = u
+		}
+	}
+	t.Holds = minDL < minHPC
+	t.Evidence = fmt.Sprintf("lowest DL utilization %.2f vs lowest HPC/hybrid %.2f", minDL, minHPC)
+	return t
+}
+
+// takeaway6: waits differ sharply; the hybrid system waits longest.
+func takeaway6(reports []*Report) Takeaway {
+	t := Takeaway{ID: 6, Title: "Hybrid workloads challenge schedulers: longest waits"}
+	var hybrid *Report
+	maxOther := 0.0
+	for _, r := range reports {
+		med := r.Scheduling.WaitCDF.Inverse(0.5)
+		if r.System.Kind == trace.Hybrid {
+			hybrid = r
+		} else if med > maxOther {
+			maxOther = med
+		}
+	}
+	if hybrid == nil {
+		t.Evidence = "needs a hybrid system"
+		return t
+	}
+	hmed := hybrid.Scheduling.WaitCDF.Inverse(0.5)
+	t.Holds = hmed >= maxOther
+	t.Evidence = fmt.Sprintf("hybrid median wait %.0fs vs max elsewhere %.0fs", hmed, maxOther)
+	return t
+}
+
+// takeaway7: failures are common everywhere and killed jobs waste outsized
+// resources.
+func takeaway7(reports []*Report) Takeaway {
+	t := Takeaway{ID: 7, Title: "Failures are common; killed jobs waste outsized core hours"}
+	if len(reports) == 0 {
+		t.Evidence = "no systems"
+		return t
+	}
+	worstPass := 0.0
+	holds := true
+	for _, r := range reports {
+		if r.Failures.PassRate() > 0.75 {
+			holds = false
+		}
+		if r.Failures.PassRate() > worstPass {
+			worstPass = r.Failures.PassRate()
+		}
+		killedCount := r.Failures.CountShare[trace.Killed]
+		killedCH := r.Failures.CoreHourShare[trace.Killed]
+		if killedCH < killedCount {
+			holds = false
+		}
+	}
+	t.Holds = holds
+	t.Evidence = fmt.Sprintf("highest pass rate %.0f%%; killed core-hour share exceeds killed count share on every system", 100*worstPass)
+	return t
+}
+
+// takeaway8: users adapt submissions to queue pressure.
+func takeaway8(reports []*Report) Takeaway {
+	t := Takeaway{ID: 8, Title: "Users submit smaller jobs under queue pressure"}
+	if len(reports) == 0 {
+		t.Evidence = "no systems"
+		return t
+	}
+	grows := 0
+	considered := 0
+	for _, r := range reports {
+		qb := r.QueueBehavior
+		if qb.Counts[analysis.QueueLong]+qb.Counts[analysis.QueueMiddle] < 50 {
+			continue // not enough pressure data on this system
+		}
+		considered++
+		hi := qb.SizeShare[analysis.QueueLong][0]
+		if qb.Counts[analysis.QueueLong] < 50 {
+			hi = qb.SizeShare[analysis.QueueMiddle][0]
+		}
+		if hi > qb.SizeShare[analysis.QueueShort][0] {
+			grows++
+		}
+	}
+	t.Holds = considered > 0 && grows*2 >= considered
+	t.Evidence = fmt.Sprintf("minimal-request share grows with queue on %d of %d systems with pressure data", grows, considered)
+	return t
+}

@@ -1,0 +1,118 @@
+// Package dist provides a deterministic, seedable random number generator
+// and the sampling distributions used by the synthetic workload generators.
+//
+// Everything here is intentionally self-contained (stdlib only) so that a
+// trace generated with a given seed is bit-for-bit reproducible across runs
+// and platforms. The generator is SplitMix64, which is fast, passes BigCrush,
+// and has a trivially portable implementation.
+package dist
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator based on SplitMix64.
+// The zero value is a valid generator seeded with 0; prefer NewRNG.
+type RNG struct {
+	state uint64
+	// cached spare normal variate for the Box-Muller/polar method
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators constructed
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits -> [0,1)
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns 0,
+// which makes it safe as input to log().
+func (r *RNG) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		x := r.Uint64()
+		hi, lo := bits.Mul64(x, bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Normal returns a standard normal variate (mean 0, stddev 1) using the
+// Marsaglia polar method with a cached spare.
+func (r *RNG) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the order of n elements in place via the swap callback.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent child generator from the current stream.
+// Useful for giving each simulated user their own deterministic stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

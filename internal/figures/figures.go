@@ -1,0 +1,159 @@
+package figures
+
+import (
+	"crosssched/internal/analysis"
+	"crosssched/internal/predict"
+	"crosssched/internal/trace"
+)
+
+// TableIRow is one system's overview entry (paper Table I).
+type TableIRow struct {
+	System string
+	Kind   string
+	Jobs   int
+	Cores  int // schedulable capacity in the trace's resource unit
+	Nodes  int // derived where CoresPerNode is known
+	VCs    int
+	Users  int
+	Days   float64
+}
+
+// TableI produces the trace-overview rows.
+func (s *Suite) TableI() ([]TableIRow, error) {
+	var rows []TableIRow
+	err := s.eachTrace(func(name string, tr *trace.Trace) error {
+		nodes := 0
+		if tr.System.CoresPerNode > 0 {
+			nodes = tr.System.TotalCores / tr.System.CoresPerNode
+		}
+		rows = append(rows, TableIRow{
+			System: name,
+			Kind:   tr.System.Kind.String(),
+			Jobs:   tr.Len(),
+			Cores:  tr.System.TotalCores,
+			Nodes:  nodes,
+			VCs:    tr.System.VirtualClusters,
+			Users:  len(tr.Users()),
+			Days:   s.cfg.Days,
+		})
+		return nil
+	})
+	return rows, err
+}
+
+// Fig1 computes job geometries (runtime, arrival, allocation) per system.
+func (s *Suite) Fig1() ([]analysis.Geometry, error) {
+	var out []analysis.Geometry
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeGeometry(tr))
+		return nil
+	})
+	return out, err
+}
+
+// Fig2 computes core-hour domination per system.
+func (s *Suite) Fig2() ([]analysis.CoreHourShares, error) {
+	var out []analysis.CoreHourShares
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeCoreHours(tr))
+		return nil
+	})
+	return out, err
+}
+
+// Fig3to5 computes the scheduling-outcome panels (utilization, waits,
+// wait-vs-geometry) per system from the recorded waits.
+func (s *Suite) Fig3to5() ([]analysis.Scheduling, error) {
+	var out []analysis.Scheduling
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeScheduling(tr))
+		return nil
+	})
+	return out, err
+}
+
+// Fig3VCWaste computes the cross-VC stranding analysis for partitioned
+// systems (the paper's explanation of Philly's idle-GPUs-with-queues
+// pathology in the Figure 3/4 discussion).
+func (s *Suite) Fig3VCWaste() ([]analysis.VCWaste, error) {
+	var out []analysis.VCWaste
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		if tr.System.VirtualClusters > 1 {
+			out = append(out, analysis.AnalyzeVCWaste(tr))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Fig6and7 computes the failure characterization per system.
+func (s *Suite) Fig6and7() ([]analysis.Failures, error) {
+	var out []analysis.Failures
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeFailures(tr))
+		return nil
+	})
+	return out, err
+}
+
+// Fig8 computes per-user resource-configuration group coverage.
+func (s *Suite) Fig8() ([]analysis.UserGroups, error) {
+	var out []analysis.UserGroups
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeUserGroups(tr, 10, 20, 50))
+		return nil
+	})
+	return out, err
+}
+
+// Fig9and10 computes the queue-pressure behavior panels.
+func (s *Suite) Fig9and10() ([]analysis.QueueBehavior, error) {
+	var out []analysis.QueueBehavior
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeQueueBehavior(tr))
+		return nil
+	})
+	return out, err
+}
+
+// Fig9and10PerUser computes the per-user adaptation correlations behind
+// the queue-pressure figures ("users tend to submit jobs needing less
+// resources" is a statement about users, not just the aggregate).
+func (s *Suite) Fig9and10PerUser() ([]analysis.UserAdaptation, error) {
+	var out []analysis.UserAdaptation
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeUserAdaptation(tr, 20, 50))
+		return nil
+	})
+	return out, err
+}
+
+// Fig11 computes per-user runtime-by-status profiles for the top 3 users
+// (the paper shows Blue Waters, Philly, Helios, and Mira).
+func (s *Suite) Fig11() ([]analysis.UserStatusRuntimes, error) {
+	var out []analysis.UserStatusRuntimes
+	err := s.eachTrace(func(_ string, tr *trace.Trace) error {
+		out = append(out, analysis.AnalyzeUserStatusRuntimes(tr, 3))
+		return nil
+	})
+	return out, err
+}
+
+// Fig12 runs the runtime-prediction experiment on one system's trace.
+func (s *Suite) Fig12(system string) (*predict.Result, error) {
+	tr, err := s.Trace(system)
+	if err != nil {
+		return nil, err
+	}
+	return predict.Run(tr, s.predictConfig())
+}
+
+// StatusPrediction runs the final-status prediction extension on one
+// system's trace (Section V-C made concrete).
+func (s *Suite) StatusPrediction(system string) (*predict.StatusResult, error) {
+	tr, err := s.Trace(system)
+	if err != nil {
+		return nil, err
+	}
+	return predict.RunStatus(tr, predict.StatusConfig{Seed: s.cfg.Seed})
+}

@@ -1,0 +1,265 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSuite is a small shared suite so the whole package's tests generate
+// traces once.
+var testSuite = NewSuite(Config{Days: 3, SimDays: 2, Seed: 11})
+
+func TestTableI(t *testing.T) {
+	rows, err := testSuite.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d want 5", len(rows))
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+		if r.Jobs <= 0 || r.Cores <= 0 || r.Users <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	if byName["Mira"].Cores != 786432 || byName["Mira"].Nodes != 49152 {
+		t.Fatalf("Mira row wrong: %+v", byName["Mira"])
+	}
+	if byName["Philly"].VCs != 14 {
+		t.Fatalf("Philly VCs wrong: %+v", byName["Philly"])
+	}
+	out := RenderTableI(rows)
+	for _, want := range []string{"Mira", "Philly", "Table I"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Through11Structure(t *testing.T) {
+	gs, err := testSuite.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 5 {
+		t.Fatalf("fig1 systems %d", len(gs))
+	}
+	if !strings.Contains(RenderFig1(gs), "Figure 1(a)") {
+		t.Fatal("fig1 render missing header")
+	}
+
+	cs, err := testSuite.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		sum := c.BySize[0] + c.BySize[1] + c.BySize[2]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s size shares sum %v", c.System, sum)
+		}
+	}
+	if !strings.Contains(RenderFig2(cs), "core-hour share") {
+		t.Fatal("fig2 render missing header")
+	}
+
+	ss, err := testSuite.Fig3to5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		if s.Utilization < 0 || s.Utilization > 1.0001 {
+			t.Fatalf("%s util %v", s.System, s.Utilization)
+		}
+	}
+	out := RenderFig3to5(ss)
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3-5 render missing %q", want)
+		}
+	}
+
+	fs, err := testSuite.Fig6and7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.PassRate() <= 0 || f.PassRate() >= 1 {
+			t.Fatalf("%s pass rate %v", f.System, f.PassRate())
+		}
+	}
+	if !strings.Contains(RenderFig6and7(fs), "Figure 7(a)") {
+		t.Fatal("fig6-7 render missing header")
+	}
+
+	ug, err := testSuite.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ug {
+		if g.Users == 0 {
+			t.Fatalf("%s: no users qualified for Fig 8", g.System)
+		}
+	}
+	if !strings.Contains(RenderFig8(ug), "top-10") {
+		t.Fatal("fig8 render missing header")
+	}
+
+	qb, err := testSuite.Fig9and10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderFig9and10(qb), "Figure 10") {
+		t.Fatal("fig9-10 render missing header")
+	}
+
+	us, err := testSuite.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range us {
+		if len(u.Users) == 0 {
+			t.Fatalf("%s: no users in Fig 11", u.System)
+		}
+	}
+	if !strings.Contains(RenderFig11(us), "Figure 11") {
+		t.Fatal("fig11 render missing header")
+	}
+}
+
+func TestTableIIStructure(t *testing.T) {
+	rows, err := testSuite.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("table II rows %d want 3 (BW, Mira, Theta)", len(rows))
+	}
+	for _, r := range rows {
+		if r.RelaxedUtil <= 0 || r.AdaptiveUtil <= 0 {
+			t.Fatalf("%s: zero utilization", r.System)
+		}
+		if r.RelaxedWait < 0 || r.AdaptiveWait < 0 {
+			t.Fatalf("%s: negative wait", r.System)
+		}
+	}
+	out := RenderTableII(rows)
+	for _, want := range []string{"Table II", "violation", "BlueWaters"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestImprovementMath(t *testing.T) {
+	r := TableIIRow{
+		RelaxedWait: 100, AdaptiveWait: 94,
+		RelaxedBsld: 40, AdaptiveBsld: 42,
+		RelaxedUtil: 0.8, AdaptiveUtil: 0.81,
+		RelaxedViol: 100, AdaptiveViol: 51,
+	}
+	if got := r.WaitImprovement(); got != 0.06 {
+		t.Fatalf("wait improvement %v want 0.06", got)
+	}
+	if got := r.BsldImprovement(); got != -0.05 {
+		t.Fatalf("bsld improvement %v want -0.05", got)
+	}
+	if got := r.ViolImprovement(); got != 0.49 {
+		t.Fatalf("violation improvement %v want 0.49", got)
+	}
+	if got := r.UtilImprovement(); got < 0.012 || got > 0.013 {
+		t.Fatalf("util improvement %v want ~0.0125", got)
+	}
+	zero := TableIIRow{}
+	if zero.ViolImprovement() != 0 {
+		t.Fatal("zero baseline improvement should be 0")
+	}
+	zero.AdaptiveViol = 5
+	if zero.ViolImprovement() != -1 {
+		t.Fatal("zero-to-nonzero should be -1")
+	}
+}
+
+// TestTableIIAdaptiveReducesViolations is the use-case-2 headline: the
+// adaptive mechanism reduces promise violations on every system, without
+// collapsing utilization.
+func TestTableIIAdaptiveReducesViolations(t *testing.T) {
+	rows, err := testSuite.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reducedSomewhere := false
+	for _, r := range rows {
+		if r.AdaptiveViol > r.RelaxedViol {
+			t.Errorf("%s: adaptive increased violations %d -> %d",
+				r.System, r.RelaxedViol, r.AdaptiveViol)
+		}
+		if r.AdaptiveViol < r.RelaxedViol {
+			reducedSomewhere = true
+		}
+		if r.AdaptiveUtil < r.RelaxedUtil*0.9 {
+			t.Errorf("%s: adaptive collapsed utilization %v -> %v",
+				r.System, r.RelaxedUtil, r.AdaptiveUtil)
+		}
+	}
+	if !reducedSomewhere {
+		t.Error("adaptive never reduced violations on any system")
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "2", "8"} {
+		out, err := testSuite.Render(name, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out == "" {
+			t.Fatalf("%s: empty render", name)
+		}
+	}
+	if _, err := testSuite.Render("99", ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]int{0, 0, 0}); got != "..." {
+		t.Fatalf("zero sparkline %q", got)
+	}
+	s := sparkline([]int{0, 5, 10})
+	if len(s) != 3 || s[2] != '@' || s[0] != ' ' {
+		t.Fatalf("sparkline %q", s)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{-1, "n/a"}, {30, "30s"}, {600, "10.0m"}, {7200, "2.0h"}, {200000, "2.3d"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.in); got != c.want {
+			t.Fatalf("fmtDur(%v) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSuiteCachesTraces(t *testing.T) {
+	a, err := testSuite.Trace("Helios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSuite.Trace("Helios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+	if _, err := testSuite.Trace("Nope"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"crosssched/internal/ml"
+	"crosssched/internal/predict"
+)
+
+func TestRenderFig12(t *testing.T) {
+	r := &predict.Result{
+		System:      "Demo",
+		MeanRuntime: 600,
+		Fractions:   []float64{0.25},
+		TestJobs:    100,
+		Models: []predict.ModelResult{{
+			Model: "LR",
+			Variants: []predict.VariantResult{{
+				ElapsedSeconds: 150,
+				Baseline:       ml.EvalResult{N: 100, AvgAccuracy: 0.5, UnderestimateRate: 0.9},
+				WithElapsed:    ml.EvalResult{N: 100, AvgAccuracy: 0.6, UnderestimateRate: 0.4},
+			}},
+		}},
+	}
+	out := RenderFig12(r)
+	for _, want := range []string{"Demo", "LR", "90.0%", "40.0%", "60.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderStatusPrediction(t *testing.T) {
+	r := &predict.StatusResult{
+		System:   "Demo",
+		TestJobs: 42,
+		Variants: []predict.StatusVariant{{
+			ElapsedSeconds: 120,
+			Prior:          ml.ClassificationResult{N: 42, Accuracy: 0.5, Recall: []float64{0.9, 0, 0.3}},
+			Survival:       ml.ClassificationResult{N: 42, Accuracy: 0.7, Recall: []float64{0.95, 0, 0.4}},
+			Softmax:        ml.ClassificationResult{N: 42, Accuracy: 0.6, Recall: []float64{0.9, 0, 0.2}},
+		}},
+	}
+	out := RenderStatusPrediction(r)
+	for _, want := range []string{"Demo", "70.0%", "survival", "prior"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

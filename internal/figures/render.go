@@ -1,0 +1,561 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/predict"
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// fmtDur renders seconds in a human unit.
+func fmtDur(sec float64) string {
+	switch {
+	case sec < 0:
+		return "n/a"
+	case sec < 120:
+		return fmt.Sprintf("%.0fs", sec)
+	case sec < 2*3600:
+		return fmt.Sprintf("%.1fm", sec/60)
+	case sec < 2*86400:
+		return fmt.Sprintf("%.1fh", sec/3600)
+	default:
+		return fmt.Sprintf("%.1fd", sec/86400)
+	}
+}
+
+// tableWriter builds aligned text tables.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *tableWriter) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderTableI renders the trace overview.
+func RenderTableI(rows []TableIRow) string {
+	t := &tableWriter{header: []string{
+		"System", "Kind", "Jobs", "Cores/GPUs", "Nodes", "VCs", "Users", "Days",
+	}}
+	for _, r := range rows {
+		t.addRow(r.System, r.Kind, fmt.Sprint(r.Jobs), fmt.Sprint(r.Cores),
+			fmt.Sprint(r.Nodes), fmt.Sprint(r.VCs), fmt.Sprint(r.Users),
+			fmt.Sprintf("%.0f", r.Days))
+	}
+	return "Table I: synthetic trace overview\n" + t.String()
+}
+
+// RenderFig1 renders the geometry panels: quantiles of runtime, arrival
+// interval, and requested cores, plus the diurnal profile.
+func RenderFig1(gs []analysis.Geometry) string {
+	var b strings.Builder
+	b.WriteString("Figure 1(a): job runtime distribution\n")
+	t := &tableWriter{header: []string{"System", "p10", "p50", "p90", "p99", "max"}}
+	for _, g := range gs {
+		t.addRow(g.System,
+			fmtDur(g.RuntimeCDF.Inverse(0.10)), fmtDur(g.RuntimeCDF.Inverse(0.50)),
+			fmtDur(g.RuntimeCDF.Inverse(0.90)), fmtDur(g.RuntimeCDF.Inverse(0.99)),
+			fmtDur(g.RuntimeSummary.Max))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 1(b): job arrival intervals and diurnal cycle\n")
+	t = &tableWriter{header: []string{"System", "p50 gap", "p90 gap", "max/min hourly"}}
+	for _, g := range gs {
+		ratio := fmt.Sprintf("%.1fx", g.DiurnalRatio)
+		t.addRow(g.System,
+			fmtDur(g.IntervalCDF.Inverse(0.50)), fmtDur(g.IntervalCDF.Inverse(0.90)), ratio)
+	}
+	b.WriteString(t.String())
+	for _, g := range gs {
+		fmt.Fprintf(&b, "  %-11s hourly: %s\n", g.System, sparkline(g.HourlyArrivals[:]))
+	}
+
+	b.WriteString("\nFigure 1(c): requested cores/GPUs\n")
+	t = &tableWriter{header: []string{"System", "p50", "p80", "p99", "p50 %machine"}}
+	for _, g := range gs {
+		t.addRow(g.System,
+			fmt.Sprintf("%.0f", g.CoresCDF.Inverse(0.50)),
+			fmt.Sprintf("%.0f", g.CoresCDF.Inverse(0.80)),
+			fmt.Sprintf("%.0f", g.CoresCDF.Inverse(0.99)),
+			fmt.Sprintf("%.3f%%", g.CoresPctCDF.Inverse(0.50)))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// sparkline renders integer counts as a compact bar string.
+func sparkline(counts []int) string {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(".", len(counts))
+	}
+	levels := []byte(" .:-=+*#%@")
+	out := make([]byte, len(counts))
+	for i, c := range counts {
+		idx := c * (len(levels) - 1) / max
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// RenderFig2 renders core-hour domination.
+func RenderFig2(cs []analysis.CoreHourShares) string {
+	t := &tableWriter{header: []string{
+		"System", "CH small", "CH middle", "CH large",
+		"CH short", "CH mid-len", "CH long", "dominant",
+	}}
+	for _, c := range cs {
+		t.addRow(c.System,
+			pct(c.BySize[0]), pct(c.BySize[1]), pct(c.BySize[2]),
+			pct(c.ByLength[0]), pct(c.ByLength[1]), pct(c.ByLength[2]),
+			c.DominantSize().String()+"/"+c.DominantLength().String())
+	}
+	return "Figure 2: core-hour share by job size and length class\n" + t.String()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// RenderFig3to5 renders the scheduling outcome panels.
+func RenderFig3to5(ss []analysis.Scheduling) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: system utilization\n")
+	t := &tableWriter{header: []string{"System", "util", "daily min", "daily max"}}
+	for _, s := range ss {
+		lo, hi := 1.0, 0.0
+		for _, d := range s.DailyUtil {
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if len(s.DailyUtil) == 0 {
+			lo = 0
+		}
+		t.addRow(s.System, fmt.Sprintf("%.3f", s.Utilization),
+			fmt.Sprintf("%.3f", lo), fmt.Sprintf("%.3f", hi))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 4: job waiting and turnaround time\n")
+	t = &tableWriter{header: []string{"System", "wait p50", "wait p80", "wait p99", "turn p50"}}
+	for _, s := range ss {
+		t.addRow(s.System,
+			fmtDur(s.WaitCDF.Inverse(0.5)), fmtDur(s.WaitCDF.Inverse(0.8)),
+			fmtDur(s.WaitCDF.Inverse(0.99)), fmtDur(s.TurnaroundCDF.Inverse(0.5)))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 5: median wait by size and length class\n")
+	t = &tableWriter{header: []string{
+		"System", "small", "middle", "large", "short", "mid-len", "long",
+	}}
+	for _, s := range ss {
+		t.addRow(s.System,
+			fmtDur(s.WaitBySize[0]), fmtDur(s.WaitBySize[1]), fmtDur(s.WaitBySize[2]),
+			fmtDur(s.WaitByLength[0]), fmtDur(s.WaitByLength[1]), fmtDur(s.WaitByLength[2]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderVCWaste renders the cross-VC stranding analysis.
+func RenderVCWaste(ws []analysis.VCWaste) string {
+	var b strings.Builder
+	b.WriteString("Figure 3 supplement: virtual-cluster stranding (Takeaway 5/6)\n")
+	t := &tableWriter{header: []string{
+		"System", "VCs", "stranded jobs", "stranded wait", "util min VC", "util max VC",
+	}}
+	for _, w := range ws {
+		lo, hi := 1.0, 0.0
+		for _, u := range w.PerVCUtil {
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		if len(w.PerVCUtil) == 0 {
+			lo = 0
+		}
+		t.addRow(w.System, fmt.Sprint(w.VCs),
+			pct(w.StrandedJobShare), pct(w.StrandedWaitShare),
+			fmt.Sprintf("%.3f", lo), fmt.Sprintf("%.3f", hi))
+	}
+	b.WriteString(t.String())
+	b.WriteString("stranded = waiting while another VC had enough idle capacity\n")
+	return b.String()
+}
+
+// RenderFig6and7 renders the failure panels.
+func RenderFig6and7(fs []analysis.Failures) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: job status by count and core hours\n")
+	t := &tableWriter{header: []string{
+		"System", "pass#", "fail#", "kill#", "passCH", "failCH", "killCH", "wastedCH",
+	}}
+	for _, f := range fs {
+		t.addRow(f.System,
+			pct(f.CountShare[trace.Passed]), pct(f.CountShare[trace.Failed]), pct(f.CountShare[trace.Killed]),
+			pct(f.CoreHourShare[trace.Passed]), pct(f.CoreHourShare[trace.Failed]), pct(f.CoreHourShare[trace.Killed]),
+			pct(f.WastedCoreHourShare()))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 7(a): pass rate by size class | 7(b): by length class\n")
+	t = &tableWriter{header: []string{
+		"System", "small", "middle", "large", "short", "mid-len", "long",
+	}}
+	for _, f := range fs {
+		t.addRow(f.System,
+			pct(f.StatusBySize[0][trace.Passed]), pct(f.StatusBySize[1][trace.Passed]), pct(f.StatusBySize[2][trace.Passed]),
+			pct(f.StatusByLength[0][trace.Passed]), pct(f.StatusByLength[1][trace.Passed]), pct(f.StatusByLength[2][trace.Passed]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderFig8 renders group coverage.
+func RenderFig8(gs []analysis.UserGroups) string {
+	t := &tableWriter{header: []string{"System", "top-1", "top-3", "top-5", "top-10", "users"}}
+	for _, g := range gs {
+		get := func(k int) string {
+			if k-1 < len(g.Coverage) {
+				return pct(g.Coverage[k-1])
+			}
+			return "n/a"
+		}
+		t.addRow(g.System, get(1), get(3), get(5), get(10), fmt.Sprint(g.Users))
+	}
+	return "Figure 8: per-user resource-configuration group coverage\n" + t.String()
+}
+
+// RenderFig9and10 renders the queue-pressure behavior panels.
+func RenderFig9and10(qs []analysis.QueueBehavior) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: minimal-request share by queue pressure\n")
+	t := &tableWriter{header: []string{"System", "shortQ", "middleQ", "longQ", "maxQ"}}
+	for _, q := range qs {
+		t.addRow(q.System,
+			pct(q.SizeShare[analysis.QueueShort][0]),
+			pct(q.SizeShare[analysis.QueueMiddle][0]),
+			pct(q.SizeShare[analysis.QueueLong][0]),
+			fmt.Sprint(q.MaxQueue))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 10: median submitted runtime by queue pressure\n")
+	t = &tableWriter{header: []string{"System", "shortQ", "middleQ", "longQ"}}
+	for _, q := range qs {
+		t.addRow(q.System,
+			fmtDur(q.MedianRuntime[analysis.QueueShort]),
+			fmtDur(q.MedianRuntime[analysis.QueueMiddle]),
+			fmtDur(q.MedianRuntime[analysis.QueueLong]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderUserAdaptation renders the per-user queue-adaptation supplement.
+func RenderUserAdaptation(us []analysis.UserAdaptation) string {
+	var b strings.Builder
+	b.WriteString("Figures 9-10 supplement: per-user adaptation (heavy users)\n")
+	t := &tableWriter{header: []string{
+		"System", "users", "size-adapting", "runtime-adapting", "median sizeCorr",
+	}}
+	for _, u := range us {
+		med := make([]float64, 0, len(u.Users))
+		for _, p := range u.Users {
+			med = append(med, p.SizeCorr)
+		}
+		t.addRow(u.System, fmt.Sprint(len(u.Users)),
+			pct(u.SizeAdaptShare), pct(u.RuntimeAdaptShare),
+			fmt.Sprintf("%.2f", stats.Median(med)))
+	}
+	b.WriteString(t.String())
+	b.WriteString("adapting = negative Spearman correlation between observed queue length\nand the user's submitted size/runtime\n")
+	return b.String()
+}
+
+// RenderFig11 renders per-user runtime-by-status medians.
+func RenderFig11(us []analysis.UserStatusRuntimes) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: per-user runtime by job status (top-3 users)\n")
+	t := &tableWriter{header: []string{
+		"System", "user", "jobs", "passed p50", "failed p50", "killed p50", "sep(dec)",
+	}}
+	for _, u := range us {
+		for _, p := range u.Users {
+			t.addRow(u.System, fmt.Sprintf("U%d", p.User), fmt.Sprint(p.Jobs),
+				fmtDur(p.Medians[trace.Passed]), fmtDur(p.Medians[trace.Failed]),
+				fmtDur(p.Medians[trace.Killed]), fmt.Sprintf("%.2f", p.StatusSeparation()))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderFig12 renders the prediction experiment.
+func RenderFig12(r *predict.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: runtime prediction on %s (mean runtime %s, %d test jobs)\n",
+		r.System, fmtDur(r.MeanRuntime), r.TestJobs)
+	t := &tableWriter{header: []string{
+		"Model", "elapsed", "underest base", "underest +elapsed", "acc base", "acc +elapsed",
+	}}
+	for _, mr := range r.Models {
+		for _, v := range mr.Variants {
+			t.addRow(mr.Model, fmtDur(v.ElapsedSeconds),
+				pct(v.Baseline.UnderestimateRate), pct(v.WithElapsed.UnderestimateRate),
+				pct(v.Baseline.AvgAccuracy), pct(v.WithElapsed.AvgAccuracy))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderStatusPrediction renders the status-prediction extension (the
+// paper's Section V-C sketch made concrete).
+func RenderStatusPrediction(r *predict.StatusResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: final-status prediction on %s (%d test jobs)\n", r.System, r.TestJobs)
+	t := &tableWriter{header: []string{
+		"elapsed", "prior acc", "survival acc", "softmax acc",
+		"recallP surv", "recallF surv", "recallK surv",
+	}}
+	for _, v := range r.Variants {
+		t.addRow(fmtDur(v.ElapsedSeconds),
+			pct(v.Prior.Accuracy), pct(v.Survival.Accuracy), pct(v.Softmax.Accuracy),
+			pct(v.Survival.Recall[trace.Passed]),
+			pct(v.Survival.Recall[trace.Failed]),
+			pct(v.Survival.Recall[trace.Killed]))
+	}
+	b.WriteString(t.String())
+	b.WriteString("prior = per-user majority status; survival = P(status | runtime > elapsed)\n")
+	return b.String()
+}
+
+// RenderTableII renders the backfilling comparison.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II: relaxed vs adaptive relaxed backfilling (FCFS base)\n")
+	t := &tableWriter{header: []string{
+		"Trace", "Metric", "Relaxed", "Adaptive", "Improved",
+	}}
+	for _, r := range rows {
+		t.addRow(r.System, "wait", fmt.Sprintf("%.2f", r.RelaxedWait),
+			fmt.Sprintf("%.2f", r.AdaptiveWait), pct(r.WaitImprovement()))
+		t.addRow("", "bsld", fmt.Sprintf("%.2f", r.RelaxedBsld),
+			fmt.Sprintf("%.2f", r.AdaptiveBsld), pct(r.BsldImprovement()))
+		t.addRow("", "util", fmt.Sprintf("%.4f", r.RelaxedUtil),
+			fmt.Sprintf("%.4f", r.AdaptiveUtil), pct(r.UtilImprovement()))
+		t.addRow("", "violation", fmt.Sprint(r.RelaxedViol),
+			fmt.Sprint(r.AdaptiveViol), pct(r.ViolImprovement()))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// RenderFig1Series prints the raw CDF series behind every Figure 1 panel
+// on shared log grids with `points` rows each — suitable for piping into
+// an external plotting tool.
+func RenderFig1Series(s *Suite, points int) (string, error) {
+	gs, err := s.Fig1()
+	if err != nil {
+		return "", err
+	}
+	systems := make([]string, len(gs))
+	runtimeCDFs := make([]*stats.ECDF, len(gs))
+	intervalCDFs := make([]*stats.ECDF, len(gs))
+	coresCDFs := make([]*stats.ECDF, len(gs))
+	for i, g := range gs {
+		systems[i] = g.System
+		runtimeCDFs[i] = g.RuntimeCDF
+		intervalCDFs[i] = g.IntervalCDF
+		coresCDFs[i] = g.CoresCDF
+	}
+	var b strings.Builder
+	b.WriteString(RenderCDFSeries("Figure 1(a): runtime", systems, runtimeCDFs, 1, 1e6, points))
+	b.WriteString("\n")
+	b.WriteString(RenderCDFSeries("Figure 1(b): arrival interval", systems, intervalCDFs, 0.5, 1e5, points))
+	b.WriteString("\n")
+	b.WriteString(RenderCDFSeries("Figure 1(c): requested cores", systems, coresCDFs, 1, 1e6, points))
+	return b.String(), nil
+}
+
+// RenderCDFSeries prints a CDF evaluated on a shared log grid, one row per
+// grid point — the raw series behind the paper's CDF plots.
+func RenderCDFSeries(label string, systems []string, cdfs []*stats.ECDF, lo, hi float64, points int) string {
+	grid := stats.LogGrid(lo, hi, points)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (CDF series)\n", label)
+	header := append([]string{"x"}, systems...)
+	t := &tableWriter{header: header}
+	for _, x := range grid {
+		row := []string{fmtDur(x)}
+		for _, c := range cdfs {
+			row = append(row, fmt.Sprintf("%.3f", c.At(x)))
+		}
+		t.addRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// FigureNames lists the renderable figure identifiers for the CLI.
+var FigureNames = []string{
+	"table1", "table1full", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "status", "table2", "all",
+}
+
+// Render produces the named figure's text. Figure "12" uses the Fig12System
+// argument (default Philly). "all" concatenates everything.
+func (s *Suite) Render(name, fig12System string) (string, error) {
+	if fig12System == "" {
+		fig12System = "Philly"
+	}
+	switch name {
+	case "table1":
+		rows, err := s.TableI()
+		if err != nil {
+			return "", err
+		}
+		return RenderTableI(rows), nil
+	case "table1full":
+		rows, err := s.TableIFull()
+		if err != nil {
+			return "", err
+		}
+		return RenderTableIFull(rows), nil
+	case "1":
+		gs, err := s.Fig1()
+		if err != nil {
+			return "", err
+		}
+		return RenderFig1(gs) + "\n" + RenderFig1Violins(gs), nil
+	case "2":
+		cs, err := s.Fig2()
+		if err != nil {
+			return "", err
+		}
+		return RenderFig2(cs), nil
+	case "3", "4", "5":
+		ss, err := s.Fig3to5()
+		if err != nil {
+			return "", err
+		}
+		out := RenderFig3to5(ss)
+		if ws, err := s.Fig3VCWaste(); err == nil && len(ws) > 0 {
+			out += "\n" + RenderVCWaste(ws)
+		}
+		return out, nil
+	case "6", "7":
+		fs, err := s.Fig6and7()
+		if err != nil {
+			return "", err
+		}
+		return RenderFig6and7(fs), nil
+	case "8":
+		gs, err := s.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return RenderFig8(gs), nil
+	case "9", "10":
+		qs, err := s.Fig9and10()
+		if err != nil {
+			return "", err
+		}
+		out := RenderFig9and10(qs)
+		if ua, err := s.Fig9and10PerUser(); err == nil {
+			out += "\n" + RenderUserAdaptation(ua)
+		}
+		return out, nil
+	case "11":
+		us, err := s.Fig11()
+		if err != nil {
+			return "", err
+		}
+		return RenderFig11(us) + "\n" + RenderFig11Violins(us), nil
+	case "12":
+		r, err := s.Fig12(fig12System)
+		if err != nil {
+			return "", err
+		}
+		return RenderFig12(r), nil
+	case "status":
+		r, err := s.StatusPrediction(fig12System)
+		if err != nil {
+			return "", err
+		}
+		return RenderStatusPrediction(r), nil
+	case "table2":
+		rows, err := s.TableII()
+		if err != nil {
+			return "", err
+		}
+		return RenderTableII(rows), nil
+	case "all":
+		if err := s.Prewarm(); err != nil {
+			return "", err
+		}
+		var parts []string
+		for _, n := range []string{"table1", "1", "2", "3", "6", "8", "9", "11", "12", "table2"} {
+			p, err := s.Render(n, fig12System)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, p)
+		}
+		return strings.Join(parts, "\n"), nil
+	}
+	valid := append([]string(nil), FigureNames...)
+	sort.Strings(valid)
+	return "", fmt.Errorf("figures: unknown figure %q (valid: %s)", name, strings.Join(valid, ", "))
+}

@@ -1,0 +1,37 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"crosssched/internal/stats"
+)
+
+func TestRenderCDFSeries(t *testing.T) {
+	a := stats.NewECDF([]float64{1, 10, 100})
+	b := stats.NewECDF([]float64{5, 50, 500})
+	out := RenderCDFSeries("demo", []string{"A", "B"}, []*stats.ECDF{a, b}, 1, 1000, 4)
+	if !strings.Contains(out, "demo (CDF series)") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + column header + separator + 4 grid rows
+	if len(lines) != 7 {
+		t.Fatalf("lines %d want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[len(lines)-1], "1.000") {
+		t.Fatalf("last row should reach 1.0:\n%s", out)
+	}
+}
+
+func TestRenderFig1Series(t *testing.T) {
+	out, err := RenderFig1Series(testSuite, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1(a)", "Figure 1(b)", "Figure 1(c)", "Helios"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package figures
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimSpeed(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic timing probe; run with -v")
+	}
+	s := NewSuite(Config{SimDays: 8, Seed: 1})
+	for _, name := range TableIISystems {
+		tr, err := s.SimTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		row, err := CompareRelaxedAdaptive(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d jobs, %v, relaxedViol=%d adaptiveViol=%d wait %f->%f util %f->%f",
+			name, tr.Len(), time.Since(start), row.RelaxedViol, row.AdaptiveViol,
+			row.RelaxedWait, row.AdaptiveWait, row.RelaxedUtil, row.AdaptiveUtil)
+	}
+}

@@ -1,0 +1,38 @@
+package figures
+
+import (
+	"strings"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/trace"
+)
+
+// RenderSingle renders every single-trace analysis for one (typically
+// user-supplied) trace — the full per-system view of Figures 1-11 that
+// cmd/lumos -input -full produces.
+func RenderSingle(tr *trace.Trace) string {
+	var b strings.Builder
+	gs := []analysis.Geometry{analysis.AnalyzeGeometry(tr)}
+	b.WriteString(RenderFig1(gs))
+	b.WriteString("\n")
+	b.WriteString(RenderFig1Violins(gs))
+	b.WriteString("\n")
+	b.WriteString(RenderFig2([]analysis.CoreHourShares{analysis.AnalyzeCoreHours(tr)}))
+	b.WriteString("\n")
+	b.WriteString(RenderFig3to5([]analysis.Scheduling{analysis.AnalyzeScheduling(tr)}))
+	if tr.System.VirtualClusters > 1 {
+		b.WriteString("\n")
+		b.WriteString(RenderVCWaste([]analysis.VCWaste{analysis.AnalyzeVCWaste(tr)}))
+	}
+	b.WriteString("\n")
+	b.WriteString(RenderFig6and7([]analysis.Failures{analysis.AnalyzeFailures(tr)}))
+	b.WriteString("\n")
+	b.WriteString(RenderFig8([]analysis.UserGroups{analysis.AnalyzeUserGroups(tr, 10, 20, 50)}))
+	b.WriteString("\n")
+	b.WriteString(RenderFig9and10([]analysis.QueueBehavior{analysis.AnalyzeQueueBehavior(tr)}))
+	b.WriteString("\n")
+	b.WriteString(RenderUserAdaptation([]analysis.UserAdaptation{analysis.AnalyzeUserAdaptation(tr, 20, 50)}))
+	b.WriteString("\n")
+	b.WriteString(RenderFig11([]analysis.UserStatusRuntimes{analysis.AnalyzeUserStatusRuntimes(tr, 3)}))
+	return b.String()
+}

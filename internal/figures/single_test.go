@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSinglePartitioned(t *testing.T) {
+	tr, err := testSuite.Trace("Philly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSingle(tr)
+	for _, want := range []string{
+		"Figure 1(a)", "Figure 2", "Figure 3", "virtual-cluster stranding",
+		"Figure 6", "Figure 8", "Figure 10", "Figure 11", "per-user adaptation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("single render missing %q", want)
+		}
+	}
+}
+
+func TestRenderSingleUnpartitionedOmitsVCWaste(t *testing.T) {
+	tr, err := testSuite.Trace("Theta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSingle(tr)
+	if strings.Contains(out, "virtual-cluster stranding") {
+		t.Fatal("unpartitioned trace should not include the VC supplement")
+	}
+}
+
+func TestPrewarm(t *testing.T) {
+	s := NewSuite(Config{Days: 0.5, SimDays: 0.5, Seed: 9})
+	if err := s.Prewarm(); err != nil {
+		t.Fatal(err)
+	}
+	// all traces must now be cached (same pointers returned)
+	for _, name := range s.Systems() {
+		a, err := s.Trace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := s.Trace(name)
+		if a != b {
+			t.Fatalf("%s: prewarmed trace not cached", name)
+		}
+	}
+}

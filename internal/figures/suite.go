@@ -1,0 +1,179 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation from the calibrated synthetic traces: Table I (trace
+// overview), Figures 1-11 (characterization), Figure 12 (runtime
+// prediction), and Table II (adaptive relaxed backfilling). Each entry
+// point returns structured data plus a text rendering, and is wired to a
+// benchmark in the repository root and to the cmd/ tools.
+package figures
+
+import (
+	"fmt"
+	"sync"
+
+	"crosssched/internal/predict"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// Config scopes a figure suite.
+type Config struct {
+	// Days is the synthetic trace duration (default 10).
+	Days float64
+	// SimDays is the duration used for simulator-driven experiments
+	// (Table II); shorter by default (4) because re-scheduling congested
+	// traces is far more expensive than analyzing them.
+	SimDays float64
+	// Seed drives every generator and model.
+	Seed uint64
+	// Systems restricts the system set (default all five).
+	Systems []string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Days <= 0 {
+		c.Days = 10
+	}
+	if c.SimDays <= 0 {
+		c.SimDays = 8
+	}
+	if len(c.Systems) == 0 {
+		c.Systems = synth.SystemNames
+	}
+	return c
+}
+
+// Suite generates and caches the per-system traces used by the figures.
+type Suite struct {
+	cfg Config
+
+	mu        sync.Mutex
+	traces    map[string]*trace.Trace
+	simTraces map[string]*trace.Trace
+}
+
+// NewSuite returns a suite for the configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:       cfg.withDefaults(),
+		traces:    map[string]*trace.Trace{},
+		simTraces: map[string]*trace.Trace{},
+	}
+}
+
+// Systems returns the configured system list.
+func (s *Suite) Systems() []string { return s.cfg.Systems }
+
+// Trace returns the cached characterization trace for a system. Safe for
+// concurrent use; generation happens outside the lock (a rare racing
+// duplicate generation is deterministic and discarded).
+func (s *Suite) Trace(name string) (*trace.Trace, error) {
+	s.mu.Lock()
+	if tr, ok := s.traces[name]; ok {
+		s.mu.Unlock()
+		return tr, nil
+	}
+	s.mu.Unlock()
+	p, err := synth.ByName(name, s.cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := p.Generate(s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.traces[name]; ok {
+		return existing, nil
+	}
+	s.traces[name] = tr
+	return tr, nil
+}
+
+// SimTrace returns the cached trace used for re-scheduling experiments.
+// Sparse-arrival systems (Mira, Theta) get a 4x longer window: their
+// simulations are cheap and the extra jobs make violation counts
+// statistically meaningful, roughly balancing job counts across systems.
+func (s *Suite) SimTrace(name string) (*trace.Trace, error) {
+	s.mu.Lock()
+	if tr, ok := s.simTraces[name]; ok {
+		s.mu.Unlock()
+		return tr, nil
+	}
+	s.mu.Unlock()
+	days := s.cfg.SimDays
+	if name == "Mira" || name == "Theta" {
+		days *= 4
+	}
+	p, err := synth.ByName(name, days)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := p.Generate(s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.simTraces[name]; ok {
+		return existing, nil
+	}
+	s.simTraces[name] = tr
+	return tr, nil
+}
+
+// Prewarm generates all configured system traces concurrently (generation
+// is the dominant cost when a suite is first used; each system's generator
+// is independent).
+func (s *Suite) Prewarm() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.cfg.Systems))
+	for i, name := range s.cfg.Systems {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.Trace(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eachTrace applies fn over the configured systems in order.
+func (s *Suite) eachTrace(fn func(name string, tr *trace.Trace) error) error {
+	for _, name := range s.cfg.Systems {
+		tr, err := s.Trace(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(name, tr); err != nil {
+			return fmt.Errorf("figures: %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Fig12Config parameterizes the prediction experiment.
+func (s *Suite) predictConfig() predict.Config {
+	return predict.Config{Seed: s.cfg.Seed}
+}
+
+// simOptions builds the simulator options used across Table II variants.
+func relaxedOptions(adaptive bool) sim.Options {
+	opt := sim.Options{
+		Policy:      sim.FCFS,
+		Backfill:    sim.Relaxed,
+		RelaxFactor: 0.10,
+	}
+	if adaptive {
+		opt.Backfill = sim.AdaptiveRelaxed
+	}
+	return opt
+}

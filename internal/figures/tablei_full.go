@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DatasetInfo is one row of the paper's full Table I: the catalog of
+// candidate public traces and the selection criteria that admitted five of
+// them. The metadata is static (it describes the real datasets); for the
+// five selected systems the synthetic job count from the current suite is
+// attached alongside.
+type DatasetInfo struct {
+	Name        string
+	Affiliation string
+	Years       string
+	JobCount    string // as reported by the paper
+	Nodes       string
+	Cores       string
+	GPUs        string
+	LargeScale  bool
+	UserInfo    bool
+	JobStatus   bool
+	Consistent  bool
+	// Excluded explains why the paper dropped the dataset ("" = selected).
+	Excluded string
+	// SynthJobs is the generated job count for selected systems (0 for
+	// excluded ones).
+	SynthJobs int
+}
+
+// Selected reports whether the dataset survived the paper's filters.
+func (d DatasetInfo) Selected() bool { return d.Excluded == "" }
+
+// datasetCatalog mirrors the paper's Table I.
+var datasetCatalog = []DatasetInfo{
+	{Name: "Mira", Affiliation: "ALCF", Years: "2013-2019", JobCount: "750,000",
+		Nodes: "49,152", Cores: "786,432", GPUs: "-",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: true},
+	{Name: "Theta", Affiliation: "ALCF", Years: "2017-2023", JobCount: "522,858",
+		Nodes: "4,392", Cores: "281,088", GPUs: "-",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: true},
+	{Name: "BlueWaters", Affiliation: "NCSA", Years: "2013-2019", JobCount: "10.5M",
+		Nodes: "26,864", Cores: "396,000", GPUs: "4,228",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: true},
+	{Name: "ThetaGPU", Affiliation: "ALCF", Years: "2020-2023", JobCount: "135,975",
+		Nodes: "24", Cores: "-", GPUs: "192",
+		LargeScale: false, UserInfo: true, JobStatus: true, Consistent: true,
+		Excluded: "cluster size (24 nodes)"},
+	{Name: "Supercloud", Affiliation: "MIT", Years: "2021-01~2021-10", JobCount: "395,914",
+		Nodes: "704", Cores: "32,000", GPUs: "448",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: false,
+		Excluded: "inconsistent info (jobs exceed node count)"},
+	{Name: "Philly", Affiliation: "Microsoft", Years: "2017-08~2017-12", JobCount: "117,325",
+		Nodes: "552", Cores: "-", GPUs: "2,490",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: true},
+	{Name: "Helios", Affiliation: "SenseTime", Years: "2020-04~2020-09", JobCount: "3.3M",
+		Nodes: "802", Cores: "-", GPUs: "6,416",
+		LargeScale: true, UserInfo: true, JobStatus: true, Consistent: true},
+	{Name: "Elasticflow", Affiliation: "Microsoft", Years: "2021-03~2021-05", JobCount: "69,351",
+		Nodes: "-", Cores: "-", GPUs: "-",
+		LargeScale: false, UserInfo: false, JobStatus: false, Consistent: true,
+		Excluded: "job count; missing user/status info"},
+	{Name: "Alibaba", Affiliation: "Alibaba", Years: "2023", JobCount: "8,152",
+		Nodes: "1,523", Cores: "107,018", GPUs: "6,212",
+		LargeScale: false, UserInfo: true, JobStatus: true, Consistent: true,
+		Excluded: "job count (8,152)"},
+}
+
+// TableIFull returns the paper's complete dataset catalog, with synthetic
+// job counts attached to the selected systems from this suite.
+func (s *Suite) TableIFull() ([]DatasetInfo, error) {
+	out := make([]DatasetInfo, len(datasetCatalog))
+	copy(out, datasetCatalog)
+	for i := range out {
+		if !out[i].Selected() {
+			continue
+		}
+		tr, err := s.Trace(out[i].Name)
+		if err != nil {
+			return nil, err
+		}
+		out[i].SynthJobs = tr.Len()
+	}
+	return out, nil
+}
+
+// RenderTableIFull renders the catalog with selection marks.
+func RenderTableIFull(rows []DatasetInfo) string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "NO"
+	}
+	t := &tableWriter{header: []string{
+		"Dataset", "Affil.", "Years", "Jobs(real)", "Jobs(synth)",
+		"Nodes", "Cores", "GPUs", "Large", "Users", "Status", "Consist", "Selected",
+	}}
+	for _, r := range rows {
+		sel := "selected"
+		if !r.Selected() {
+			sel = "excluded: " + r.Excluded
+		}
+		synth := "-"
+		if r.SynthJobs > 0 {
+			synth = fmt.Sprint(r.SynthJobs)
+		}
+		t.addRow(r.Name, r.Affiliation, r.Years, r.JobCount, synth,
+			r.Nodes, r.Cores, r.GPUs,
+			mark(r.LargeScale), mark(r.UserInfo), mark(r.JobStatus), mark(r.Consistent),
+			sel)
+	}
+	var b strings.Builder
+	b.WriteString("Table I (full): candidate public traces and selection criteria\n")
+	b.WriteString(t.String())
+	b.WriteString("\nSelection rule: large scale AND user info AND job status AND consistent\n")
+	return b.String()
+}

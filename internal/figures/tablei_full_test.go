@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIFullCatalog(t *testing.T) {
+	rows, err := testSuite.TableIFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows %d want 9 (paper's full Table I)", len(rows))
+	}
+	selected, excluded := 0, 0
+	for _, r := range rows {
+		if r.Selected() {
+			selected++
+			if r.SynthJobs <= 0 {
+				t.Fatalf("%s: selected but no synthetic jobs", r.Name)
+			}
+			if !(r.LargeScale && r.UserInfo && r.JobStatus && r.Consistent) {
+				t.Fatalf("%s: selected but fails a criterion", r.Name)
+			}
+		} else {
+			excluded++
+			if r.SynthJobs != 0 {
+				t.Fatalf("%s: excluded but has synthetic jobs", r.Name)
+			}
+			if r.LargeScale && r.UserInfo && r.JobStatus && r.Consistent {
+				t.Fatalf("%s: excluded but passes every criterion", r.Name)
+			}
+		}
+	}
+	if selected != 5 || excluded != 4 {
+		t.Fatalf("selected=%d excluded=%d want 5/4", selected, excluded)
+	}
+}
+
+func TestTableIFullRender(t *testing.T) {
+	rows, err := testSuite.TableIFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTableIFull(rows)
+	for _, want := range []string{
+		"Supercloud", "inconsistent", "Elasticflow", "Alibaba",
+		"Selection rule", "selected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDispatchTableIFull(t *testing.T) {
+	out, err := testSuite.Render("table1full", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ThetaGPU") {
+		t.Fatal("table1full dispatch missing content")
+	}
+}

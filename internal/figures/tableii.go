@@ -1,0 +1,118 @@
+package figures
+
+import (
+	"fmt"
+
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// TableIIRow is one trace's relaxed-vs-adaptive comparison (paper Table
+// II). Violations are counts of reserved jobs whose start slipped past
+// their first promise; ViolationDelay is the summed slip in seconds.
+type TableIIRow struct {
+	System string
+
+	RelaxedWait, AdaptiveWait float64
+	RelaxedBsld, AdaptiveBsld float64
+	RelaxedUtil, AdaptiveUtil float64
+	RelaxedViol, AdaptiveViol int
+	RelaxedViolDelay          float64
+	AdaptiveViolDelay         float64
+}
+
+// WaitImprovement returns the relative wait change (positive = adaptive
+// better).
+func (r TableIIRow) WaitImprovement() float64 {
+	return improvement(r.RelaxedWait, r.AdaptiveWait)
+}
+
+// BsldImprovement returns the relative bounded-slowdown change.
+func (r TableIIRow) BsldImprovement() float64 {
+	return improvement(r.RelaxedBsld, r.AdaptiveBsld)
+}
+
+// UtilImprovement returns the relative utilization change (positive =
+// adaptive higher).
+func (r TableIIRow) UtilImprovement() float64 {
+	return -improvement(r.RelaxedUtil, r.AdaptiveUtil)
+}
+
+// ViolImprovement returns the relative violation-count reduction.
+func (r TableIIRow) ViolImprovement() float64 {
+	return improvement(float64(r.RelaxedViol), float64(r.AdaptiveViol))
+}
+
+// improvement returns (base-new)/base, guarding zero baselines.
+func improvement(base, new float64) float64 {
+	if base == 0 {
+		if new == 0 {
+			return 0
+		}
+		return -1
+	}
+	return (base - new) / base
+}
+
+// TableIISystems are the traces with walltimes (backfilling needs them);
+// the DL traces carry none, exactly as in the paper.
+var TableIISystems = []string{"BlueWaters", "Mira", "Theta"}
+
+// TableII re-schedules the walltime-bearing traces under FCFS with relaxed
+// backfilling (10%) and the paper's adaptive relaxed backfilling, and
+// reports the four metrics.
+func (s *Suite) TableII() ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, name := range TableIISystems {
+		found := false
+		for _, cfgName := range s.cfg.Systems {
+			if cfgName == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		tr, err := s.SimTrace(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := CompareRelaxedAdaptive(tr)
+		if err != nil {
+			return nil, fmt.Errorf("figures: table II %s: %w", name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// CompareRelaxedAdaptive runs both backfilling variants on one trace. The
+// adaptive variant normalizes queue pressure by the maximum queue length
+// observed under plain relaxed backfilling — the "historical maximum" in
+// the paper's Equation 1.
+func CompareRelaxedAdaptive(tr *trace.Trace) (*TableIIRow, error) {
+	relaxed, err := sim.Run(tr, relaxedOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	adaptiveOpt := relaxedOptions(true)
+	adaptiveOpt.MaxQueueLen = relaxed.MaxQueueLen
+	adaptive, err := sim.Run(tr, adaptiveOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &TableIIRow{
+		System:            tr.System.Name,
+		RelaxedWait:       relaxed.AvgWait,
+		AdaptiveWait:      adaptive.AvgWait,
+		RelaxedBsld:       relaxed.AvgBsld,
+		AdaptiveBsld:      adaptive.AvgBsld,
+		RelaxedUtil:       relaxed.Utilization,
+		AdaptiveUtil:      adaptive.Utilization,
+		RelaxedViol:       relaxed.Violations,
+		AdaptiveViol:      adaptive.Violations,
+		RelaxedViolDelay:  relaxed.ViolationDelay,
+		AdaptiveViolDelay: adaptive.ViolationDelay,
+	}, nil
+}

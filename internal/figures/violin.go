@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crosssched/internal/analysis"
+	"crosssched/internal/stats"
+)
+
+// RenderViolin draws a horizontal ASCII violin: density across a log-x
+// axis, with quartile markers — the text analog of the paper's violin
+// panels (Figure 1(a) bottom, Figure 11).
+func RenderViolin(label string, v stats.Violin, width int) string {
+	if len(v.Grid) == 0 || width < 16 {
+		return fmt.Sprintf("%s: (empty)\n", label)
+	}
+	// resample density onto `width` columns across the grid range
+	lo, hi := v.Grid[0], v.Grid[len(v.Grid)-1]
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	if lhi <= llo {
+		lhi = llo + 1
+	}
+	cols := make([]float64, width)
+	maxD := 0.0
+	for i, g := range v.Grid {
+		if g <= 0 {
+			continue
+		}
+		pos := int((math.Log10(g) - llo) / (lhi - llo) * float64(width-1))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= width {
+			pos = width - 1
+		}
+		if v.Density[i] > cols[pos] {
+			cols[pos] = v.Density[i]
+		}
+		if v.Density[i] > maxD {
+			maxD = v.Density[i]
+		}
+	}
+	levels := []byte(" .:-=+*#%@")
+	row := make([]byte, width)
+	for i := range cols {
+		idx := 0
+		if maxD > 0 {
+			idx = int(cols[i] / maxD * float64(len(levels)-1))
+		}
+		row[i] = levels[idx]
+	}
+	// quartile markers overlay
+	mark := func(x float64, ch byte) {
+		if x <= 0 {
+			return
+		}
+		pos := int((math.Log10(x) - llo) / (lhi - llo) * float64(width-1))
+		if pos >= 0 && pos < width {
+			row[pos] = ch
+		}
+	}
+	mark(v.Summary.P25, '(')
+	mark(v.Summary.P75, ')')
+	mark(v.Summary.P50, '|')
+	return fmt.Sprintf("%-14s [%s]  p50=%s n=%d\n", label, string(row),
+		fmtDur(v.Summary.P50), v.Summary.N)
+}
+
+// RenderFig1Violins renders runtime violins for all systems (Figure 1(a)
+// bottom).
+func RenderFig1Violins(gs []analysis.Geometry) string {
+	var b strings.Builder
+	b.WriteString("Figure 1(a) bottom: runtime violins (log axis; ( | ) = quartiles)\n")
+	for _, g := range gs {
+		b.WriteString(RenderViolin(g.System, g.RuntimeViolin, 60))
+	}
+	return b.String()
+}
+
+// RenderFig11Violins renders per-user per-status violins (Figure 11 proper).
+func RenderFig11Violins(us []analysis.UserStatusRuntimes) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: per-user runtime violins by status (log axis)\n")
+	statusNames := [3]string{"passed", "failed", "killed"}
+	for _, u := range us {
+		for _, p := range u.Users {
+			fmt.Fprintf(&b, "%s U%d (%d jobs):\n", u.System, p.User, p.Jobs)
+			for st := 0; st < 3; st++ {
+				if p.Counts[st] == 0 {
+					continue
+				}
+				b.WriteString("  " + RenderViolin(statusNames[st], p.Violins[st], 50))
+			}
+		}
+	}
+	return b.String()
+}

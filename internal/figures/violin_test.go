@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"crosssched/internal/stats"
+)
+
+func TestRenderViolinBasics(t *testing.T) {
+	xs := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, 100+float64(i%50))
+	}
+	v := stats.NewViolin(xs, 100, true)
+	out := RenderViolin("test", v, 60)
+	if !strings.Contains(out, "test") || !strings.Contains(out, "p50=") {
+		t.Fatalf("violin render missing parts: %q", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatalf("violin missing median marker: %q", out)
+	}
+	// the row between brackets should be exactly `width` wide
+	lo := strings.Index(out, "[")
+	hi := strings.Index(out, "]")
+	if hi-lo-1 != 60 {
+		t.Fatalf("violin width %d want 60", hi-lo-1)
+	}
+}
+
+func TestRenderViolinEmpty(t *testing.T) {
+	out := RenderViolin("empty", stats.Violin{}, 60)
+	if !strings.Contains(out, "(empty)") {
+		t.Fatalf("empty violin render: %q", out)
+	}
+	out = RenderViolin("narrow", stats.NewViolin([]float64{1, 2, 3}, 50, true), 4)
+	if !strings.Contains(out, "(empty)") {
+		t.Fatalf("too-narrow violin should degrade: %q", out)
+	}
+}
+
+func TestRenderFig1ViolinsAllSystems(t *testing.T) {
+	gs, err := testSuite.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig1Violins(gs)
+	for _, name := range []string{"BlueWaters", "Mira", "Theta", "Philly", "Helios"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("violins missing %s", name)
+		}
+	}
+}
+
+func TestRenderFig11Violins(t *testing.T) {
+	us, err := testSuite.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig11Violins(us)
+	for _, want := range []string{"passed", "killed", "U"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig11 violins missing %q", want)
+		}
+	}
+}

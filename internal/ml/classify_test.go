@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/dist"
+)
+
+func TestSoftmaxSeparable(t *testing.T) {
+	// Three well-separated Gaussian blobs in 2D.
+	r := dist.NewRNG(1)
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < 200; i++ {
+			x = append(x, []float64{ctr[0] + r.Normal(), ctr[1] + r.Normal()})
+			y = append(y, c)
+		}
+	}
+	m := &Softmax{Classes: 3, Epochs: 300}
+	if err := m.FitClasses(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if m.PredictClass(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.97 {
+		t.Fatalf("separable accuracy %v want >= 0.97", acc)
+	}
+	p := m.Probabilities([]float64{0, 0})
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+}
+
+func TestSoftmaxRejectsBadInput(t *testing.T) {
+	m := &Softmax{Classes: 1}
+	if err := m.FitClasses([][]float64{{1}}, []int{0}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	m = &Softmax{Classes: 2}
+	if err := m.FitClasses(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if err := m.FitClasses([][]float64{{1}}, []int{5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if err := m.FitClasses([][]float64{{1}, {2}}, []int{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestStatusSurvivalConditioning(t *testing.T) {
+	// User 7: class 0 ("passed") jobs run ~3600s; class 1 ("failed") jobs
+	// run ~10s. Early on, failure is plausible; after 60s it is ruled out.
+	s := NewStatusSurvival(2)
+	for i := 0; i < 20; i++ {
+		s.Observe(7, 3600+float64(i), 0)
+		s.Observe(7, 10+float64(i%5), 1)
+	}
+	s.Freeze()
+	early := s.Probabilities(7, 1)
+	if early[1] < 0.3 {
+		t.Fatalf("early failure probability %v should be substantial", early[1])
+	}
+	late := s.Probabilities(7, 60)
+	if late[1] > 0.1 {
+		t.Fatalf("post-60s failure probability %v should be tiny", late[1])
+	}
+	if s.PredictClass(7, 60) != 0 {
+		t.Fatal("post-60s prediction should be class 0")
+	}
+}
+
+func TestStatusSurvivalGlobalFallback(t *testing.T) {
+	s := NewStatusSurvival(2)
+	// global history dominated by class 1
+	for i := 0; i < 50; i++ {
+		s.Observe(1, 100, 1)
+	}
+	s.Observe(1, 100, 0)
+	s.Freeze()
+	// unknown user: falls back to global
+	p := s.Probabilities(999, 1)
+	if p[1] < 0.8 {
+		t.Fatalf("fallback probability %v want class-1 heavy", p[1])
+	}
+}
+
+func TestStatusSurvivalIgnoresBadClass(t *testing.T) {
+	s := NewStatusSurvival(2)
+	s.Observe(1, 100, -1)
+	s.Observe(1, 100, 7)
+	s.Freeze()
+	p := s.Probabilities(1, 0)
+	if math.Abs(p[0]-0.5) > 1e-9 {
+		t.Fatalf("bad classes should be ignored; got %v", p)
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	runs := []float64{1, 2, 2, 3, 10}
+	cases := []struct {
+		e    float64
+		want int
+	}{
+		{0, 5}, {1, 4}, {2, 2}, {9.9, 1}, {10, 0}, {11, 0},
+	}
+	for _, c := range cases {
+		if got := countAbove(runs, c.e); got != c.want {
+			t.Fatalf("countAbove(%v) = %d want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateClasses(t *testing.T) {
+	actual := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{0, 1, 1, 1, 2, 0}
+	res := EvaluateClasses(actual, pred, 3)
+	if res.N != 6 {
+		t.Fatalf("N %d", res.N)
+	}
+	if math.Abs(res.Accuracy-4.0/6) > 1e-9 {
+		t.Fatalf("accuracy %v", res.Accuracy)
+	}
+	if res.Recall[0] != 0.5 || res.Recall[1] != 1 || res.Recall[2] != 0.5 {
+		t.Fatalf("recall %v", res.Recall)
+	}
+	if res.Confusion[0][1] != 1 || res.Confusion[2][0] != 1 {
+		t.Fatalf("confusion %v", res.Confusion)
+	}
+	empty := EvaluateClasses(nil, nil, 3)
+	if empty.N != 0 || empty.Accuracy != 0 {
+		t.Fatal("empty evaluation should be zero")
+	}
+}

@@ -1,0 +1,119 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dataset is a dense regression dataset: X is n rows x d features, Y is the
+// n targets. Censored[i], when present, marks row i's target as a right-
+// censored lower bound (the job was cut off, e.g. at its walltime) — only
+// the Tobit model uses it; other models treat the value as exact.
+type Dataset struct {
+	X        [][]float64
+	Y        []float64
+	Censored []bool // optional; nil means fully observed
+}
+
+// Validate reports structural problems: ragged rows, NaNs, mismatched
+// lengths.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows vs %d targets", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if d.Censored != nil && len(d.Censored) != len(d.Y) {
+		return errors.New("ml: censor mask length mismatch")
+	}
+	width := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != width {
+			return fmt.Errorf("ml: ragged row %d: %d vs %d", i, len(row), width)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: non-finite feature [%d][%d]", i, j)
+			}
+		}
+		if math.IsNaN(d.Y[i]) || math.IsInf(d.Y[i], 0) {
+			return fmt.Errorf("ml: non-finite target %d", i)
+		}
+	}
+	return nil
+}
+
+// Dim returns the feature width (0 for an empty dataset).
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Scaler standardizes features to zero mean and unit variance, remembering
+// the transform so predictions can be made on raw inputs.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-feature means and stddevs (with a floor to avoid
+// division by zero for constant features).
+func FitScaler(x [][]float64) *Scaler {
+	if len(x) == 0 {
+		return &Scaler{}
+	}
+	d := len(x[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		sum := 0.0
+		for i := range x {
+			sum += x[i][j]
+		}
+		m := sum / float64(len(x))
+		ss := 0.0
+		for i := range x {
+			v := x[i][j] - m
+			ss += v * v
+		}
+		sd := math.Sqrt(ss / float64(len(x)))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		s.Mean[j], s.Std[j] = m, sd
+	}
+	return s
+}
+
+// Transform returns a standardized copy of row x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i := range x {
+		out[i] = s.Transform(x[i])
+	}
+	return out
+}
+
+// Model is a regression model for job runtimes.
+type Model interface {
+	// Name identifies the model in reports (e.g. "XGBoost").
+	Name() string
+	// Fit trains on the dataset. Implementations must not retain ds.
+	Fit(ds *Dataset) error
+	// Predict returns the predicted target for one feature row.
+	Predict(x []float64) float64
+}

@@ -1,0 +1,53 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/ml"
+)
+
+// ExampleLast2 demonstrates the history predictor and its elapsed-time
+// enhancement (the paper's use case 1 idea in miniature).
+func ExampleLast2() {
+	m := ml.NewLast2()
+	// The user's jobs either fail in ~10s or train for ~an hour.
+	m.Observe(1, 10)
+	m.Observe(1, 3600)
+	m.Observe(1, 12)
+	m.Observe(1, 11)
+
+	fmt.Println("plain last2:", m.Predict(1, 0))
+	// The job already survived 60s, so the 10-second hypothesis is dead:
+	fmt.Println("with elapsed 60s:", m.PredictWithElapsed(1, 60, 0))
+	// Output:
+	// plain last2: 11.5
+	// with elapsed 60s: 3600
+}
+
+// ExamplePredictionAccuracy shows the paper's accuracy metric.
+func ExamplePredictionAccuracy() {
+	fmt.Println(ml.PredictionAccuracy(100, 50))
+	fmt.Println(ml.PredictionAccuracy(50, 100))
+	fmt.Println(ml.PredictionAccuracy(100, 100))
+	// Output:
+	// 0.5
+	// 0.5
+	// 1
+}
+
+// ExampleStatusSurvival conditions status probabilities on elapsed time.
+func ExampleStatusSurvival() {
+	s := ml.NewStatusSurvival(2)
+	for i := 0; i < 20; i++ {
+		s.Observe(1, 3600, 0) // passes run an hour
+		s.Observe(1, 10, 1)   // failures die in 10s
+	}
+	s.Freeze()
+	early := s.Probabilities(1, 1)
+	late := s.Probabilities(1, 120)
+	fmt.Println("failure plausible at 1s:", early[1] > 0.3)
+	fmt.Println("failure ruled out at 120s:", late[1] < 0.1)
+	// Output:
+	// failure plausible at 1s: true
+	// failure ruled out at 120s: true
+}

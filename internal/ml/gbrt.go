@@ -1,0 +1,256 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"crosssched/internal/dist"
+)
+
+// GBRT is gradient-boosted regression trees in the XGBoost mold: each round
+// fits a depth-limited tree to the gradients of squared loss with
+// second-order leaf weights w = -G/(H + lambda), split gain
+// 0.5*(GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda)) - gamma, and
+// shrinkage. Targets are modeled in log1p space (heavy-tailed runtimes).
+type GBRT struct {
+	Trees     int     // boosting rounds (default 150)
+	Depth     int     // maximum tree depth (default 4)
+	LR        float64 // shrinkage (default 0.1)
+	Lambda    float64 // L2 on leaf weights (default 1)
+	Gamma     float64 // minimum split gain (default 0)
+	MinChild  int     // minimum rows per leaf (default 5)
+	Subsample float64 // row subsample per round in (0,1]; default 1
+	Seed      uint64  // subsample RNG seed
+
+	base   float64
+	trees  []*gbNode
+	logTgt bool
+}
+
+type gbNode struct {
+	feature     int
+	threshold   float64
+	left, right *gbNode
+	value       float64 // leaf weight
+	leaf        bool
+}
+
+// Name implements Model. The paper labels this family "XGBoost".
+func (m *GBRT) Name() string { return "XGBoost" }
+
+// Fit implements Model.
+func (m *GBRT) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if m.Trees <= 0 {
+		m.Trees = 150
+	}
+	if m.Depth <= 0 {
+		m.Depth = 4
+	}
+	if m.LR <= 0 {
+		m.LR = 0.1
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1
+	}
+	if m.MinChild <= 0 {
+		m.MinChild = 5
+	}
+	if m.Subsample <= 0 || m.Subsample > 1 {
+		m.Subsample = 1
+	}
+	m.logTgt = true
+
+	n := ds.Len()
+	if n < 2*m.MinChild {
+		return errors.New("ml: gbrt needs more rows than 2*MinChild")
+	}
+	y := make([]float64, n)
+	for i, v := range ds.Y {
+		if v < 0 {
+			v = 0
+		}
+		y[i] = math.Log1p(v)
+	}
+	m.base = 0
+	for _, v := range y {
+		m.base += v
+	}
+	m.base /= float64(n)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.base
+	}
+	grad := make([]float64, n)
+	rng := dist.NewRNG(m.Seed + 1)
+	m.trees = m.trees[:0]
+
+	// Pre-sort feature indices once for fast exact splits.
+	d := ds.Dim()
+	order := make([][]int, d)
+	for j := 0; j < d; j++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ds.X[idx[a]][j] < ds.X[idx[b]][j] })
+		order[j] = idx
+	}
+
+	for round := 0; round < m.Trees; round++ {
+		inBag := make([]bool, n)
+		if m.Subsample < 1 {
+			for i := range inBag {
+				inBag[i] = rng.Float64() < m.Subsample
+			}
+		} else {
+			for i := range inBag {
+				inBag[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			grad[i] = pred[i] - y[i] // squared-loss gradient; hessian = 1
+		}
+		rows := make([]bool, n)
+		copy(rows, inBag)
+		tree := m.buildNode(ds.X, grad, order, rows, countTrue(rows), m.Depth)
+		m.trees = append(m.trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += m.LR * treeValue(tree, ds.X[i])
+		}
+	}
+	return nil
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// buildNode grows one node over the rows marked true in rows.
+func (m *GBRT) buildNode(x [][]float64, grad []float64, order [][]int, rows []bool, nRows, depth int) *gbNode {
+	var g float64
+	for i, in := range rows {
+		if in {
+			g += grad[i]
+		}
+	}
+	h := float64(nRows)
+	leafValue := -g / (h + m.Lambda)
+	if depth == 0 || nRows < 2*m.MinChild {
+		return &gbNode{leaf: true, value: leafValue}
+	}
+
+	parentScore := g * g / (h + m.Lambda)
+	bestGain := 0.0
+	bestFeat, bestSplitIdx := -1, -1
+	d := len(order)
+	for j := 0; j < d; j++ {
+		var gl, hl float64
+		seen := 0
+		idx := order[j]
+		for k := 0; k < len(idx); k++ {
+			i := idx[k]
+			if !rows[i] {
+				continue
+			}
+			seen++
+			gl += grad[i]
+			hl++
+			if seen < m.MinChild || nRows-seen < m.MinChild {
+				continue
+			}
+			// split between this row and the next in-bag row; skip ties
+			next := nextInRows(idx, k, rows)
+			if next < 0 || x[idx[next]][j] <= x[i][j] {
+				continue
+			}
+			gr := g - gl
+			hr := h - hl
+			gain := 0.5*(gl*gl/(hl+m.Lambda)+gr*gr/(hr+m.Lambda)-parentScore) - m.Gamma
+			if gain > bestGain {
+				bestGain, bestFeat, bestSplitIdx = gain, j, k
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &gbNode{leaf: true, value: leafValue}
+	}
+
+	idx := order[bestFeat]
+	next := nextInRows(idx, bestSplitIdx, rows)
+	threshold := (x[idx[bestSplitIdx]][bestFeat] + x[idx[next]][bestFeat]) / 2
+
+	leftRows := make([]bool, len(rows))
+	rightRows := make([]bool, len(rows))
+	nl, nr := 0, 0
+	for i, in := range rows {
+		if !in {
+			continue
+		}
+		if x[i][bestFeat] < threshold {
+			leftRows[i] = true
+			nl++
+		} else {
+			rightRows[i] = true
+			nr++
+		}
+	}
+	if nl == 0 || nr == 0 {
+		return &gbNode{leaf: true, value: leafValue}
+	}
+	return &gbNode{
+		feature:   bestFeat,
+		threshold: threshold,
+		left:      m.buildNode(x, grad, order, leftRows, nl, depth-1),
+		right:     m.buildNode(x, grad, order, rightRows, nr, depth-1),
+	}
+}
+
+// nextInRows finds the next index after k in idx that is in-bag.
+func nextInRows(idx []int, k int, rows []bool) int {
+	for t := k + 1; t < len(idx); t++ {
+		if rows[idx[t]] {
+			return t
+		}
+	}
+	return -1
+}
+
+func treeValue(n *gbNode, x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict implements Model.
+func (m *GBRT) Predict(x []float64) float64 {
+	if len(m.trees) == 0 {
+		return 0
+	}
+	t := m.base
+	for _, tree := range m.trees {
+		t += m.LR * treeValue(tree, x)
+	}
+	if m.logTgt {
+		if t > 25 {
+			t = 25
+		}
+		return math.Expm1(t)
+	}
+	return t
+}

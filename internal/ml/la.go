@@ -1,0 +1,84 @@
+// Package ml implements the runtime-prediction models the paper's first use
+// case evaluates — Last2, Tobit censored regression, gradient-boosted trees
+// (the XGBoost stand-in), linear regression, and a multilayer perceptron —
+// together with the prediction-quality metrics (accuracy as min/max ratio
+// and underestimation rate). Go lacks usable data-analysis/ML libraries, so
+// everything here is built from scratch on the standard library.
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("ml: singular system")
+
+// solveLinear solves A x = b in place via Gaussian elimination with partial
+// pivoting. A is n x n (rows), b has length n. A and b are clobbered.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("ml: bad system dimensions")
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		p := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		// eliminate
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// back substitution
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// normalPDF is the standard normal density.
+func normalPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normalCDF is the standard normal cumulative distribution.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// logNormalSF is log(1 - Phi(z)), computed stably for large z via the
+// asymptotic expansion of the Mills ratio.
+func logNormalSF(z float64) float64 {
+	if z < 5 {
+		sf := 1 - normalCDF(z)
+		if sf > 0 {
+			return math.Log(sf)
+		}
+	}
+	// For large z: 1-Phi(z) ~ phi(z)/z * (1 - 1/z^2 + 3/z^4)
+	return -0.5*z*z - math.Log(z) - 0.5*math.Log(2*math.Pi) +
+		math.Log1p(-1/(z*z)+3/(z*z*z*z))
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearRegression is ordinary least squares with optional ridge
+// regularization, fit in closed form via the normal equations. When
+// LogTarget is set the model regresses log1p(y) and exponentiates
+// predictions — the right space for heavy-tailed job runtimes.
+type LinearRegression struct {
+	// Ridge is the L2 penalty strength (0 = plain OLS; a small value
+	// also guards against collinear features).
+	Ridge float64
+	// LogTarget fits in log space.
+	LogTarget bool
+
+	weights []float64 // len d+1; last entry is the intercept
+	scaler  *Scaler
+}
+
+// Name implements Model.
+func (m *LinearRegression) Name() string { return "LR" }
+
+// Fit implements Model.
+func (m *LinearRegression) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	n, d := ds.Len(), ds.Dim()
+	if n < d+1 {
+		return errors.New("ml: linreg needs at least dim+1 rows")
+	}
+	m.scaler = FitScaler(ds.X)
+	x := m.scaler.TransformAll(ds.X)
+	y := make([]float64, n)
+	for i, v := range ds.Y {
+		y[i] = m.target(v)
+	}
+
+	// Build the (d+1)x(d+1) normal system with an intercept column.
+	k := d + 1
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k)
+	}
+	b := make([]float64, k)
+	row := make([]float64, k)
+	for i := 0; i < n; i++ {
+		copy(row, x[i])
+		row[d] = 1
+		for p := 0; p < k; p++ {
+			for q := 0; q < k; q++ {
+				a[p][q] += row[p] * row[q]
+			}
+			b[p] += row[p] * y[i]
+		}
+	}
+	ridge := m.Ridge
+	if ridge < 1e-9 {
+		ridge = 1e-9 // numerical floor
+	}
+	for p := 0; p < d; p++ { // do not penalize the intercept
+		a[p][p] += ridge
+	}
+	w, err := solveLinear(a, b)
+	if err != nil {
+		return err
+	}
+	m.weights = w
+	return nil
+}
+
+// Predict implements Model.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	z := m.scaler.Transform(x)
+	sum := m.weights[len(m.weights)-1]
+	for j := range z {
+		sum += m.weights[j] * z[j]
+	}
+	return m.untarget(sum)
+}
+
+func (m *LinearRegression) target(y float64) float64 {
+	if m.LogTarget {
+		if y < 0 {
+			y = 0
+		}
+		return math.Log1p(y)
+	}
+	return y
+}
+
+func (m *LinearRegression) untarget(t float64) float64 {
+	if m.LogTarget {
+		if t > 25 {
+			t = 25 // cap to avoid overflow on wild extrapolations
+		}
+		return math.Expm1(t)
+	}
+	return t
+}

@@ -1,0 +1,231 @@
+package ml
+
+import (
+	"errors"
+	"math"
+
+	"crosssched/internal/dist"
+)
+
+// MLP is a multilayer perceptron regressor: fully connected layers with
+// tanh activations, squared loss on log1p targets, trained with Adam on
+// mini-batches. Inputs are standardized internally.
+type MLP struct {
+	Hidden []int   // hidden layer widths (default [32, 16])
+	Epochs int     // training epochs (default 200)
+	LR     float64 // Adam learning rate (default 0.01)
+	Batch  int     // mini-batch size (default 32)
+	Seed   uint64  // weight init / shuffle seed
+
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	scaler  *Scaler
+	yMean   float64
+	yStd    float64
+	// Adam state
+	mW, vW [][][]float64
+	mB, vB [][]float64
+	step   int
+}
+
+// Name implements Model.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Model.
+func (m *MLP) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{32, 16}
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 200
+	}
+	if m.LR <= 0 {
+		m.LR = 0.01
+	}
+	if m.Batch <= 0 {
+		m.Batch = 32
+	}
+	n, d := ds.Len(), ds.Dim()
+	if n < 4 {
+		return errors.New("ml: mlp needs at least 4 rows")
+	}
+	m.scaler = FitScaler(ds.X)
+	x := m.scaler.TransformAll(ds.X)
+	// standardize log targets
+	y := make([]float64, n)
+	for i, v := range ds.Y {
+		if v < 0 {
+			v = 0
+		}
+		y[i] = math.Log1p(v)
+	}
+	m.yMean = 0
+	for _, v := range y {
+		m.yMean += v
+	}
+	m.yMean /= float64(n)
+	ss := 0.0
+	for _, v := range y {
+		ss += (v - m.yMean) * (v - m.yMean)
+	}
+	m.yStd = math.Sqrt(ss / float64(n))
+	if m.yStd < 1e-9 {
+		m.yStd = 1
+	}
+	for i := range y {
+		y[i] = (y[i] - m.yMean) / m.yStd
+	}
+
+	rng := dist.NewRNG(m.Seed + 12345)
+	m.initLayers(d, rng)
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for off := 0; off < n; off += m.Batch {
+			end := off + m.Batch
+			if end > n {
+				end = n
+			}
+			m.trainBatch(x, y, perm[off:end])
+		}
+	}
+	return nil
+}
+
+func (m *MLP) initLayers(inDim int, rng *dist.RNG) {
+	sizes := append([]int{inDim}, m.Hidden...)
+	sizes = append(sizes, 1)
+	L := len(sizes) - 1
+	m.weights = make([][][]float64, L)
+	m.biases = make([][]float64, L)
+	m.mW = make([][][]float64, L)
+	m.vW = make([][][]float64, L)
+	m.mB = make([][]float64, L)
+	m.vB = make([][]float64, L)
+	for l := 0; l < L; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2 / float64(in+out)) // Xavier
+		m.weights[l] = make([][]float64, out)
+		m.mW[l] = make([][]float64, out)
+		m.vW[l] = make([][]float64, out)
+		for o := 0; o < out; o++ {
+			m.weights[l][o] = make([]float64, in)
+			m.mW[l][o] = make([]float64, in)
+			m.vW[l][o] = make([]float64, in)
+			for i := range m.weights[l][o] {
+				m.weights[l][o][i] = scale * rng.Normal()
+			}
+		}
+		m.biases[l] = make([]float64, out)
+		m.mB[l] = make([]float64, out)
+		m.vB[l] = make([]float64, out)
+	}
+	m.step = 0
+}
+
+// forward computes activations per layer; acts[0] is the input.
+func (m *MLP) forward(x []float64) [][]float64 {
+	L := len(m.weights)
+	acts := make([][]float64, L+1)
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		out := make([]float64, len(m.weights[l]))
+		for o := range m.weights[l] {
+			sum := m.biases[l][o]
+			w := m.weights[l][o]
+			in := acts[l]
+			for i := range w {
+				sum += w[i] * in[i]
+			}
+			if l < L-1 {
+				sum = math.Tanh(sum)
+			}
+			out[o] = sum
+		}
+		acts[l+1] = out
+	}
+	return acts
+}
+
+// trainBatch accumulates gradients over the batch and applies one Adam step.
+func (m *MLP) trainBatch(x [][]float64, y []float64, batch []int) {
+	L := len(m.weights)
+	gW := make([][][]float64, L)
+	gB := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		gW[l] = make([][]float64, len(m.weights[l]))
+		for o := range gW[l] {
+			gW[l][o] = make([]float64, len(m.weights[l][o]))
+		}
+		gB[l] = make([]float64, len(m.biases[l]))
+	}
+
+	for _, idx := range batch {
+		acts := m.forward(x[idx])
+		// delta at output (squared loss, linear output)
+		delta := []float64{acts[L][0] - y[idx]}
+		for l := L - 1; l >= 0; l-- {
+			in := acts[l]
+			for o := range m.weights[l] {
+				gB[l][o] += delta[o]
+				for i := range m.weights[l][o] {
+					gW[l][o][i] += delta[o] * in[i]
+				}
+			}
+			if l > 0 {
+				// backprop through tanh of layer l-1's output
+				newDelta := make([]float64, len(in))
+				for i := range in {
+					sum := 0.0
+					for o := range m.weights[l] {
+						sum += m.weights[l][o][i] * delta[o]
+					}
+					newDelta[i] = sum * (1 - in[i]*in[i])
+				}
+				delta = newDelta
+			}
+		}
+	}
+
+	m.step++
+	inv := 1 / float64(len(batch))
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(beta1, float64(m.step))
+	bc2 := 1 - math.Pow(beta2, float64(m.step))
+	for l := 0; l < L; l++ {
+		for o := range m.weights[l] {
+			for i := range m.weights[l][o] {
+				g := gW[l][o][i] * inv
+				m.mW[l][o][i] = beta1*m.mW[l][o][i] + (1-beta1)*g
+				m.vW[l][o][i] = beta2*m.vW[l][o][i] + (1-beta2)*g*g
+				m.weights[l][o][i] -= m.LR * (m.mW[l][o][i] / bc1) /
+					(math.Sqrt(m.vW[l][o][i]/bc2) + eps)
+			}
+			g := gB[l][o] * inv
+			m.mB[l][o] = beta1*m.mB[l][o] + (1-beta1)*g
+			m.vB[l][o] = beta2*m.vB[l][o] + (1-beta2)*g*g
+			m.biases[l][o] -= m.LR * (m.mB[l][o] / bc1) /
+				(math.Sqrt(m.vB[l][o]/bc2) + eps)
+		}
+	}
+}
+
+// Predict implements Model.
+func (m *MLP) Predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	acts := m.forward(m.scaler.Transform(x))
+	t := acts[len(acts)-1][0]*m.yStd + m.yMean
+	if t > 25 {
+		t = 25
+	}
+	return math.Expm1(t)
+}

@@ -1,0 +1,125 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// degenerate datasets every model must survive without NaN/Inf output.
+func degenerateDatasets() map[string]*Dataset {
+	constTarget := &Dataset{}
+	constFeature := &Dataset{}
+	tinySpread := &Dataset{}
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		constTarget.X = append(constTarget.X, []float64{x, x * 2})
+		constTarget.Y = append(constTarget.Y, 100) // zero-variance target
+
+		constFeature.X = append(constFeature.X, []float64{5, 5}) // zero-variance features
+		constFeature.Y = append(constFeature.Y, 10+x)
+
+		tinySpread.X = append(tinySpread.X, []float64{1 + 1e-12*x, 2})
+		tinySpread.Y = append(tinySpread.Y, 50+1e-9*x)
+	}
+	return map[string]*Dataset{
+		"constTarget":  constTarget,
+		"constFeature": constFeature,
+		"tinySpread":   tinySpread,
+	}
+}
+
+func TestModelsSurviveDegenerateData(t *testing.T) {
+	for name, ds := range degenerateDatasets() {
+		models := []Model{
+			&LinearRegression{LogTarget: true},
+			&GBRT{Trees: 10, Depth: 2},
+			&MLP{Hidden: []int{4}, Epochs: 10, Seed: 1},
+			&Tobit{Epochs: 50},
+		}
+		for _, m := range models {
+			err := m.Fit(ds)
+			if err != nil {
+				// A clean refusal is acceptable for degenerate data...
+				continue
+			}
+			// ...but a successful fit must predict finite values.
+			for _, probe := range [][]float64{{0, 0}, {5, 5}, {1e6, -1e6}} {
+				p := m.Predict(probe)
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Errorf("%s on %s: non-finite prediction %v for %v",
+						m.Name(), name, p, probe)
+				}
+			}
+		}
+	}
+}
+
+func TestGBRTConstantTargetPredictsConstant(t *testing.T) {
+	ds := degenerateDatasets()["constTarget"]
+	m := &GBRT{Trees: 20, Depth: 3}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{10, 20})
+	if math.Abs(p-100) > 1 {
+		t.Fatalf("constant-target prediction %v want ~100", p)
+	}
+}
+
+func TestLinearRegressionConstantFeatures(t *testing.T) {
+	// With zero-variance features the model can only learn the intercept;
+	// it must not blow up, and should predict near the mean target.
+	ds := degenerateDatasets()["constFeature"]
+	m := &LinearRegression{}
+	if err := m.Fit(ds); err != nil {
+		t.Skipf("clean refusal: %v", err)
+	}
+	p := m.Predict([]float64{5, 5})
+	mean := 0.0
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(len(ds.Y))
+	if math.Abs(p-mean) > 10 {
+		t.Fatalf("constant-feature prediction %v want ~mean %v", p, mean)
+	}
+}
+
+func TestSoftmaxSingleClassData(t *testing.T) {
+	// All labels identical: training must converge to predicting that
+	// class without numeric trouble.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		x = append(x, []float64{float64(i), 1})
+		y = append(y, 1)
+	}
+	m := &Softmax{Classes: 3, Epochs: 100}
+	if err := m.FitClasses(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PredictClass([]float64{7, 1}); got != 1 {
+		t.Fatalf("single-class fit predicts %d want 1", got)
+	}
+	for _, p := range m.Probabilities([]float64{7, 1}) {
+		if math.IsNaN(p) {
+			t.Fatal("NaN probability")
+		}
+	}
+}
+
+func TestStatusSurvivalEmpty(t *testing.T) {
+	s := NewStatusSurvival(3)
+	s.Freeze()
+	p := s.Probabilities(1, 100)
+	sum := 0.0
+	for _, v := range p {
+		if v <= 0 {
+			t.Fatalf("empty predictor probability %v should be smoothed positive", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+}

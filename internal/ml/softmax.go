@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Softmax is multinomial logistic regression: K-class linear classifier
+// trained by gradient descent (Adam) on cross-entropy. Used for the job
+// status prediction extension (the paper's Section V-C observation that
+// elapsed runtime strongly signals the final status).
+type Softmax struct {
+	Classes int     // number of classes K (required)
+	Epochs  int     // training epochs (default 300)
+	LR      float64 // Adam learning rate (default 0.05)
+	L2      float64 // weight decay (default 1e-4)
+
+	weights [][]float64 // [class][feature+1], last is bias
+	scaler  *Scaler
+}
+
+// FitClasses trains on rows x with integer labels y in [0, Classes).
+func (m *Softmax) FitClasses(x [][]float64, y []int) error {
+	if m.Classes < 2 {
+		return errors.New("ml: softmax needs >= 2 classes")
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: softmax bad dimensions")
+	}
+	for i, lbl := range y {
+		if lbl < 0 || lbl >= m.Classes {
+			return fmt.Errorf("ml: label %d out of range at row %d", lbl, i)
+		}
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 300
+	}
+	if m.LR <= 0 {
+		m.LR = 0.05
+	}
+	if m.L2 <= 0 {
+		m.L2 = 1e-4
+	}
+	d := len(x[0])
+	m.scaler = FitScaler(x)
+	xs := m.scaler.TransformAll(x)
+
+	k := m.Classes
+	m.weights = make([][]float64, k)
+	mw := make([][]float64, k)
+	vw := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		m.weights[c] = make([]float64, d+1)
+		mw[c] = make([]float64, d+1)
+		vw[c] = make([]float64, d+1)
+	}
+
+	n := len(xs)
+	grad := make([][]float64, k)
+	for c := range grad {
+		grad[c] = make([]float64, d+1)
+	}
+	probs := make([]float64, k)
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+
+	for epoch := 1; epoch <= m.Epochs; epoch++ {
+		for c := 0; c < k; c++ {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.logits(xs[i], probs)
+			softmaxInPlace(probs)
+			for c := 0; c < k; c++ {
+				g := probs[c]
+				if c == y[i] {
+					g -= 1
+				}
+				for j := 0; j < d; j++ {
+					grad[c][j] += g * xs[i][j]
+				}
+				grad[c][d] += g
+			}
+		}
+		inv := 1 / float64(n)
+		bc1 := 1 - math.Pow(beta1, float64(epoch))
+		bc2 := 1 - math.Pow(beta2, float64(epoch))
+		for c := 0; c < k; c++ {
+			for j := 0; j <= d; j++ {
+				g := grad[c][j] * inv
+				if j < d {
+					g += m.L2 * m.weights[c][j]
+				}
+				mw[c][j] = beta1*mw[c][j] + (1-beta1)*g
+				vw[c][j] = beta2*vw[c][j] + (1-beta2)*g*g
+				m.weights[c][j] -= m.LR * (mw[c][j] / bc1) / (math.Sqrt(vw[c][j]/bc2) + eps)
+			}
+		}
+	}
+	return nil
+}
+
+// logits fills out[c] with the linear score of class c for standardized x.
+func (m *Softmax) logits(x []float64, out []float64) {
+	d := len(m.weights[0]) - 1
+	for c := range m.weights {
+		s := m.weights[c][d]
+		w := m.weights[c]
+		for j := 0; j < d && j < len(x); j++ {
+			s += w[j] * x[j]
+		}
+		out[c] = s
+	}
+}
+
+// softmaxInPlace converts logits to probabilities, numerically stably.
+func softmaxInPlace(v []float64) {
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for i := range v {
+		v[i] = math.Exp(v[i] - max)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Probabilities returns the class distribution for a raw feature row.
+func (m *Softmax) Probabilities(x []float64) []float64 {
+	if m.weights == nil {
+		return nil
+	}
+	z := m.scaler.Transform(x)
+	out := make([]float64, m.Classes)
+	m.logits(z, out)
+	softmaxInPlace(out)
+	return out
+}
+
+// PredictClass returns the argmax class for a raw feature row.
+func (m *Softmax) PredictClass(x []float64) int {
+	p := m.Probabilities(x)
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,162 @@
+package ml
+
+import "sort"
+
+// StatusSurvival is the empirical per-user status predictor built directly
+// on the paper's Figure 11 observation: conditioned on a job having already
+// run e seconds, the probability of each final status is the per-user
+// empirical share of historical jobs with that status whose runtime
+// exceeded e. Laplace smoothing plus a global fallback handle sparse users.
+type StatusSurvival struct {
+	// Alpha is the Laplace smoothing pseudo-count (default 1).
+	Alpha float64
+
+	classes int
+	// perUser[user][class] holds that user's historical runtimes for the
+	// class, kept sorted for O(log n) survival queries.
+	perUser map[int][][]float64
+	global  [][]float64
+	sorted  bool
+}
+
+// NewStatusSurvival returns a predictor over `classes` statuses.
+func NewStatusSurvival(classes int) *StatusSurvival {
+	s := &StatusSurvival{Alpha: 1, classes: classes, perUser: map[int][][]float64{}}
+	s.global = make([][]float64, classes)
+	return s
+}
+
+// Observe records a finished job.
+func (s *StatusSurvival) Observe(user int, runtime float64, class int) {
+	if class < 0 || class >= s.classes {
+		return
+	}
+	u := s.perUser[user]
+	if u == nil {
+		u = make([][]float64, s.classes)
+	}
+	u[class] = append(u[class], runtime)
+	s.perUser[user] = u
+	s.global[class] = append(s.global[class], runtime)
+	s.sorted = false
+}
+
+// Freeze sorts the runtime lists; call once after the observation phase
+// (Observe after Freeze is allowed but re-sorts lazily on next query).
+func (s *StatusSurvival) Freeze() {
+	for _, u := range s.perUser {
+		for _, runs := range u {
+			sort.Float64s(runs)
+		}
+	}
+	for _, runs := range s.global {
+		sort.Float64s(runs)
+	}
+	s.sorted = true
+}
+
+// countAbove returns how many sorted runtimes exceed e.
+func countAbove(sorted []float64, e float64) int {
+	i := sort.SearchFloat64s(sorted, e)
+	// advance past equal values: survival is strictly greater
+	for i < len(sorted) && sorted[i] <= e {
+		i++
+	}
+	return len(sorted) - i
+}
+
+// Probabilities returns P(status | user, runtime > elapsed). Users with
+// fewer than minUserObs surviving observations fall back to the global
+// distribution (blended by Laplace smoothing either way).
+func (s *StatusSurvival) Probabilities(user int, elapsed float64) []float64 {
+	if !s.sorted {
+		s.Freeze()
+	}
+	const minUserObs = 5
+	counts := make([]float64, s.classes)
+	total := 0.0
+	if u := s.perUser[user]; u != nil {
+		for c, runs := range u {
+			n := float64(countAbove(runs, elapsed))
+			counts[c] = n
+			total += n
+		}
+	}
+	if total < minUserObs {
+		// global fallback
+		for c, runs := range s.global {
+			counts[c] = float64(countAbove(runs, elapsed))
+		}
+	}
+	out := make([]float64, s.classes)
+	sum := 0.0
+	for c := range counts {
+		out[c] = counts[c] + s.Alpha
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// PredictClass returns the most likely status for (user, elapsed).
+func (s *StatusSurvival) PredictClass(user int, elapsed float64) int {
+	p := s.Probabilities(user, elapsed)
+	best := 0
+	for c := range p {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// ClassificationResult aggregates multiclass prediction quality.
+type ClassificationResult struct {
+	N        int
+	Accuracy float64
+	// Recall[c] is the per-class recall (diagonal of the row-normalized
+	// confusion matrix); classes absent from the test set report 0.
+	Recall []float64
+	// Confusion[actual][predicted] counts.
+	Confusion [][]int
+}
+
+// EvaluateClasses scores predicted class labels against actuals.
+func EvaluateClasses(actual, predicted []int, classes int) ClassificationResult {
+	res := ClassificationResult{
+		N:         len(actual),
+		Recall:    make([]float64, classes),
+		Confusion: make([][]int, classes),
+	}
+	for c := range res.Confusion {
+		res.Confusion[c] = make([]int, classes)
+	}
+	if len(actual) == 0 || len(actual) != len(predicted) {
+		res.N = 0
+		return res
+	}
+	correct := 0
+	for i := range actual {
+		a, p := actual[i], predicted[i]
+		if a < 0 || a >= classes || p < 0 || p >= classes {
+			continue
+		}
+		res.Confusion[a][p]++
+		if a == p {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(len(actual))
+	for c := 0; c < classes; c++ {
+		rowTotal := 0
+		for p := 0; p < classes; p++ {
+			rowTotal += res.Confusion[c][p]
+		}
+		if rowTotal > 0 {
+			res.Recall[c] = float64(res.Confusion[c][c]) / float64(rowTotal)
+		}
+	}
+	return res
+}

@@ -1,0 +1,190 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// Tobit is a right-censored regression model (Fan et al., CLUSTER'17 use it
+// for runtime prediction). The latent log-runtime is linear-Gaussian:
+//
+//	log1p(y*) = w.x + b + sigma * eps
+//
+// and rows marked censored contribute the survival likelihood
+// P(y* >= y_observed) instead of the density — walltime-killed jobs tell
+// the model "at least this long". The model is fit by maximizing the
+// censored log-likelihood with Adam, and predicts the PredictQuantile of
+// the latent distribution (above 0.5 trades accuracy for fewer
+// underestimates, the Tobit trade-off the paper cites).
+type Tobit struct {
+	// Epochs and LR control the Adam optimizer.
+	Epochs int
+	LR     float64
+	// PredictQuantile in (0,1); 0.5 predicts the median.
+	PredictQuantile float64
+
+	weights []float64 // d weights + intercept
+	logSig  float64
+	scaler  *Scaler
+}
+
+// Name implements Model.
+func (m *Tobit) Name() string { return "Tobit" }
+
+// Fit implements Model.
+func (m *Tobit) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 400
+	}
+	if m.LR <= 0 {
+		m.LR = 0.05
+	}
+	if m.PredictQuantile <= 0 || m.PredictQuantile >= 1 {
+		m.PredictQuantile = 0.5
+	}
+	n, d := ds.Len(), ds.Dim()
+	if n < 3 {
+		return errors.New("ml: tobit needs at least 3 rows")
+	}
+	m.scaler = FitScaler(ds.X)
+	x := m.scaler.TransformAll(ds.X)
+	y := make([]float64, n)
+	meanY := 0.0
+	for i, v := range ds.Y {
+		if v < 0 {
+			v = 0
+		}
+		y[i] = math.Log1p(v)
+		meanY += y[i]
+	}
+	meanY /= float64(n)
+
+	k := d + 1
+	w := make([]float64, k)
+	w[d] = meanY // initialize intercept at the mean log target
+	logSig := 0.0
+
+	// Adam state.
+	mw := make([]float64, k+1)
+	vw := make([]float64, k+1)
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+	grad := make([]float64, k+1)
+
+	for epoch := 1; epoch <= m.Epochs; epoch++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		sig := math.Exp(logSig)
+		for i := 0; i < n; i++ {
+			mu := w[d]
+			for j := 0; j < d; j++ {
+				mu += w[j] * x[i][j]
+			}
+			z := (y[i] - mu) / sig
+			if ds.Censored != nil && ds.Censored[i] {
+				// d/dmu log(1-Phi(z)) = phi(z)/(1-Phi(z)) / sig
+				lsf := logNormalSF(z)
+				ratio := math.Exp(math.Log(normalPDF(z)+1e-300) - lsf)
+				gmu := ratio / sig
+				for j := 0; j < d; j++ {
+					grad[j] += gmu * x[i][j]
+				}
+				grad[d] += gmu
+				grad[k] += ratio * z // d/dlogsig
+			} else {
+				// density term: d/dmu = z/sig ; d/dlogsig = z^2 - 1
+				gmu := z / sig
+				for j := 0; j < d; j++ {
+					grad[j] += gmu * x[i][j]
+				}
+				grad[d] += gmu
+				grad[k] += z*z - 1
+			}
+		}
+		// Adam ascent step on the mean gradient.
+		inv := 1 / float64(n)
+		for i := 0; i <= k; i++ {
+			g := grad[i] * inv
+			mw[i] = beta1*mw[i] + (1-beta1)*g
+			vw[i] = beta2*vw[i] + (1-beta2)*g*g
+			mhat := mw[i] / (1 - math.Pow(beta1, float64(epoch)))
+			vhat := vw[i] / (1 - math.Pow(beta2, float64(epoch)))
+			step := m.LR * mhat / (math.Sqrt(vhat) + eps)
+			if i < k {
+				w[i] += step
+			} else {
+				logSig += step
+				if logSig > 3 {
+					logSig = 3
+				}
+				if logSig < -6 {
+					logSig = -6
+				}
+			}
+		}
+	}
+	m.weights = w
+	m.logSig = logSig
+	return nil
+}
+
+// Predict implements Model.
+func (m *Tobit) Predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	z := m.scaler.Transform(x)
+	d := len(m.weights) - 1
+	mu := m.weights[d]
+	for j := 0; j < d && j < len(z); j++ {
+		mu += m.weights[j] * z[j]
+	}
+	// quantile of the latent log-normal
+	q := normalQuantile(m.PredictQuantile)
+	t := mu + q*math.Exp(m.logSig)
+	if t > 25 {
+		t = 25
+	}
+	return math.Expm1(t)
+}
+
+// normalQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation, |relative error| < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	dd := []float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	}
+}

@@ -1,0 +1,319 @@
+// Package predict implements the paper's first use case (Section VI-A):
+// job runtime prediction with and without the elapsed-time feature.
+//
+// The evaluation protocol follows the paper's fairness rule: for an elapsed
+// threshold e, every method — with or without the feature — predicts only
+// jobs that actually ran at least e seconds (the jobs "still alive" at
+// prediction time). The "with elapsed time" variants receive e as a model
+// input; for the feature models it is an extra column whose training rows
+// are expanded over a threshold grid so the model learns the conditional
+// P(runtime | features, survived e). For Last2 the variant predicts from
+// the user's historical runtimes that exceeded e (the Figure 11
+// observation).
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/ml"
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// ModelNames lists the evaluated predictors in the paper's order.
+var ModelNames = []string{"Last2", "Tobit", "XGBoost", "LR", "MLP"}
+
+// Config parameterizes the experiment.
+type Config struct {
+	// Models to evaluate; nil means all of ModelNames.
+	Models []string
+	// ElapsedFractions of the mean runtime used as thresholds
+	// (default 1/8, 1/4, 1/2 — the paper's grid).
+	ElapsedFractions []float64
+	// TrainFrac is the time-ordered train split (default 0.7).
+	TrainFrac float64
+	// MaxTrainRows caps the expanded training set (default 20000).
+	MaxTrainRows int
+	// Seed drives subsampling and stochastic models.
+	Seed uint64
+}
+
+// VariantResult is one (threshold, variant) evaluation.
+type VariantResult struct {
+	ElapsedSeconds float64
+	Baseline       ml.EvalResult // without elapsed time
+	WithElapsed    ml.EvalResult
+}
+
+// ModelResult aggregates one model across thresholds.
+type ModelResult struct {
+	Model    string
+	Variants []VariantResult
+}
+
+// Result is the full Figure 12 data for one system.
+type Result struct {
+	System      string
+	MeanRuntime float64
+	Fractions   []float64
+	Models      []ModelResult
+	TestJobs    int
+}
+
+// jobFeatures is the feature row available at submission (plus elapsed).
+type jobFeatures struct {
+	feats   []float64
+	runtime float64
+	cens    bool
+	user    int
+}
+
+// Run executes the experiment on a trace.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(cfg.Models) == 0 {
+		cfg.Models = ModelNames
+	}
+	if len(cfg.ElapsedFractions) == 0 {
+		cfg.ElapsedFractions = []float64{1.0 / 8, 1.0 / 4, 1.0 / 2}
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.7
+	}
+	if cfg.MaxTrainRows <= 0 {
+		cfg.MaxTrainRows = 20000
+	}
+	if tr.Len() < 100 {
+		return nil, fmt.Errorf("predict: trace too small (%d jobs)", tr.Len())
+	}
+
+	rows := buildFeatures(tr)
+	meanRun := stats.Mean(tr.Runtimes())
+	cut := int(float64(len(rows)) * cfg.TrainFrac)
+	train, test := rows[:cut], rows[cut:]
+
+	res := &Result{
+		System:      tr.System.Name,
+		MeanRuntime: meanRun,
+		Fractions:   cfg.ElapsedFractions,
+		TestJobs:    len(test),
+	}
+	// Model families train independently; run them in parallel with
+	// results kept in the configured order.
+	results := make([]*ModelResult, len(cfg.Models))
+	errs := make([]error, len(cfg.Models))
+	var wg sync.WaitGroup
+	for i, name := range cfg.Models {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			mr, err := runModel(name, tr, train, test, meanRun, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("predict: %s: %w", name, err)
+				return
+			}
+			results[i] = mr
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range cfg.Models {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Models = append(res.Models, *results[i])
+	}
+	return res, nil
+}
+
+// buildFeatures computes the per-job feature rows in submit order, using
+// only information available when each job is submitted.
+func buildFeatures(tr *trace.Trace) []jobFeatures {
+	type hist struct {
+		runs  []float64
+		total float64
+	}
+	users := map[int]*hist{}
+	rows := make([]jobFeatures, 0, tr.Len())
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		h := users[j.User]
+		if h == nil {
+			h = &hist{}
+			users[j.User] = h
+		}
+		last, last2, med := 0.0, 0.0, 0.0
+		if n := len(h.runs); n > 0 {
+			last = h.runs[n-1]
+			if n > 1 {
+				last2 = (h.runs[n-1] + h.runs[n-2]) / 2
+			} else {
+				last2 = last
+			}
+			recent := h.runs
+			if n > 20 {
+				recent = h.runs[n-20:]
+			}
+			med = stats.Median(recent)
+		}
+		hour := math.Mod(j.Submit/3600+float64(tr.System.StartHour), 24)
+		rows = append(rows, jobFeatures{
+			feats: []float64{
+				math.Log1p(last),
+				math.Log1p(last2),
+				math.Log1p(med),
+				math.Log1p(j.Walltime),
+				math.Log1p(float64(j.Procs)),
+				hour,
+			},
+			runtime: j.Run,
+			cens:    j.Walltime > 0 && j.Run >= j.Walltime*0.999,
+			user:    j.User,
+		})
+		h.runs = append(h.runs, j.Run)
+	}
+	return rows
+}
+
+// runModel evaluates one model family across all thresholds.
+func runModel(name string, tr *trace.Trace, train, test []jobFeatures, meanRun float64, cfg Config) (*ModelResult, error) {
+	mr := &ModelResult{Model: name}
+	if name == "Last2" {
+		return runLast2(tr, cfg, meanRun)
+	}
+
+	// Baseline model: plain features, trained once.
+	base, err := newModel(name, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	baseDS := datasetFrom(train, nil, cfg, 0)
+	if err := base.Fit(baseDS); err != nil {
+		return nil, err
+	}
+
+	// Elapsed model: features + elapsed column, rows expanded over the
+	// threshold grid (0 and each experiment threshold the row survives).
+	grid := []float64{0}
+	for _, f := range cfg.ElapsedFractions {
+		grid = append(grid, f*meanRun)
+	}
+	elapsed, err := newModel(name, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	elapsedDS := datasetFrom(train, grid, cfg, 1)
+	if err := elapsed.Fit(elapsedDS); err != nil {
+		return nil, err
+	}
+
+	for _, f := range cfg.ElapsedFractions {
+		e := f * meanRun
+		var actual, predBase, predElapsed []float64
+		for _, row := range test {
+			if row.runtime < e {
+				continue
+			}
+			actual = append(actual, row.runtime)
+			predBase = append(predBase, base.Predict(row.feats))
+			withE := append(append([]float64(nil), row.feats...), math.Log1p(e))
+			p := elapsed.Predict(withE)
+			if p < e {
+				p = e // the job has provably run at least e
+			}
+			predElapsed = append(predElapsed, p)
+		}
+		mr.Variants = append(mr.Variants, VariantResult{
+			ElapsedSeconds: e,
+			Baseline:       ml.Evaluate(actual, predBase),
+			WithElapsed:    ml.Evaluate(actual, predElapsed),
+		})
+	}
+	return mr, nil
+}
+
+// runLast2 evaluates the history-based predictor with an online sweep.
+func runLast2(tr *trace.Trace, cfg Config, meanRun float64) (*ModelResult, error) {
+	mr := &ModelResult{Model: "Last2"}
+	cut := int(float64(tr.Len()) * cfg.TrainFrac)
+	for _, f := range cfg.ElapsedFractions {
+		e := f * meanRun
+		m := ml.NewLast2()
+		var actual, predBase, predElapsed []float64
+		for i := range tr.Jobs {
+			j := &tr.Jobs[i]
+			if i >= cut && j.Run >= e {
+				actual = append(actual, j.Run)
+				predBase = append(predBase, m.Predict(j.User, meanRun))
+				predElapsed = append(predElapsed, m.PredictWithElapsed(j.User, e, meanRun))
+			}
+			m.Observe(j.User, j.Run)
+		}
+		mr.Variants = append(mr.Variants, VariantResult{
+			ElapsedSeconds: e,
+			Baseline:       ml.Evaluate(actual, predBase),
+			WithElapsed:    ml.Evaluate(actual, predElapsed),
+		})
+	}
+	return mr, nil
+}
+
+// datasetFrom builds a training dataset; when grid is non-nil each row is
+// expanded into one sample per surviving threshold with the elapsed column
+// appended (extraCols = 1).
+func datasetFrom(rows []jobFeatures, grid []float64, cfg Config, extraCols int) *ml.Dataset {
+	ds := &ml.Dataset{}
+	add := func(feats []float64, e float64, y float64, cens bool) {
+		row := append([]float64(nil), feats...)
+		if extraCols == 1 {
+			row = append(row, math.Log1p(e))
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, y)
+		ds.Censored = append(ds.Censored, cens)
+	}
+	if grid == nil {
+		for _, r := range rows {
+			add(r.feats, 0, r.runtime, r.cens)
+		}
+	} else {
+		for _, r := range rows {
+			for _, e := range grid {
+				if r.runtime >= e {
+					add(r.feats, e, r.runtime, r.cens)
+				}
+			}
+		}
+	}
+	// Subsample deterministically if over budget.
+	if len(ds.X) > cfg.MaxTrainRows {
+		rng := dist.NewRNG(cfg.Seed + 99)
+		idx := rng.Perm(len(ds.X))[:cfg.MaxTrainRows]
+		sort.Ints(idx)
+		sub := &ml.Dataset{}
+		for _, i := range idx {
+			sub.X = append(sub.X, ds.X[i])
+			sub.Y = append(sub.Y, ds.Y[i])
+			sub.Censored = append(sub.Censored, ds.Censored[i])
+		}
+		ds = sub
+	}
+	return ds
+}
+
+// newModel constructs a fresh model by family name.
+func newModel(name string, seed uint64) (ml.Model, error) {
+	switch name {
+	case "LR":
+		return &ml.LinearRegression{LogTarget: true, Ridge: 1e-3}, nil
+	case "MLP":
+		return &ml.MLP{Hidden: []int{32, 16}, Epochs: 60, Batch: 64, Seed: seed}, nil
+	case "XGBoost":
+		return &ml.GBRT{Trees: 120, Depth: 4, Subsample: 0.8, Seed: seed}, nil
+	case "Tobit":
+		return &ml.Tobit{Epochs: 400, PredictQuantile: 0.6}, nil
+	}
+	return nil, fmt.Errorf("predict: unknown model %q", name)
+}

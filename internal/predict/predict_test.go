@@ -1,0 +1,181 @@
+package predict
+
+import (
+	"testing"
+
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// smallTrace generates a compact Philly-like workload for fast tests.
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := synth.Philly(2)
+	tr, err := p.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+var cachedTrace *trace.Trace
+var cachedResult *Result
+
+func runOnce(t *testing.T) (*trace.Trace, *Result) {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedTrace, cachedResult
+	}
+	tr := smallTrace(t)
+	res, err := Run(tr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedTrace, cachedResult = tr, res
+	return tr, res
+}
+
+func TestRunRejectsTinyTrace(t *testing.T) {
+	tr := trace.New(trace.System{Name: "T", TotalCores: 4})
+	if _, err := Run(tr, Config{}); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	tr := smallTrace(t)
+	if _, err := Run(tr, Config{Models: []string{"SVM"}}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunProducesAllModelsAndThresholds(t *testing.T) {
+	_, res := runOnce(t)
+	if len(res.Models) != len(ModelNames) {
+		t.Fatalf("models: %d want %d", len(res.Models), len(ModelNames))
+	}
+	for _, mr := range res.Models {
+		if len(mr.Variants) != 3 {
+			t.Fatalf("%s: %d variants want 3", mr.Model, len(mr.Variants))
+		}
+		prev := 0.0
+		for _, v := range mr.Variants {
+			if v.ElapsedSeconds <= prev {
+				t.Fatalf("%s: thresholds not increasing", mr.Model)
+			}
+			prev = v.ElapsedSeconds
+			if v.Baseline.N == 0 || v.WithElapsed.N == 0 {
+				t.Fatalf("%s: empty evaluation at %v", mr.Model, v.ElapsedSeconds)
+			}
+			if v.Baseline.N != v.WithElapsed.N {
+				t.Fatalf("%s: variants evaluated on different sets", mr.Model)
+			}
+			for _, ev := range []struct {
+				n string
+				e float64
+			}{
+				{"baseline acc", v.Baseline.AvgAccuracy},
+				{"elapsed acc", v.WithElapsed.AvgAccuracy},
+				{"baseline under", v.Baseline.UnderestimateRate},
+				{"elapsed under", v.WithElapsed.UnderestimateRate},
+			} {
+				if ev.e < 0 || ev.e > 1 {
+					t.Fatalf("%s: %s = %v out of [0,1]", mr.Model, ev.n, ev.e)
+				}
+			}
+		}
+	}
+}
+
+// TestElapsedReducesUnderestimates verifies the paper's headline claim:
+// adding the elapsed-time feature reduces the underestimate rate for every
+// model (Figure 12 top), on average across thresholds.
+func TestElapsedReducesUnderestimates(t *testing.T) {
+	_, res := runOnce(t)
+	for _, mr := range res.Models {
+		var baseSum, withSum float64
+		for _, v := range mr.Variants {
+			baseSum += v.Baseline.UnderestimateRate
+			withSum += v.WithElapsed.UnderestimateRate
+		}
+		if withSum >= baseSum {
+			t.Errorf("%s: elapsed did not reduce underestimates (base %.3f vs with %.3f)",
+				mr.Model, baseSum/3, withSum/3)
+		}
+	}
+}
+
+// TestElapsedKeepsAccuracyComparable verifies Figure 12 bottom: accuracy
+// with the elapsed feature is comparable or better (allow a small
+// regression margin per model).
+func TestElapsedKeepsAccuracyComparable(t *testing.T) {
+	_, res := runOnce(t)
+	for _, mr := range res.Models {
+		for _, v := range mr.Variants {
+			if v.WithElapsed.AvgAccuracy < v.Baseline.AvgAccuracy-0.12 {
+				t.Errorf("%s@%.0fs: accuracy dropped too much: %.3f -> %.3f",
+					mr.Model, v.ElapsedSeconds,
+					v.Baseline.AvgAccuracy, v.WithElapsed.AvgAccuracy)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	tr := smallTrace(t)
+	a, err := Run(tr, Config{Seed: 3, Models: []string{"LR", "XGBoost"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, Config{Seed: 3, Models: []string{"LR", "XGBoost"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Models {
+		for k := range a.Models[i].Variants {
+			va, vb := a.Models[i].Variants[k], b.Models[i].Variants[k]
+			if va.WithElapsed != vb.WithElapsed || va.Baseline != vb.Baseline {
+				t.Fatalf("nondeterministic results for %s", a.Models[i].Model)
+			}
+		}
+	}
+}
+
+func TestBuildFeaturesShape(t *testing.T) {
+	tr := smallTrace(t)
+	rows := buildFeatures(tr)
+	if len(rows) != tr.Len() {
+		t.Fatalf("rows %d want %d", len(rows), tr.Len())
+	}
+	for i, r := range rows {
+		if len(r.feats) != 6 {
+			t.Fatalf("row %d width %d want 6", i, len(r.feats))
+		}
+	}
+	// first job of any user has zero history features
+	seen := map[int]bool{}
+	for i, r := range rows {
+		if !seen[r.user] {
+			if r.feats[0] != 0 || r.feats[1] != 0 || r.feats[2] != 0 {
+				t.Fatalf("row %d: first job of user %d has nonzero history", i, r.user)
+			}
+			seen[r.user] = true
+		}
+	}
+}
+
+func TestDatasetSubsampleCap(t *testing.T) {
+	tr := smallTrace(t)
+	rows := buildFeatures(tr)
+	cfg := Config{MaxTrainRows: 500, Seed: 1}
+	ds := datasetFrom(rows, []float64{0, 10, 100}, cfg, 1)
+	if ds.Len() > 500 {
+		t.Fatalf("subsample cap violated: %d", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 7 {
+		t.Fatalf("elapsed column missing: dim %d", ds.Dim())
+	}
+}

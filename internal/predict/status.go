@@ -1,0 +1,137 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"crosssched/internal/ml"
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// StatusConfig parameterizes the status-prediction experiment — the
+// extension the paper's Section V-C sketches: once a job has run e
+// seconds, predict its final status (Passed/Failed/Killed) from the
+// user's history.
+type StatusConfig struct {
+	// ElapsedFractions of the mean runtime used as prediction points
+	// (default 1/8, 1/4, 1/2, matching the runtime experiment).
+	ElapsedFractions []float64
+	// TrainFrac is the time-ordered split (default 0.7).
+	TrainFrac float64
+	// Seed drives the softmax model.
+	Seed uint64
+}
+
+// StatusVariant is one elapsed threshold's evaluation for all predictors.
+type StatusVariant struct {
+	ElapsedSeconds float64
+	// Prior predicts each user's majority status ignoring elapsed time.
+	Prior ml.ClassificationResult
+	// Survival is the per-user empirical P(status | runtime > elapsed).
+	Survival ml.ClassificationResult
+	// Softmax is logistic regression on features + elapsed.
+	Softmax ml.ClassificationResult
+}
+
+// StatusResult is the full experiment output for one system.
+type StatusResult struct {
+	System   string
+	Variants []StatusVariant
+	TestJobs int
+}
+
+// RunStatus executes the status-prediction experiment on a trace.
+func RunStatus(tr *trace.Trace, cfg StatusConfig) (*StatusResult, error) {
+	if len(cfg.ElapsedFractions) == 0 {
+		cfg.ElapsedFractions = []float64{1.0 / 8, 1.0 / 4, 1.0 / 2}
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.7
+	}
+	if tr.Len() < 100 {
+		return nil, fmt.Errorf("predict: trace too small (%d jobs)", tr.Len())
+	}
+	meanRun := stats.Mean(tr.Runtimes())
+	cut := int(float64(tr.Len()) * cfg.TrainFrac)
+
+	// Per-user priors and survival model from the training prefix.
+	surv := ml.NewStatusSurvival(3)
+	priorCounts := map[int][3]int{}
+	for i := 0; i < cut; i++ {
+		j := &tr.Jobs[i]
+		surv.Observe(j.User, j.Run, int(j.Status))
+		c := priorCounts[j.User]
+		c[j.Status]++
+		priorCounts[j.User] = c
+	}
+	surv.Freeze()
+	var globalPrior [3]int
+	for _, c := range priorCounts {
+		for s := 0; s < 3; s++ {
+			globalPrior[s] += c[s]
+		}
+	}
+	majority := func(user int) int {
+		c, ok := priorCounts[user]
+		if !ok {
+			c = globalPrior
+		}
+		best := 0
+		for s := 1; s < 3; s++ {
+			if c[s] > c[best] {
+				best = s
+			}
+		}
+		return best
+	}
+
+	res := &StatusResult{System: tr.System.Name}
+	rows := buildFeatures(tr)
+
+	for _, f := range cfg.ElapsedFractions {
+		e := f * meanRun
+		// Softmax trained with the elapsed feature over a threshold grid
+		// (same expansion idea as the runtime models).
+		var trainX [][]float64
+		var trainY []int
+		for _, tau := range []float64{0, e / 2, e} {
+			for i := 0; i < cut; i++ {
+				if tr.Jobs[i].Run >= tau {
+					row := append(append([]float64(nil), rows[i].feats...), math.Log1p(tau))
+					trainX = append(trainX, row)
+					trainY = append(trainY, int(tr.Jobs[i].Status))
+				}
+			}
+		}
+		sm := &ml.Softmax{Classes: 3, Epochs: 150}
+		if err := sm.FitClasses(trainX, trainY); err != nil {
+			return nil, err
+		}
+
+		var actual, prior, survival, softmax []int
+		testCount := 0
+		for i := cut; i < tr.Len(); i++ {
+			j := &tr.Jobs[i]
+			if j.Run < e {
+				continue
+			}
+			testCount++
+			actual = append(actual, int(j.Status))
+			prior = append(prior, majority(j.User))
+			survival = append(survival, surv.PredictClass(j.User, e))
+			row := append(append([]float64(nil), rows[i].feats...), math.Log1p(e))
+			softmax = append(softmax, sm.PredictClass(row))
+		}
+		res.Variants = append(res.Variants, StatusVariant{
+			ElapsedSeconds: e,
+			Prior:          ml.EvaluateClasses(actual, prior, 3),
+			Survival:       ml.EvaluateClasses(actual, survival, 3),
+			Softmax:        ml.EvaluateClasses(actual, softmax, 3),
+		})
+		if testCount > res.TestJobs {
+			res.TestJobs = testCount
+		}
+	}
+	return res, nil
+}

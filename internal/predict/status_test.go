@@ -1,0 +1,86 @@
+package predict
+
+import (
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+var statusCached *StatusResult
+
+func statusRun(t *testing.T) *StatusResult {
+	t.Helper()
+	if statusCached != nil {
+		return statusCached
+	}
+	tr := smallTrace(t)
+	res, err := RunStatus(tr, StatusConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusCached = res
+	return res
+}
+
+func TestRunStatusRejectsTiny(t *testing.T) {
+	tr := trace.New(trace.System{Name: "T", TotalCores: 4})
+	if _, err := RunStatus(tr, StatusConfig{}); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+func TestRunStatusStructure(t *testing.T) {
+	res := statusRun(t)
+	if len(res.Variants) != 3 {
+		t.Fatalf("variants %d want 3", len(res.Variants))
+	}
+	prev := 0.0
+	for _, v := range res.Variants {
+		if v.ElapsedSeconds <= prev {
+			t.Fatal("thresholds not increasing")
+		}
+		prev = v.ElapsedSeconds
+		for name, r := range map[string]float64{
+			"prior": v.Prior.Accuracy, "survival": v.Survival.Accuracy, "softmax": v.Softmax.Accuracy,
+		} {
+			if r < 0 || r > 1 {
+				t.Fatalf("%s accuracy %v out of range", name, r)
+			}
+		}
+		if v.Prior.N == 0 || v.Prior.N != v.Survival.N || v.Prior.N != v.Softmax.N {
+			t.Fatalf("evaluation sets differ: %d %d %d", v.Prior.N, v.Survival.N, v.Softmax.N)
+		}
+	}
+}
+
+// TestElapsedImprovesStatusPrediction verifies the paper's Section V-C
+// intuition: conditioning on elapsed time beats the per-user prior for
+// status prediction, and the advantage exists at every threshold.
+func TestElapsedImprovesStatusPrediction(t *testing.T) {
+	res := statusRun(t)
+	var priorSum, survSum float64
+	for _, v := range res.Variants {
+		priorSum += v.Prior.Accuracy
+		survSum += v.Survival.Accuracy
+	}
+	if survSum <= priorSum {
+		t.Errorf("survival predictor (avg acc %.3f) did not beat the prior (%.3f)",
+			survSum/3, priorSum/3)
+	}
+}
+
+// TestSurvivalRulesOutFailuresLate: at the largest threshold, Failed jobs
+// are nearly impossible (failures die early), so the survival predictor
+// should essentially never predict Failed.
+func TestSurvivalRulesOutFailuresLate(t *testing.T) {
+	res := statusRun(t)
+	last := res.Variants[len(res.Variants)-1]
+	predictedFailed := 0
+	for a := 0; a < 3; a++ {
+		predictedFailed += last.Survival.Confusion[a][int(trace.Failed)]
+	}
+	frac := float64(predictedFailed) / float64(last.Survival.N)
+	if frac > 0.05 {
+		t.Errorf("survival predictor still predicts Failed for %.1f%% of long-elapsed jobs", 100*frac)
+	}
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"crosssched/internal/figures"
+)
+
+func TestBuildAndRender(t *testing.T) {
+	s := figures.NewSuite(figures.Config{Days: 6, SimDays: 2, Seed: 21})
+	r, err := Build(s, 6, 21, time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Claims) < 10 {
+		t.Fatalf("only %d claims checked", len(r.Claims))
+	}
+	if len(r.Takeaways) != 8 {
+		t.Fatalf("takeaways %d want 8", len(r.Takeaways))
+	}
+	// On calibrated data the vast majority of claims must hold.
+	if r.Passed() < len(r.Claims)-2 {
+		for _, c := range r.Claims {
+			if !c.Holds {
+				t.Logf("failing claim: [%s] %s — %s", c.Figure, c.Text, c.Measured)
+			}
+		}
+		t.Fatalf("only %d/%d claims hold", r.Passed(), len(r.Claims))
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report", "| Fig |", "HOLDS", "## Takeaways", "T8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	s := figures.NewSuite(figures.Config{Days: 2, SimDays: 1, Seed: 5})
+	now := time.Unix(0, 0)
+	a, err := Build(s, 2, 5, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(s, 2, 5, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Claims) != len(b.Claims) {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a.Claims {
+		if a.Claims[i] != b.Claims[i] {
+			t.Fatalf("claim %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+// verifyNoOversubscription reconstructs the schedule from per-job waits and
+// checks that concurrent core usage never exceeds each partition's capacity
+// at any instant — the fundamental resource-conservation invariant of any
+// scheduler.
+func verifyNoOversubscription(t *testing.T, tr *trace.Trace, res *Result, label string) {
+	t.Helper()
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	caps := make([]int, nParts)
+	base := tr.System.TotalCores / nParts
+	rem := tr.System.TotalCores % nParts
+	for i := range caps {
+		caps[i] = base
+		if i < rem {
+			caps[i]++
+		}
+	}
+
+	type event struct {
+		t     float64
+		delta int
+		part  int
+	}
+	var events []event
+	for _, j := range res.Jobs {
+		p := 0
+		if nParts > 1 {
+			if j.VC >= 0 && j.VC < nParts {
+				p = j.VC
+			} else {
+				p = j.User % nParts
+			}
+		}
+		run := j.Run
+		if j.Walltime > 0 && run > j.Walltime {
+			run = j.Walltime
+		}
+		start := j.Submit + j.Wait
+		events = append(events,
+			event{t: start, delta: j.Procs, part: p},
+			event{t: start + run, delta: -j.Procs, part: p})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		return events[a].t < events[b].t
+	})
+	// Sweep in groups of near-simultaneous events (reconstructed start
+	// times can differ from the simulator's clock by float ulps), applying
+	// every release in a group before its allocations.
+	const eps = 1e-6
+	used := make([]int, nParts)
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].t <= events[i].t+eps {
+			j++
+		}
+		for _, pass := range [2]bool{true, false} { // releases, then allocations
+			for k := i; k < j; k++ {
+				e := events[k]
+				if (e.delta < 0) != pass {
+					continue
+				}
+				used[e.part] += e.delta
+				if used[e.part] > caps[e.part] {
+					t.Fatalf("%s: partition %d oversubscribed: %d > %d at t=%v",
+						label, e.part, used[e.part], caps[e.part], e.t)
+				}
+				if used[e.part] < 0 {
+					t.Fatalf("%s: partition %d negative usage at t=%v", label, e.part, e.t)
+				}
+			}
+		}
+		i = j
+	}
+	for p, u := range used {
+		if u != 0 {
+			t.Fatalf("%s: partition %d ends with %d cores leaked", label, p, u)
+		}
+	}
+}
+
+// TestNoOversubscriptionAcrossConfigs is the heavyweight conservation
+// check: every policy x backfill combination on a congested workload must
+// produce a schedule whose reconstructed concurrent usage fits capacity.
+func TestNoOversubscriptionAcrossConfigs(t *testing.T) {
+	tr := randomTrace(41, 400, 48)
+	for _, pol := range Policies {
+		for _, bf := range []BackfillKind{NoBackfill, EASY, Conservative, Relaxed, AdaptiveRelaxed} {
+			res, err := Run(tr, Options{Policy: pol, Backfill: bf, RelaxFactor: 0.15})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", pol, bf, err)
+			}
+			verifyNoOversubscription(t, tr, res, pol.String()+"/"+bf.String())
+		}
+	}
+}
+
+// TestNoOversubscriptionPartitioned checks conservation with virtual
+// clusters (the Philly configuration).
+func TestNoOversubscriptionPartitioned(t *testing.T) {
+	tr := trace.New(trace.System{Name: "VC", Kind: trace.DL, TotalCores: 64, VirtualClusters: 4})
+	r := randomTrace(17, 300, 16) // job sizes fit a 16-core partition
+	for _, j := range r.Jobs {
+		j.VC = j.User % 4
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	tr.SortBySubmit()
+	res, err := Run(tr, Options{Policy: FCFS, Backfill: EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyNoOversubscription(t, tr, res, "partitioned")
+}
+
+// TestWalltimePredictorConservation: advisory predictions (which the
+// scheduler may under-plan against) must never break physical capacity.
+func TestWalltimePredictorConservation(t *testing.T) {
+	tr := randomTrace(23, 300, 32)
+	res, err := Run(tr, Options{
+		Policy: FCFS, Backfill: EASY,
+		WalltimePredictor: func(j trace.Job) float64 { return j.Run * 0.25 }, // bad underestimates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyNoOversubscription(t, tr, res, "bad-predictor")
+}

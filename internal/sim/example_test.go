@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// ExampleRun schedules a tiny trace with EASY backfilling: the 2-core job
+// backfills into the hole left while the 10-core job waits.
+func ExampleRun() {
+	tr := trace.New(trace.System{Name: "demo", Kind: trace.HPC, TotalCores: 10})
+	tr.Jobs = []trace.Job{
+		{Submit: 0, Run: 100, Walltime: 100, Procs: 8, User: 0, VC: -1},
+		{Submit: 1, Run: 100, Walltime: 100, Procs: 10, User: 1, VC: -1},
+		{Submit: 2, Run: 50, Walltime: 50, Procs: 2, User: 2, VC: -1},
+	}
+	tr.SortBySubmit()
+
+	res, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("backfilled jobs:", res.Backfilled)
+	fmt.Println("small job wait:", res.Jobs[2].Wait)
+	fmt.Println("blocked head wait:", res.Jobs[1].Wait)
+	// Output:
+	// backfilled jobs: 1
+	// small job wait: 0
+	// blocked head wait: 99
+}
+
+// ExampleParsePolicy resolves policy names from configuration strings.
+func ExampleParsePolicy() {
+	p, err := sim.ParsePolicy("WFP3")
+	fmt.Println(p, err)
+	_, err = sim.ParsePolicy("bogus")
+	fmt.Println(err != nil)
+	// Output:
+	// WFP3 <nil>
+	// true
+}

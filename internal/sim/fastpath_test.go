@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// naiveRun re-runs the simulation with the static fast path disabled by
+// monkey-free means: we simulate via a copy of the options using a dynamic
+// policy wrapper... Instead, we verify equivalence structurally: sorting a
+// queue built by insertSorted with the full comparator must be a no-op.
+func TestInsertSortedMatchesFullSort(t *testing.T) {
+	for _, pol := range []Policy{FCFS, SJF, LJF, SAF, F1, F2, F3} {
+		s := &simulator{opt: Options{Policy: pol}, queues: make([][]*pending, 1)}
+		jobs := []*pending{
+			{idx: 0, submit: 10, reqTime: 100, procs: 4},
+			{idx: 1, submit: 5, reqTime: 1000, procs: 1},
+			{idx: 2, submit: 20, reqTime: 10, procs: 64},
+			{idx: 3, submit: 5, reqTime: 1000, procs: 1}, // tie with idx 1
+			{idx: 4, submit: 1, reqTime: 50, procs: 8},
+			{idx: 5, submit: 30, reqTime: 500, procs: 2},
+		}
+		for _, j := range jobs {
+			s.insertSorted(0, j)
+		}
+		got := append([]*pending(nil), s.queues[0]...)
+		want := append([]*pending(nil), jobs...)
+		sort.SliceStable(want, func(a, b int) bool { return s.less(want[a], want[b], 0) })
+		for i := range want {
+			if got[i].idx != want[i].idx {
+				gotIdx := make([]int, len(got))
+				wantIdx := make([]int, len(want))
+				for k := range got {
+					gotIdx[k] = got[k].idx
+					wantIdx[k] = want[k].idx
+				}
+				t.Fatalf("%v: insertSorted order %v != full sort %v", pol, gotIdx, wantIdx)
+			}
+		}
+	}
+}
+
+// TestStaticFastPathEquivalence runs the same workload under a static
+// policy and checks the results equal a reference computed with the
+// dynamic path (by forcing sortQueue through a Fair-like wrapper is not
+// possible, so we compare against golden invariants instead): waits are
+// deterministic and ordering-consistent with the policy.
+func TestStaticFastPathEquivalence(t *testing.T) {
+	tr := randomTrace(77, 300, 32)
+	for _, pol := range []Policy{FCFS, SJF, SAF, F1} {
+		a, err := Run(tr, Options{Policy: pol, Backfill: EASY})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		b, err := Run(tr, Options{Policy: pol, Backfill: EASY})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		for i := range a.Jobs {
+			if a.Jobs[i].Wait != b.Jobs[i].Wait {
+				t.Fatalf("%v: nondeterministic fast path at job %d", pol, i)
+			}
+		}
+		verifyNoOversubscription(t, tr, a, "fastpath/"+pol.String())
+	}
+}
+
+// TestFCFSFastPathOrdering: under FCFS+NoBackfill, start times must be
+// non-decreasing in submit order (the definitional FCFS property), which
+// the fast path must preserve.
+func TestFCFSFastPathOrdering(t *testing.T) {
+	tr := randomTrace(13, 200, 16)
+	res, err := Run(tr, Options{Policy: FCFS, Backfill: NoBackfill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevStart := -1.0
+	for i, j := range res.Jobs {
+		start := j.Submit + j.Wait
+		if start < prevStart-1e-9 {
+			t.Fatalf("FCFS start order violated at job %d: %v < %v", i, start, prevStart)
+		}
+		prevStart = start
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// profile is a step function of free cores over future time, used to plan
+// reservations. It starts from the current free count and regains cores as
+// running jobs reach their expected ends; conservative backfilling also
+// subtracts planned reservations from it.
+type profile struct {
+	times []float64 // breakpoints, ascending; times[0] == now
+	free  []int     // free cores during [times[i], times[i+1]); last entry extends to +Inf
+}
+
+// newProfile builds the availability profile at time now for a partition
+// with the given current free count and the (end, procs) pairs of running
+// jobs. Ends before now contribute immediately (defensive: a job at its
+// exact end event is already released by the caller).
+func newProfile(now float64, freeNow int, ends []jobEnd) *profile {
+	p := &profile{times: []float64{now}, free: []int{freeNow}}
+	if len(ends) == 0 {
+		return p
+	}
+	sorted := append([]jobEnd(nil), ends...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].end < sorted[b].end })
+	cur := freeNow
+	for _, e := range sorted {
+		t := e.end
+		if t < now {
+			t = now
+		}
+		cur += e.procs
+		last := len(p.times) - 1
+		if t == p.times[last] {
+			p.free[last] = cur
+		} else {
+			p.times = append(p.times, t)
+			p.free = append(p.free, cur)
+		}
+	}
+	return p
+}
+
+// jobEnd is one running job's expected completion.
+type jobEnd struct {
+	end   float64
+	procs int
+}
+
+// freeAt returns the free cores at time t (t >= times[0]).
+func (p *profile) freeAt(t float64) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return p.free[i]
+	}
+	if i == 0 {
+		return p.free[0]
+	}
+	return p.free[i-1]
+}
+
+// earliestStart returns the earliest time >= from at which procs cores stay
+// free for dur seconds, plus the minimum free count over that window (used
+// to compute the "extra" cores available alongside a reservation).
+func (p *profile) earliestStart(from float64, procs int, dur float64) (start float64, minFree int) {
+	candidates := []float64{from}
+	for _, t := range p.times {
+		if t > from {
+			candidates = append(candidates, t)
+		}
+	}
+	for _, c := range candidates {
+		ok, mf := p.window(c, dur, procs)
+		if ok {
+			return c, mf
+		}
+	}
+	// After the last breakpoint everything is free (all running jobs done).
+	last := p.times[len(p.times)-1]
+	if last < from {
+		last = from
+	}
+	return last, p.free[len(p.free)-1]
+}
+
+// window reports whether procs cores remain free throughout [t, t+dur) and
+// the minimum free count seen over the window.
+func (p *profile) window(t, dur float64, procs int) (bool, int) {
+	end := t + dur
+	minFree := math.MaxInt64
+	// examine the segment containing t and all breakpoints within (t, end)
+	i := sort.SearchFloat64s(p.times, t)
+	if i >= len(p.times) || p.times[i] != t {
+		if i > 0 {
+			i--
+		}
+	}
+	for ; i < len(p.times); i++ {
+		segStart := p.times[i]
+		if segStart >= end {
+			break
+		}
+		if p.free[i] < minFree {
+			minFree = p.free[i]
+		}
+		if p.free[i] < procs {
+			return false, minFree
+		}
+	}
+	if minFree == math.MaxInt64 {
+		minFree = p.free[len(p.free)-1]
+	}
+	return true, minFree
+}
+
+// reserve subtracts procs cores over [t, t+dur) from the profile, splitting
+// segments as needed. Used by conservative backfilling to plan multiple
+// reservations. The caller must have verified feasibility via window().
+func (p *profile) reserve(t, dur float64, procs int) {
+	end := t + dur
+	p.split(t)
+	p.split(end)
+	for i := range p.times {
+		if p.times[i] >= t && p.times[i] < end {
+			p.free[i] -= procs
+		}
+	}
+}
+
+// split inserts a breakpoint at time t (no-op if present or before start).
+func (p *profile) split(t float64) {
+	if t <= p.times[0] {
+		return
+	}
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return
+	}
+	// value carried over from the preceding segment
+	v := p.free[i-1]
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.free[i+1:], p.free[i:])
+	p.times[i] = t
+	p.free[i] = v
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileEmpty(t *testing.T) {
+	p := newProfile(0, 10, nil)
+	if p.freeAt(0) != 10 || p.freeAt(100) != 10 {
+		t.Fatal("empty profile should be constant")
+	}
+	st, mf := p.earliestStart(0, 5, 100)
+	if st != 0 || mf != 10 {
+		t.Fatalf("earliestStart = %v, %v", st, mf)
+	}
+}
+
+func TestProfileStep(t *testing.T) {
+	// 2 free now; a 4-core job ends at t=10, an 8-core job ends at t=20.
+	p := newProfile(0, 2, []jobEnd{{end: 10, procs: 4}, {end: 20, procs: 8}})
+	if p.freeAt(0) != 2 || p.freeAt(9.99) != 2 {
+		t.Fatalf("freeAt before first end wrong: %d", p.freeAt(0))
+	}
+	if p.freeAt(10) != 6 || p.freeAt(15) != 6 {
+		t.Fatalf("freeAt after first end wrong: %d", p.freeAt(10))
+	}
+	if p.freeAt(20) != 14 || p.freeAt(1e9) != 14 {
+		t.Fatalf("freeAt after second end wrong: %d", p.freeAt(20))
+	}
+}
+
+func TestProfileEarliestStart(t *testing.T) {
+	p := newProfile(0, 2, []jobEnd{{end: 10, procs: 4}, {end: 20, procs: 8}})
+	// needs 6 cores for 5s: available at t=10
+	st, mf := p.earliestStart(0, 6, 5)
+	if st != 10 {
+		t.Fatalf("start = %v want 10", st)
+	}
+	if mf != 6 {
+		t.Fatalf("minFree = %v want 6", mf)
+	}
+	// needs 6 cores for 15s: window [10,25) dips are none after 10 (6 then 14) -> still 10
+	st, _ = p.earliestStart(0, 6, 15)
+	if st != 10 {
+		t.Fatalf("start = %v want 10", st)
+	}
+	// needs 10 cores: only after t=20
+	st, _ = p.earliestStart(0, 10, 5)
+	if st != 20 {
+		t.Fatalf("start = %v want 20", st)
+	}
+	// needs 2 cores: immediately
+	st, _ = p.earliestStart(0, 2, 1000)
+	if st != 0 {
+		t.Fatalf("start = %v want 0", st)
+	}
+}
+
+func TestProfileEndsBeforeNowClamped(t *testing.T) {
+	p := newProfile(100, 3, []jobEnd{{end: 50, procs: 2}})
+	if p.freeAt(100) != 5 {
+		t.Fatalf("stale end not clamped: %d", p.freeAt(100))
+	}
+}
+
+func TestProfileReserve(t *testing.T) {
+	p := newProfile(0, 10, nil)
+	p.reserve(5, 10, 4) // 4 cores over [5,15)
+	if p.freeAt(0) != 10 || p.freeAt(5) != 6 || p.freeAt(14.9) != 6 || p.freeAt(15) != 10 {
+		t.Fatalf("reserve wrong: %v %v", p.times, p.free)
+	}
+	// stacking another reservation
+	p.reserve(10, 10, 3) // [10,20)
+	if p.freeAt(12) != 3 || p.freeAt(16) != 7 || p.freeAt(20) != 10 {
+		t.Fatalf("stacked reserve wrong: %v %v", p.times, p.free)
+	}
+}
+
+func TestProfileWindowRespectsReservations(t *testing.T) {
+	p := newProfile(0, 10, nil)
+	p.reserve(5, 10, 8)
+	ok, _ := p.window(0, 4, 6)
+	if !ok {
+		t.Fatal("window [0,4) should fit 6 cores")
+	}
+	ok, _ = p.window(0, 6, 6)
+	if ok {
+		t.Fatal("window [0,6) overlaps the reservation; only 2 free")
+	}
+	st, _ := p.earliestStart(0, 6, 6)
+	if st != 15 {
+		t.Fatalf("earliest start around reservation = %v want 15", st)
+	}
+}
+
+// Property: earliestStart always returns a feasible window.
+func TestProfileEarliestFeasiblePropertyQuick(t *testing.T) {
+	f := func(seedEnds []uint8, procsRaw, durRaw uint8) bool {
+		capacity := 32
+		used := 0
+		var ends []jobEnd
+		for i, e := range seedEnds {
+			if i >= 6 {
+				break
+			}
+			pr := int(e)%8 + 1
+			if used+pr > capacity {
+				break
+			}
+			used += pr
+			ends = append(ends, jobEnd{end: float64(int(e)%50 + 1), procs: pr})
+		}
+		p := newProfile(0, capacity-used, ends)
+		procs := int(procsRaw)%capacity + 1
+		dur := float64(durRaw%100) + 1
+		st, _ := p.earliestStart(0, procs, dur)
+		ok, _ := p.window(st, dur, procs)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

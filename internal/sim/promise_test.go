@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/trace"
+)
+
+// truthfulTrace builds a workload where walltime == runtime exactly, so
+// planned ends equal real ends and the relaxation bound is exact.
+func truthfulTrace(seed uint64, n, capacity int) *trace.Trace {
+	r := dist.NewRNG(seed)
+	tr := trace.New(trace.System{Name: "T", Kind: trace.HPC, TotalCores: capacity})
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += dist.Exponential{Rate: 0.05}.Sample(r)
+		run := dist.LogNormalFromMedian(120, 1.0).Sample(r)
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			Submit: t, Run: run, Walltime: run,
+			Procs: r.Intn(capacity/2) + 1, User: r.Intn(6), VC: -1, Wait: -1,
+		})
+	}
+	tr.SortBySubmit()
+	return tr
+}
+
+// TestPromisedStartExposed: the result carries promises aligned with jobs,
+// -1 for never-reserved jobs, and violation counting matches a recount
+// from the exposed data.
+func TestPromisedStartExposed(t *testing.T) {
+	tr := truthfulTrace(3, 300, 32)
+	res, err := Run(tr, Options{Policy: FCFS, Backfill: Relaxed, RelaxFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PromisedStart) != len(res.Jobs) {
+		t.Fatalf("promises length %d want %d", len(res.PromisedStart), len(res.Jobs))
+	}
+	recount := 0
+	for i, p := range res.PromisedStart {
+		if p < 0 {
+			continue
+		}
+		start := res.Jobs[i].Submit + res.Jobs[i].Wait
+		if start > p+1e-9 {
+			recount++
+		}
+	}
+	if recount != res.Violations {
+		t.Fatalf("recounted %d violations, simulator reported %d", recount, res.Violations)
+	}
+}
+
+// TestRelaxationBoundWithTruthfulWalltimes: under FCFS + Relaxed with
+// truthful walltimes, every reserved job's actual start is bounded by
+// promised + factor*(promised - submit): the Ward et al. guarantee.
+func TestRelaxationBoundWithTruthfulWalltimes(t *testing.T) {
+	const factor = 0.15
+	for _, seed := range []uint64{1, 2, 3} {
+		tr := truthfulTrace(seed, 400, 48)
+		res, err := Run(tr, Options{Policy: FCFS, Backfill: Relaxed, RelaxFactor: factor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range res.PromisedStart {
+			if p < 0 {
+				continue
+			}
+			j := res.Jobs[i]
+			start := j.Submit + j.Wait
+			bound := p + factor*(p-j.Submit)
+			if start > bound+1e-6 {
+				t.Fatalf("seed %d job %d: start %v exceeds relaxation bound %v (promised %v, submit %v)",
+					seed, i, start, bound, p, j.Submit)
+			}
+		}
+	}
+}
+
+// TestEASYNeverExceedsPromiseTruthful: with truthful walltimes and FCFS,
+// EASY starts every reserved job at or before its promise.
+func TestEASYNeverExceedsPromiseTruthful(t *testing.T) {
+	tr := truthfulTrace(7, 400, 48)
+	res, err := Run(tr, Options{Policy: FCFS, Backfill: EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.PromisedStart {
+		if p < 0 {
+			continue
+		}
+		start := res.Jobs[i].Submit + res.Jobs[i].Wait
+		if start > p+1e-9 {
+			t.Fatalf("job %d: EASY start %v after promise %v", i, start, p)
+		}
+	}
+}

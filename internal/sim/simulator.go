@@ -1,0 +1,537 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Policy   Policy
+	Backfill BackfillKind
+	// RelaxFactor is the relaxed-backfilling threshold (the paper uses
+	// 0.10): a backfill may delay the head's promised start by up to
+	// RelaxFactor x the head's expected wait.
+	RelaxFactor float64
+	// MaxQueueLen normalizes the adaptive factor (Eq. 1). Zero means use
+	// the maximum queue length observed so far during the run.
+	MaxQueueLen int
+	// BsldTau is the bounded-slowdown interactivity threshold in seconds
+	// (default 10, per Feitelson).
+	BsldTau float64
+	// UseActualRuntime makes reservations use the job's actual runtime
+	// instead of the requested walltime (a perfect-estimate oracle).
+	UseActualRuntime bool
+	// FairshareHalfLife is the usage decay half-life in seconds for the
+	// Fair policy (default 24h).
+	FairshareHalfLife float64
+	// WalltimePredictor, when non-nil, replaces each job's requested
+	// walltime with a prediction at submission time (Tsafrir-style
+	// backfilling with system-generated predictions). Jobs still run
+	// their true runtime; only the scheduler's planning estimate changes,
+	// and a job whose true runtime exceeds the prediction is NOT killed
+	// (predictions are advisory, unlike user walltimes).
+	WalltimePredictor func(j trace.Job) float64
+	// CustomScore, when non-nil, overrides Policy for queue ordering
+	// (lower scores schedule first). Arguments are the job's planning
+	// runtime estimate, requested cores, submission time, and the current
+	// simulation time. Used by learned schedulers (internal/rl).
+	CustomScore func(reqTime float64, procs int, submit, now float64) float64
+}
+
+// Result holds the outcome of a simulation.
+type Result struct {
+	// Jobs is a copy of the input jobs with Wait filled in (submit order).
+	Jobs []trace.Job
+	// AvgWait is the mean queue waiting time in seconds (paper's "wait").
+	AvgWait float64
+	// AvgBsld is the mean bounded slowdown (paper's "bsld").
+	AvgBsld float64
+	// Utilization is busy core-seconds / (capacity x makespan)
+	// (paper's "util").
+	Utilization float64
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// Violations counts reserved queue-head jobs whose actual start was
+	// later than their first promised start (paper's "violation").
+	Violations int
+	// ViolationDelay is the summed delay seconds behind promises.
+	ViolationDelay float64
+	// Backfilled counts jobs started ahead of a blocked queue head.
+	Backfilled int
+	// MaxQueueLen is the maximum waiting-queue length observed.
+	MaxQueueLen int
+	// QueueTimeline samples the total waiting-queue length at event
+	// times (thinned to at most maxTimelineSamples points).
+	QueueTimeline []QueueSample
+	// PromisedStart is each job's first promised (reserved) start time,
+	// aligned with Jobs; -1 for jobs that never became a blocked queue
+	// head. Violations compare actual starts against these promises.
+	PromisedStart []float64
+}
+
+// QueueSample is one point of the queue-length timeline.
+type QueueSample struct {
+	Time   float64
+	Length int
+}
+
+// maxTimelineSamples caps the timeline size for very long simulations.
+const maxTimelineSamples = 4096
+
+// pending is a job sitting in the waiting queue.
+type pending struct {
+	idx      int // index into the jobs slice
+	user     int
+	submit   float64
+	procs    int
+	reqTime  float64 // planning estimate (walltime, or runtime fallback)
+	run      float64 // effective runtime once started
+	vc       int
+	promised float64 // first promised start time; <0 when never reserved
+}
+
+// running is a dispatched job occupying cores until end.
+type running struct {
+	idx   int
+	end   float64 // expected end used for planning (start + reqTime)
+	real  float64 // actual completion time (start + run)
+	procs int
+}
+
+// completionHeap orders running jobs by actual completion time.
+type completionHeap []running
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].real < h[j].real }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(running)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// simulator is the run state.
+type simulator struct {
+	opt     Options
+	jobs    []trace.Job
+	cl      *cluster.Cluster
+	queues  [][]*pending // one waiting queue per partition
+	runsets []map[int]*running
+	compl   completionHeap
+	now     float64
+
+	fair *FairshareState // non-nil when Policy == Fair
+
+	waits          []float64
+	promised       []float64
+	violations     int
+	violationDelay float64
+	backfilled     int
+	maxQueueSeen   int
+	started        int
+	makespan       float64
+	timeline       []QueueSample
+}
+
+// sampleQueue appends a queue-length sample, thinning by halving once the
+// cap is reached (keeps coverage of the whole run, bounded memory).
+func (s *simulator) sampleQueue(t float64) {
+	s.timeline = append(s.timeline, QueueSample{Time: t, Length: s.totalQueued()})
+	if len(s.timeline) >= 2*maxTimelineSamples {
+		kept := s.timeline[:0]
+		for i := 0; i < len(s.timeline); i += 2 {
+			kept = append(kept, s.timeline[i])
+		}
+		s.timeline = kept
+	}
+}
+
+// Run simulates scheduling of tr under opt and returns the metrics.
+// The input trace is not modified.
+func Run(tr *trace.Trace, opt Options) (*Result, error) {
+	if opt.BsldTau <= 0 {
+		opt.BsldTau = 10
+	}
+	if opt.RelaxFactor == 0 && (opt.Backfill == Relaxed || opt.Backfill == AdaptiveRelaxed) {
+		opt.RelaxFactor = 0.10
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	var cl *cluster.Cluster
+	if nParts > 1 {
+		cl = cluster.NewPartitioned(cluster.EvenPartitions(tr.System.TotalCores, nParts))
+	} else {
+		cl = cluster.New(tr.System.TotalCores)
+	}
+
+	s := &simulator{
+		opt:      opt,
+		jobs:     append([]trace.Job(nil), tr.Jobs...),
+		cl:       cl,
+		queues:   make([][]*pending, nParts),
+		runsets:  make([]map[int]*running, nParts),
+		waits:    make([]float64, len(tr.Jobs)),
+		promised: make([]float64, len(tr.Jobs)),
+	}
+	for i := range s.promised {
+		s.promised[i] = -1
+	}
+	for p := range s.runsets {
+		s.runsets[p] = map[int]*running{}
+	}
+	if opt.Policy == Fair {
+		s.fair = NewFairshareState(opt.FairshareHalfLife)
+	}
+
+	// Validate partition fit up front so we fail fast, not mid-run.
+	for i := range s.jobs {
+		p := s.partition(&s.jobs[i])
+		if s.jobs[i].Procs > cl.Capacity(p) {
+			return nil, fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
+				s.jobs[i].ID, s.jobs[i].Procs, p, cl.Capacity(p))
+		}
+	}
+
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result(tr)
+}
+
+// partition maps a job to its cluster partition index.
+func (s *simulator) partition(j *trace.Job) int {
+	if s.cl.Partitions() == 1 {
+		return 0
+	}
+	if j.VC >= 0 && j.VC < s.cl.Partitions() {
+		return j.VC
+	}
+	// jobs without a VC in a partitioned system land by user hash
+	return j.User % s.cl.Partitions()
+}
+
+func (s *simulator) run() error {
+	next := 0 // next arrival index
+	for next < len(s.jobs) || s.compl.Len() > 0 {
+		// choose the next event time
+		t := math.Inf(1)
+		if next < len(s.jobs) {
+			t = s.jobs[next].Submit
+		}
+		if s.compl.Len() > 0 && s.compl[0].real < t {
+			t = s.compl[0].real
+		}
+		s.now = t
+
+		touched := map[int]bool{}
+		// completions at t release resources first
+		for s.compl.Len() > 0 && s.compl[0].real <= t {
+			r := heap.Pop(&s.compl).(running)
+			p := s.partition(&s.jobs[r.idx])
+			if err := s.cl.Release(t, p, r.procs); err != nil {
+				return err
+			}
+			delete(s.runsets[p], r.idx)
+			if r.real > s.makespan {
+				s.makespan = r.real
+			}
+			touched[p] = true
+		}
+		// arrivals at t join their queue
+		for next < len(s.jobs) && s.jobs[next].Submit <= t {
+			j := &s.jobs[next]
+			p := s.partition(j)
+			reqTime := j.Walltime
+			if reqTime <= 0 || s.opt.UseActualRuntime {
+				reqTime = j.Run
+			}
+			run := j.Run
+			if j.Walltime > 0 && run > j.Walltime {
+				run = j.Walltime // killed at the walltime limit
+			}
+			if s.opt.WalltimePredictor != nil {
+				if pred := s.opt.WalltimePredictor(*j); pred > 0 {
+					reqTime = pred // advisory estimate; no kill at pred
+				}
+			}
+			pj := &pending{
+				idx: next, user: j.User, submit: j.Submit, procs: j.Procs,
+				reqTime: reqTime, run: run, vc: j.VC, promised: -1,
+			}
+			if s.staticOrder() {
+				s.insertSorted(p, pj)
+			} else {
+				s.queues[p] = append(s.queues[p], pj)
+			}
+			touched[p] = true
+			next++
+		}
+		if q := s.totalQueued(); q > s.maxQueueSeen {
+			s.maxQueueSeen = q
+		}
+		for p := range touched {
+			if err := s.schedule(p); err != nil {
+				return err
+			}
+		}
+		s.sampleQueue(t)
+	}
+	if s.started != len(s.jobs) {
+		return fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", s.started, len(s.jobs))
+	}
+	return nil
+}
+
+func (s *simulator) totalQueued() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// staticOrder reports whether queue order is fixed at arrival time.
+func (s *simulator) staticOrder() bool {
+	return s.opt.Policy.static() && s.opt.CustomScore == nil
+}
+
+// less is the canonical queue ordering at time now: policy score, then
+// submit time, then job index for determinism.
+func (s *simulator) less(a, b *pending, now float64) bool {
+	var sa, sb float64
+	switch {
+	case s.opt.CustomScore != nil:
+		sa = s.opt.CustomScore(a.reqTime, a.procs, a.submit, now)
+		sb = s.opt.CustomScore(b.reqTime, b.procs, b.submit, now)
+	case s.fair != nil:
+		sa, sb = s.fair.Usage(a.user, now), s.fair.Usage(b.user, now)
+	default:
+		sa, sb = s.opt.Policy.score(a, now), s.opt.Policy.score(b, now)
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	if a.submit != b.submit {
+		return a.submit < b.submit
+	}
+	return a.idx < b.idx
+}
+
+// insertSorted places a pending job at its ordered position (static
+// policies only — the position never changes afterwards).
+func (s *simulator) insertSorted(p int, j *pending) {
+	q := s.queues[p]
+	lo := sort.Search(len(q), func(i int) bool { return s.less(j, q[i], s.now) })
+	q = append(q, nil)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = j
+	s.queues[p] = q
+}
+
+// sortQueue orders the partition queue by the policy. For static policies
+// the queue is already sorted by insertSorted and this is a no-op.
+func (s *simulator) sortQueue(p int) {
+	if s.staticOrder() {
+		return
+	}
+	q := s.queues[p]
+	now := s.now
+	sort.SliceStable(q, func(a, b int) bool { return s.less(q[a], q[b], now) })
+}
+
+// start dispatches job j from partition p's queue position pos.
+func (s *simulator) start(p, pos int) {
+	q := s.queues[p]
+	j := q[pos]
+	if err := s.cl.Allocate(s.now, p, j.procs); err != nil {
+		// The caller checked CanAllocate; reaching here is a bug.
+		panic(fmt.Sprintf("sim: allocation invariant broken: %v", err))
+	}
+	s.waits[j.idx] = s.now - j.submit
+	if j.promised >= 0 && s.now > j.promised+1e-9 {
+		s.violations++
+		s.violationDelay += s.now - j.promised
+	}
+	if pos > 0 {
+		s.backfilled++
+	}
+	if s.fair != nil {
+		s.fair.Charge(j.user, s.now, float64(j.procs)*j.run)
+	}
+	r := &running{idx: j.idx, end: s.now + j.reqTime, real: s.now + j.run, procs: j.procs}
+	s.runsets[p][j.idx] = r
+	heap.Push(&s.compl, *r)
+	s.queues[p] = append(q[:pos], q[pos+1:]...)
+	s.started++
+	if r.real > s.makespan {
+		s.makespan = r.real
+	}
+}
+
+// schedule runs one scheduling pass for partition p at the current time.
+func (s *simulator) schedule(p int) error {
+	for {
+		if len(s.queues[p]) == 0 {
+			return nil
+		}
+		s.sortQueue(p)
+		head := s.queues[p][0]
+		if s.cl.CanAllocate(p, head.procs) {
+			s.start(p, 0)
+			continue
+		}
+		if s.opt.Backfill == NoBackfill {
+			// No reservations are made, so no promises to violate.
+			return nil
+		}
+		// Head is blocked: plan its reservation.
+		prof := s.buildProfile(p)
+		shadow, minFree := prof.earliestStart(s.now, head.procs, head.reqTime)
+		if head.promised < 0 {
+			head.promised = shadow
+			s.promised[head.idx] = shadow
+		}
+		if s.opt.Backfill == Conservative {
+			s.conservativePass(p, prof)
+			return nil
+		}
+		extra := minFree - head.procs
+		// The relaxation budget is anchored to the head's FIRST promise,
+		// so repeated backfill passes cannot compound the slip: total
+		// delay stays within allowance of the original promise (Ward et
+		// al.). Anything finishing before the current shadow is free.
+		deadline := head.promised + s.allowance(p, head)
+		if shadow > deadline {
+			deadline = shadow
+		}
+		if s.backfillPass(p, deadline, extra) {
+			continue // resources changed; re-evaluate the head
+		}
+		return nil
+	}
+}
+
+// allowance computes how far the head's promised start may slip for the
+// configured backfill kind, relative to its first promise.
+func (s *simulator) allowance(p int, head *pending) float64 {
+	expectedWait := head.promised - head.submit
+	if expectedWait < 0 {
+		expectedWait = 0
+	}
+	switch s.opt.Backfill {
+	case Relaxed:
+		return s.opt.RelaxFactor * expectedWait
+	case AdaptiveRelaxed:
+		maxQ := s.opt.MaxQueueLen
+		if maxQ <= 0 {
+			maxQ = s.maxQueueSeen
+		}
+		if maxQ <= 0 {
+			maxQ = 1
+		}
+		frac := float64(len(s.queues[p])) / float64(maxQ)
+		if frac > 1 {
+			frac = 1
+		}
+		return s.opt.RelaxFactor * frac * expectedWait
+	default: // EASY
+		return 0
+	}
+}
+
+// buildProfile constructs the availability profile for partition p at now.
+func (s *simulator) buildProfile(p int) *profile {
+	ends := make([]jobEnd, 0, len(s.runsets[p]))
+	for _, r := range s.runsets[p] {
+		ends = append(ends, jobEnd{end: r.end, procs: r.procs})
+	}
+	return newProfile(s.now, s.cl.Free(p), ends)
+}
+
+// backfillPass tries to start one queued job (after the head) that fits now
+// and either finishes before the deadline or fits inside the extra cores
+// not needed by the head's reservation. Returns true if a job started.
+func (s *simulator) backfillPass(p int, deadline float64, extra int) bool {
+	q := s.queues[p]
+	for pos := 1; pos < len(q); pos++ {
+		c := q[pos]
+		if !s.cl.CanAllocate(p, c.procs) {
+			continue
+		}
+		if s.now+c.reqTime <= deadline+1e-9 || c.procs <= extra {
+			s.start(p, pos)
+			return true
+		}
+	}
+	return false
+}
+
+// conservativePass plans a reservation for every queued job in priority
+// order and starts those whose planned start is now.
+func (s *simulator) conservativePass(p int, prof *profile) {
+	// Plan on a copy of the queue order; starting jobs mutates the queue.
+	planned := make([]struct {
+		pos   int
+		start float64
+	}, 0, len(s.queues[p]))
+	for pos := 0; pos < len(s.queues[p]); pos++ {
+		c := s.queues[p][pos]
+		st, _ := prof.earliestStart(s.now, c.procs, c.reqTime)
+		prof.reserve(st, c.reqTime, c.procs)
+		planned = append(planned, struct {
+			pos   int
+			start float64
+		}{pos, st})
+	}
+	// Start immediately-startable jobs; iterate descending position so
+	// earlier removals don't shift later indices.
+	for i := len(planned) - 1; i >= 0; i-- {
+		if planned[i].start <= s.now+1e-9 && s.cl.CanAllocate(p, s.queues[p][planned[i].pos].procs) {
+			s.start(p, planned[i].pos)
+		}
+	}
+}
+
+// result assembles the metrics.
+func (s *simulator) result(tr *trace.Trace) (*Result, error) {
+	res := &Result{
+		Jobs:           append([]trace.Job(nil), s.jobs...),
+		Violations:     s.violations,
+		ViolationDelay: s.violationDelay,
+		Backfilled:     s.backfilled,
+		MaxQueueLen:    s.maxQueueSeen,
+		Makespan:       s.makespan,
+		QueueTimeline:  s.timeline,
+		PromisedStart:  s.promised,
+	}
+	var sumWait, sumBsld float64
+	for i := range res.Jobs {
+		res.Jobs[i].Wait = s.waits[i]
+		sumWait += s.waits[i]
+		sumBsld += res.Jobs[i].BoundedSlowdown(s.opt.BsldTau)
+	}
+	n := float64(len(res.Jobs))
+	if n > 0 {
+		res.AvgWait = sumWait / n
+		res.AvgBsld = sumBsld / n
+	}
+	if s.makespan > 0 {
+		res.Utilization = s.cl.Utilization(s.makespan)
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"sort"
+
+	"crosssched/internal/dist"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point    float64
+	Lo, Hi   float64
+	Level    float64 // e.g. 0.95
+	Resample int     // bootstrap resamples used
+}
+
+// BootstrapCI estimates a confidence interval for an arbitrary statistic
+// by the percentile bootstrap with resamples draws, deterministically
+// seeded. Used by reports to qualify medians and means computed from a
+// single synthetic trace. Returns a degenerate CI for empty input.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, resamples int, seed uint64) CI {
+	out := CI{Level: level, Resample: resamples}
+	if len(xs) == 0 || resamples <= 0 {
+		return out
+	}
+	out.Point = stat(xs)
+	rng := dist.NewRNG(seed)
+	estimates := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[r] = stat(buf)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	out.Lo = QuantileSorted(estimates, alpha)
+	out.Hi = QuantileSorted(estimates, 1-alpha)
+	return out
+}
+
+// MedianCI is BootstrapCI specialized to the median with common defaults
+// (95% level, 200 resamples).
+func MedianCI(xs []float64, seed uint64) CI {
+	return BootstrapCI(xs, Median, 0.95, 200, seed)
+}
+
+// MeanCI is BootstrapCI specialized to the mean with common defaults.
+func MeanCI(xs []float64, seed uint64) CI {
+	return BootstrapCI(xs, Mean, 0.95, 200, seed)
+}
+
+// Contains reports whether v lies within [Lo, Hi].
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi - Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"testing"
+
+	"crosssched/internal/dist"
+)
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	ci := BootstrapCI(nil, Median, 0.95, 100, 1)
+	if ci.Point != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Fatalf("empty CI should be zero: %+v", ci)
+	}
+	if MedianCI(nil, 1).Width() != 0 {
+		t.Fatal("empty median CI should be degenerate")
+	}
+}
+
+func TestBootstrapCIContainsTruth(t *testing.T) {
+	// Large normal sample: the 95% CI for the mean should contain the
+	// true mean (0) and be narrow.
+	r := dist.NewRNG(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Normal()
+	}
+	ci := MeanCI(xs, 7)
+	if !ci.Contains(0) {
+		t.Fatalf("mean CI %v does not contain 0", ci)
+	}
+	if ci.Width() > 0.1 {
+		t.Fatalf("mean CI too wide: %v", ci.Width())
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("point outside its own CI: %+v", ci)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 5, 3, 8, 2, 9, 4}
+	a := MedianCI(xs, 11)
+	b := MedianCI(xs, 11)
+	if a != b {
+		t.Fatal("same-seed bootstrap differs")
+	}
+}
+
+func TestBootstrapCIOrdering(t *testing.T) {
+	r := dist.NewRNG(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	ci := MedianCI(xs, 1)
+	if !(ci.Lo <= ci.Hi) {
+		t.Fatalf("CI bounds inverted: %+v", ci)
+	}
+	if ci.Level != 0.95 || ci.Resample != 200 {
+		t.Fatalf("defaults wrong: %+v", ci)
+	}
+}

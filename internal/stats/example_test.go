@@ -1,0 +1,43 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/stats"
+)
+
+// ExampleNewECDF shows empirical CDF evaluation and inversion.
+func ExampleNewECDF() {
+	e := stats.NewECDF([]float64{10, 20, 30, 40})
+	fmt.Println(e.At(25))      // fraction of samples <= 25
+	fmt.Println(e.Inverse(.5)) // empirical median
+	// Output:
+	// 0.5
+	// 20
+}
+
+// ExampleSummarize computes the summary used across the figures.
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	fmt.Println(s.N, s.Min, s.P50, s.Max)
+	// Output:
+	// 5 1 3 5
+}
+
+// ExampleHourlyCounts buckets submissions by local hour of day.
+func ExampleHourlyCounts() {
+	// events at t=0 and t=3600 with the trace starting at 8am local
+	counts := stats.HourlyCounts([]float64{0, 3600}, 8)
+	fmt.Println(counts[8], counts[9])
+	// Output:
+	// 1 1
+}
+
+// ExampleKolmogorovSmirnov measures distributional distance.
+func ExampleKolmogorovSmirnov() {
+	same := stats.KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3})
+	disjoint := stats.KolmogorovSmirnov([]float64{1, 2}, []float64{10, 20})
+	fmt.Println(same, disjoint)
+	// Output:
+	// 0 1
+}

@@ -1,0 +1,43 @@
+package stats
+
+import "sort"
+
+// KolmogorovSmirnov returns the two-sample KS statistic — the maximum
+// vertical distance between the empirical CDFs of xs and ys. Used to
+// quantify distributional fidelity between an observed trace and a fitted
+// regeneration (synth.FromTrace). Returns 1 when either sample is empty
+// (maximally distinguishable).
+func KolmogorovSmirnov(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 1
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	na, nb := float64(len(a)), float64(len(b))
+	maxD := 0.0
+	for i < len(a) && j < len(b) {
+		var v float64
+		if a[i] <= b[j] {
+			v = a[i]
+		} else {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		d := float64(i)/na - float64(j)/nb
+		if d < 0 {
+			d = -d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

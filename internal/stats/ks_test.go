@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/dist"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(xs, xs); d != 0 {
+		t.Fatalf("KS of identical samples %v want 0", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20, 30}
+	if d := KolmogorovSmirnov(xs, ys); d != 1 {
+		t.Fatalf("KS of disjoint samples %v want 1", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if KolmogorovSmirnov(nil, []float64{1}) != 1 {
+		t.Fatal("empty sample should give 1")
+	}
+	if KolmogorovSmirnov([]float64{1}, nil) != 1 {
+		t.Fatal("empty sample should give 1")
+	}
+}
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	r := dist.NewRNG(5)
+	xs := make([]float64, 3000)
+	ys := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = r.Normal()
+		ys[i] = r.Normal()
+	}
+	d := KolmogorovSmirnov(xs, ys)
+	// critical value at alpha=0.01 for n=m=3000 is ~0.042
+	if d > 0.05 {
+		t.Fatalf("same-distribution KS %v too large", d)
+	}
+}
+
+func TestKSShiftDetected(t *testing.T) {
+	r := dist.NewRNG(6)
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Normal()
+		ys[i] = r.Normal() + 1 // shifted by one sigma
+	}
+	d := KolmogorovSmirnov(xs, ys)
+	// theoretical max gap for unit shift of standard normals is
+	// 2*Phi(0.5)-1 ~ 0.383
+	if math.Abs(d-0.383) > 0.06 {
+		t.Fatalf("shifted KS %v want ~0.38", d)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	xs := []float64{1, 5, 9, 2}
+	ys := []float64{3, 3, 7}
+	if KolmogorovSmirnov(xs, ys) != KolmogorovSmirnov(ys, xs) {
+		t.Fatal("KS not symmetric")
+	}
+}

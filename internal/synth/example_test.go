@@ -1,0 +1,47 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"crosssched/internal/synth"
+)
+
+// ExampleByName generates a calibrated workload for a named system.
+func ExampleByName() {
+	p, err := synth.ByName("Mira", 2)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := p.Generate(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.System.Name, tr.System.TotalCores, "cores")
+	fmt.Println("jobs generated:", tr.Len() > 100)
+	fmt.Println("walltimes present:", tr.Jobs[0].Walltime > 0)
+	// Output:
+	// Mira 786432 cores
+	// jobs generated: true
+	// walltimes present: true
+}
+
+// ExampleFromTrace fits a generator profile to an observed trace and
+// regenerates a matched synthetic workload.
+func ExampleFromTrace() {
+	orig, err := synth.Helios(2).Generate(3)
+	if err != nil {
+		panic(err)
+	}
+	fitted, err := synth.FromTrace(orig)
+	if err != nil {
+		panic(err)
+	}
+	regen, err := fitted.Generate(99)
+	if err != nil {
+		panic(err)
+	}
+	ratio := float64(regen.Len()) / float64(orig.Len())
+	fmt.Println("count within 2x:", ratio > 0.5 && ratio < 2)
+	// Output:
+	// count within 2x: true
+}

@@ -1,0 +1,429 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// FromTrace fits a Profile that approximates an observed trace, enabling
+// the paper's "analyze your own trace" workflow to also generate matched
+// synthetic workloads (e.g. to extrapolate a trace, anonymize it, or stress
+// schedulers against heavier versions of it). The fit is moment/quantile
+// matching per component:
+//
+//   - arrival rate and diurnal weights from hourly counts;
+//   - burstiness from the inter-arrival coefficient of variation via the
+//     Weibull CV relation;
+//   - size distribution from the empirical request histogram;
+//   - runtime distribution from a log-normal fit of sub-day runtimes plus
+//     an explicit >1-day tail component;
+//   - failure and walltime models from measured per-length-class rates;
+//   - queue-adaptive strengths from the short-vs-long queue contrasts.
+//
+// The returned profile is Validate()-clean and can be generated directly.
+func FromTrace(tr *trace.Trace) (*Profile, error) {
+	if tr.Len() < 100 {
+		return nil, fmt.Errorf("synth: trace too small to fit (%d jobs)", tr.Len())
+	}
+	days := tr.Duration() / 86400
+	if last := tr.Jobs[tr.Len()-1].Submit / 86400; last > 0 && last < days {
+		days = last // fit the submission window, not the completion tail
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("synth: trace has no time span")
+	}
+
+	p := &Profile{
+		Sys:  tr.System,
+		Days: days,
+	}
+	p.JobsPerDay = float64(tr.Len()) / days
+	p.HourlyWeights = fitHourly(tr)
+	p.Burstiness = fitBurstiness(tr.ArrivalIntervals())
+	p.Users = len(tr.Users())
+	if p.Users == 0 {
+		p.Users = 1
+	}
+	p.UserZipfS = fitUserZipf(tr)
+	p.TemplatesPerUser, p.TemplateZipfS = fitTemplates(tr)
+	p.SizeChoices, p.SizeWeights = fitSizes(tr)
+	p.RefProcs = p.SizeChoices[len(p.SizeChoices)/2]
+	p.SizeRuntimeCorr = 0
+
+	fitRuntime(p, tr)
+	fitFailures(p, tr)
+	fitAdaptation(p, tr)
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: fitted profile invalid: %w", err)
+	}
+	return p, nil
+}
+
+// fitHourly measures the diurnal weights.
+func fitHourly(tr *trace.Trace) [24]float64 {
+	counts := stats.HourlyCounts(tr.Submits(), tr.System.StartHour)
+	var w [24]float64
+	for i, c := range counts {
+		w[i] = float64(c) + 1 // +1 smoothing avoids dead hours stalling
+	}
+	return w
+}
+
+// fitBurstiness inverts the Weibull CV relation: for shape k,
+// CV^2 = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1; burstiness is 1/k.
+func fitBurstiness(intervals []float64) float64 {
+	if len(intervals) < 10 {
+		return 1
+	}
+	m := stats.Mean(intervals)
+	sd := stats.Stddev(intervals)
+	if m <= 0 || sd <= 0 {
+		return 1
+	}
+	targetCV := sd / m
+	if targetCV < 1 {
+		targetCV = 1 // never fit below Poisson
+	}
+	lo, hi := 0.2, 1.0 // k in [0.2, 1] covers CV in [1, ~16]
+	for iter := 0; iter < 60; iter++ {
+		k := (lo + hi) / 2
+		cv := weibullCV(k)
+		if cv > targetCV {
+			lo = k
+		} else {
+			hi = k
+		}
+	}
+	k := (lo + hi) / 2
+	b := 1 / k
+	if b < 1 {
+		b = 1
+	}
+	if b > 4 {
+		b = 4
+	}
+	return b
+}
+
+func weibullCV(k float64) float64 {
+	g1 := math.Gamma(1 + 1/k)
+	g2 := math.Gamma(1 + 2/k)
+	return math.Sqrt(g2/(g1*g1) - 1)
+}
+
+// fitUserZipf fits the activity exponent so the top user's modeled share
+// matches the observed one.
+func fitUserZipf(tr *trace.Trace) float64 {
+	counts := map[int]int{}
+	for i := range tr.Jobs {
+		counts[tr.Jobs[i].User]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	observed := float64(top) / float64(tr.Len())
+	n := len(counts)
+	if n < 2 {
+		return 1.05
+	}
+	lo, hi := 0.5, 2.5
+	for iter := 0; iter < 50; iter++ {
+		s := (lo + hi) / 2
+		if zipfTopShare(n, s) < observed {
+			lo = s
+		} else {
+			hi = s
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func zipfTopShare(n int, s float64) float64 {
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		sum += 1 / math.Pow(float64(r), s)
+	}
+	return 1 / sum
+}
+
+// fitTemplates estimates the per-user template count and selection skew
+// from the observed group structure of heavy users.
+func fitTemplates(tr *trace.Trace) (int, float64) {
+	byUser := tr.JobsByUser()
+	var groupCounts []float64
+	var topShares []float64
+	for _, u := range tr.TopUsersByJobCount(20) {
+		idxs := byUser[u]
+		if len(idxs) < 20 {
+			continue
+		}
+		sizes := userGroupSizesForFit(tr, idxs)
+		if len(sizes) == 0 {
+			continue
+		}
+		groupCounts = append(groupCounts, float64(len(sizes)))
+		max := 0
+		for _, s := range sizes {
+			if s > max {
+				max = s
+			}
+		}
+		topShares = append(topShares, float64(max)/float64(len(idxs)))
+	}
+	templates := int(stats.Median(groupCounts))
+	if templates < 3 {
+		templates = 3
+	}
+	if templates > 80 {
+		templates = 80
+	}
+	topShare := stats.Median(topShares)
+	if topShare <= 0 {
+		return templates, 1.4
+	}
+	lo, hi := 0.6, 3.0
+	for iter := 0; iter < 50; iter++ {
+		s := (lo + hi) / 2
+		if zipfTopShare(templates, s) < topShare {
+			lo = s
+		} else {
+			hi = s
+		}
+	}
+	return templates, (lo + hi) / 2
+}
+
+// userGroupSizesForFit mirrors the Figure 8 grouping (exact procs, runtime
+// within 10% of the running group mean).
+func userGroupSizesForFit(tr *trace.Trace, idxs []int) []int {
+	byProcs := map[int][]float64{}
+	for _, i := range idxs {
+		byProcs[tr.Jobs[i].Procs] = append(byProcs[tr.Jobs[i].Procs], tr.Jobs[i].Run)
+	}
+	var sizes []int
+	for _, runs := range byProcs {
+		sort.Float64s(runs)
+		i := 0
+		for i < len(runs) {
+			mean := runs[i]
+			n := 1
+			j := i + 1
+			for j < len(runs) && math.Abs(runs[j]-mean) <= 0.1*mean {
+				mean = (mean*float64(n) + runs[j]) / float64(n+1)
+				n++
+				j++
+			}
+			sizes = append(sizes, n)
+			i = j
+		}
+	}
+	return sizes
+}
+
+// fitSizes builds the empirical request-size distribution (top 24 values).
+func fitSizes(tr *trace.Trace) ([]int, []float64) {
+	counts := map[int]int{}
+	for i := range tr.Jobs {
+		counts[tr.Jobs[i].Procs]++
+	}
+	type kv struct {
+		procs, n int
+	}
+	all := make([]kv, 0, len(counts))
+	for p, n := range counts {
+		all = append(all, kv{p, n})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].n > all[b].n })
+	if len(all) > 24 {
+		all = all[:24]
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].procs < all[b].procs })
+	choices := make([]int, len(all))
+	weights := make([]float64, len(all))
+	for i, e := range all {
+		choices[i] = e.procs
+		weights[i] = float64(e.n)
+	}
+	return choices, weights
+}
+
+// fitRuntime fits the main log-normal body and the >1-day tail. It targets
+// the PASSED jobs' runtimes (failed/killed truncations are re-applied by
+// the generator's own status model).
+func fitRuntime(p *Profile, tr *trace.Trace) {
+	var body []float64
+	tail := 0
+	total := 0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Status != trace.Passed {
+			continue
+		}
+		total++
+		if j.Run > 86400 {
+			tail++
+		} else if j.Run > 0 {
+			body = append(body, math.Log(j.Run))
+		}
+	}
+	if len(body) < 10 {
+		// degenerate: fall back to all runtimes
+		for i := range tr.Jobs {
+			if tr.Jobs[i].Run > 0 {
+				body = append(body, math.Log(tr.Jobs[i].Run))
+			}
+		}
+	}
+	mu := stats.Mean(body)
+	sigma := stats.Stddev(body)
+	if sigma < 0.2 {
+		sigma = 0.2
+	}
+	p.RuntimeMedian = dist.Clamped{
+		S:  dist.LogNormal{Mu: mu, Sigma: sigma},
+		Lo: 1, Hi: 5e6,
+	}
+	if total > 0 && tail > 0 {
+		p.RuntimeTailWeight = float64(tail) / float64(total)
+		p.RuntimeTail = dist.Clamped{
+			S:  dist.Pareto{Xm: 86400, Alpha: 1.4},
+			Lo: 86400, Hi: 5e6,
+		}
+	}
+	p.IntraTemplateSigma = 0.06
+}
+
+// fitFailures measures per-length fail/kill rates and walltime behavior.
+func fitFailures(p *Profile, tr *trace.Trace) {
+	var tot, fail, kill [3]float64
+	wallRatios := []float64{}
+	killedAtWall, killed := 0, 0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		c := lengthCategory(j.Run)
+		tot[c]++
+		switch j.Status {
+		case trace.Failed:
+			fail[c]++
+		case trace.Killed:
+			kill[c]++
+			killed++
+			if j.Walltime > 0 && j.Run >= j.Walltime*0.999 {
+				killedAtWall++
+			}
+		}
+		if j.Walltime > 0 && j.Run > 0 {
+			wallRatios = append(wallRatios, j.Walltime/j.Run)
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if tot[c] > 0 {
+			p.FailByLength[c] = fail[c] / tot[c]
+			p.KillByLength[c] = kill[c] / tot[c]
+		}
+	}
+	if len(wallRatios) > 10 {
+		p.WalltimeFactorLo = stats.Quantile(wallRatios, 0.25)
+		p.WalltimeFactorHi = stats.Quantile(wallRatios, 0.9)
+		if p.WalltimeFactorLo < 1 {
+			p.WalltimeFactorLo = 1
+		}
+		if p.WalltimeFactorHi <= p.WalltimeFactorLo {
+			p.WalltimeFactorHi = p.WalltimeFactorLo + 0.2
+		}
+	}
+	if killed > 0 {
+		p.WalltimeKillFrac = float64(killedAtWall) / float64(killed)
+	}
+	p.UserFailSigma = 0.3
+	if tr.System.Kind == trace.DL {
+		p.SizeFailBoost = [3]float64{1.0, 1.3, 1.8}
+	}
+}
+
+// fitAdaptation estimates queue-adaptive strengths from the short-vs-long
+// queue-bucket contrasts in the observed waits.
+func fitAdaptation(p *Profile, tr *trace.Trace) {
+	q := queueLengthsForFit(tr)
+	maxQ := 0
+	for _, v := range q {
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	p.QueueScale = float64(maxQ) / 2
+	if p.QueueScale < 4 {
+		p.QueueScale = 4
+	}
+	if maxQ == 0 {
+		return
+	}
+	minProcs := tr.Jobs[0].Procs
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Procs < minProcs {
+			minProcs = tr.Jobs[i].Procs
+		}
+	}
+	var loMin, loTot, hiMin, hiTot float64
+	var loRuns, hiRuns []float64
+	for i := range tr.Jobs {
+		frac := float64(q[i]) / float64(maxQ)
+		switch {
+		case frac <= 1.0/3:
+			loTot++
+			if tr.Jobs[i].Procs == minProcs {
+				loMin++
+			}
+			loRuns = append(loRuns, tr.Jobs[i].Run)
+		case frac > 2.0/3:
+			hiTot++
+			if tr.Jobs[i].Procs == minProcs {
+				hiMin++
+			}
+			hiRuns = append(hiRuns, tr.Jobs[i].Run)
+		}
+	}
+	if loTot > 20 && hiTot > 20 {
+		delta := hiMin/hiTot - loMin/loTot
+		if delta > 0 {
+			p.SizeAdapt = math.Min(1, 2*delta)
+		}
+		loMed, hiMed := stats.Median(loRuns), stats.Median(hiRuns)
+		if tr.System.Kind == trace.DL && loMed > 0 && hiMed < loMed {
+			// invert run *= 0.05^(adapt * 1) at full pressure
+			ratio := hiMed / loMed
+			p.RuntimeAdapt = math.Min(1, math.Log(ratio)/math.Log(0.05))
+		}
+	}
+}
+
+// queueLengthsForFit reconstructs queue lengths from recorded waits.
+func queueLengthsForFit(tr *trace.Trace) []int {
+	starts := make([]float64, 0, 64)
+	out := make([]int, tr.Len())
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		w := 0
+		for _, s := range starts {
+			if s > j.Submit {
+				starts[w] = s
+				w++
+			}
+		}
+		starts = starts[:w]
+		out[i] = len(starts)
+		if j.Wait >= 0 {
+			starts = append(starts, j.Start())
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+func TestFromTraceRejectsTiny(t *testing.T) {
+	tr := trace.New(trace.System{Name: "T", TotalCores: 4})
+	if _, err := FromTrace(tr); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+// TestFromTraceRoundTrip fits a profile to a generated Philly trace,
+// regenerates from the fit, and checks the headline statistics agree
+// within loose bands — the fidelity a "model my trace" user needs.
+func TestFromTraceRoundTrip(t *testing.T) {
+	orig, err := Philly(6).Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FromTrace(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen, err := fitted.Generate(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// job count within 2x
+	ratio := float64(regen.Len()) / float64(orig.Len())
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("job count ratio %v (orig %d, regen %d)", ratio, orig.Len(), regen.Len())
+	}
+	// median runtime within ~4x (log-space fit over a heavy mixture)
+	mo, mr := stats.Median(orig.Runtimes()), stats.Median(regen.Runtimes())
+	if r := mr / mo; r < 0.25 || r > 4 {
+		t.Fatalf("median runtime ratio %v (orig %v, regen %v)", r, mo, mr)
+	}
+	// arrival median within 3x
+	io, ir := stats.Median(orig.ArrivalIntervals()), stats.Median(regen.ArrivalIntervals())
+	if r := ir / io; r < 1.0/3 || r > 3 {
+		t.Fatalf("median interval ratio %v (orig %v, regen %v)", r, io, ir)
+	}
+	// single-GPU dominance preserved
+	frac1 := func(tr *trace.Trace) float64 {
+		n := 0
+		for _, j := range tr.Jobs {
+			if j.Procs == 1 {
+				n++
+			}
+		}
+		return float64(n) / float64(tr.Len())
+	}
+	if math.Abs(frac1(orig)-frac1(regen)) > 0.15 {
+		t.Fatalf("single-GPU fraction drifted: %v vs %v", frac1(orig), frac1(regen))
+	}
+	// failure rate within 15 points
+	notPassed := func(tr *trace.Trace) float64 {
+		n := 0
+		for _, j := range tr.Jobs {
+			if j.Status != trace.Passed {
+				n++
+			}
+		}
+		return float64(n) / float64(tr.Len())
+	}
+	if math.Abs(notPassed(orig)-notPassed(regen)) > 0.15 {
+		t.Fatalf("failure rate drifted: %v vs %v", notPassed(orig), notPassed(regen))
+	}
+	// distributional fidelity: KS distance of log runtimes bounded
+	logRT := func(tr *trace.Trace) []float64 {
+		out := make([]float64, tr.Len())
+		for i, j := range tr.Jobs {
+			out[i] = math.Log1p(j.Run)
+		}
+		return out
+	}
+	if d := stats.KolmogorovSmirnov(logRT(orig), logRT(regen)); d > 0.35 {
+		t.Fatalf("log-runtime KS distance %v too large", d)
+	}
+}
+
+func TestFromTraceHPCWalltimes(t *testing.T) {
+	orig, err := Theta(8).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FromTrace(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.WalltimeFactorHi <= fitted.WalltimeFactorLo || fitted.WalltimeFactorLo < 1 {
+		t.Fatalf("walltime factors not fitted: lo=%v hi=%v",
+			fitted.WalltimeFactorLo, fitted.WalltimeFactorHi)
+	}
+	if fitted.WalltimeKillFrac <= 0 {
+		t.Fatalf("walltime kill fraction not fitted: %v", fitted.WalltimeKillFrac)
+	}
+	regen, err := fitted.Generate(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// regenerated HPC jobs must carry walltimes
+	withWall := 0
+	for _, j := range regen.Jobs {
+		if j.Walltime > 0 {
+			withWall++
+		}
+	}
+	if float64(withWall)/float64(regen.Len()) < 0.9 {
+		t.Fatal("regenerated trace lost walltimes")
+	}
+}
+
+func TestFitBurstiness(t *testing.T) {
+	// Exponential intervals (CV=1) should fit burstiness ~1.
+	exp := make([]float64, 5000)
+	r := dist.NewRNG(7)
+	for i := range exp {
+		exp[i] = -math.Log(r.Float64Open())
+	}
+	if b := fitBurstiness(exp); b < 0.9 || b > 1.3 {
+		t.Fatalf("exponential fit burstiness %v want ~1", b)
+	}
+	// Heavy-tailed (bursty) intervals should fit burstiness > 1.3.
+	heavy := make([]float64, 5000)
+	for i := range heavy {
+		u := r.Float64Open()
+		heavy[i] = math.Pow(u, -1.2) // Pareto-ish
+	}
+	if b := fitBurstiness(heavy); b < 1.3 {
+		t.Fatalf("heavy-tail fit burstiness %v want > 1.3", b)
+	}
+	if fitBurstiness(nil) != 1 {
+		t.Fatal("empty intervals should fit 1")
+	}
+}
+
+func TestFitSizes(t *testing.T) {
+	tr := trace.New(trace.System{Name: "X", Kind: trace.DL, TotalCores: 100})
+	for i := 0; i < 80; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{User: 0, Submit: float64(i), Wait: 0, Run: 10, Procs: 1, VC: -1})
+	}
+	for i := 0; i < 20; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{User: 0, Submit: 100 + float64(i), Wait: 0, Run: 10, Procs: 8, VC: -1})
+	}
+	tr.SortBySubmit()
+	choices, weights := fitSizes(tr)
+	if len(choices) != 2 || choices[0] != 1 || choices[1] != 8 {
+		t.Fatalf("choices %v", choices)
+	}
+	if weights[0] != 80 || weights[1] != 20 {
+		t.Fatalf("weights %v", weights)
+	}
+}
+
+func TestZipfTopShare(t *testing.T) {
+	// s=1 over 2 ranks: shares 1/1.5 and 0.5/1.5
+	if got := zipfTopShare(2, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("top share %v want 2/3", got)
+	}
+}

@@ -1,0 +1,433 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/trace"
+)
+
+// Profile parameterizes a synthetic workload for one system. The built-in
+// profiles in profiles.go are calibrated to the paper's reported statistics;
+// see DESIGN.md ("Calibration targets").
+type Profile struct {
+	Sys trace.System
+
+	// Days is the trace duration in days.
+	Days float64
+	// JobsPerDay is the mean arrival rate.
+	JobsPerDay float64
+	// HourlyWeights shape the diurnal cycle (relative rates by local hour;
+	// normalized internally). Figure 1(b) bottom.
+	HourlyWeights [24]float64
+	// Burstiness > 1 makes inter-arrival gaps heavier-tailed than Poisson
+	// (Weibull shape 1/Burstiness). DL clusters are burstier.
+	Burstiness float64
+
+	// Users is the size of the user population; activity is Zipf-skewed.
+	Users int
+	// UserZipfS is the Zipf exponent for user activity (heavy users).
+	UserZipfS float64
+	// TemplatesPerUser bounds each user's set of repeated job
+	// configurations (Figure 8); selection within a user is Zipf with
+	// exponent TemplateZipfS.
+	TemplatesPerUser int
+	TemplateZipfS    float64
+
+	// SizeChoices and SizeWeights define the job-size distribution in
+	// cores (CPU cores for HPC, GPUs for DL). Figure 1(c).
+	SizeChoices []int
+	SizeWeights []float64
+	// RefProcs anchors the size-runtime correlation; templates with
+	// procs above it run longer by (procs/RefProcs)^SizeRuntimeCorr.
+	RefProcs        int
+	SizeRuntimeCorr float64
+
+	// RuntimeMedian samples the per-template median runtime (seconds).
+	RuntimeMedian dist.Sampler
+	// RuntimeTailWeight is the probability a template is a long-running
+	// (e.g. multi-day DL training) template drawn from RuntimeTail.
+	RuntimeTailWeight float64
+	RuntimeTail       dist.Sampler
+	// IntraTemplateSigma is the log-normal sigma within a template;
+	// small values make a user's repeated jobs nearly identical.
+	IntraTemplateSigma float64
+
+	// WalltimeFactorLo/Hi bound the per-template walltime overestimate
+	// (requested walltime = median runtime x factor). Zero disables
+	// walltimes (the DL traces carry none).
+	WalltimeFactorLo, WalltimeFactorHi float64
+
+	// Failure model: probability of Failed and Killed by intended-runtime
+	// category (short <1h, middle 1h-1d, long >1d). Figure 6/7.
+	FailByLength [3]float64
+	KillByLength [3]float64
+	// SizeFailBoost scales failure odds with size category (DL systems;
+	// Figure 7a): multiplier per size category (small, middle, large).
+	SizeFailBoost [3]float64
+	// UserFailSigma randomizes per-user failure propensity (Figure 11).
+	UserFailSigma float64
+	// WalltimeKillFrac is the share of HPC killed jobs that die exactly
+	// at their walltime limit (runtime == walltime).
+	WalltimeKillFrac float64
+
+	// Adaptive behavior (Figures 9-10): when the observed queue fraction
+	// is q in [0,1], a job shrinks to the minimal size with probability
+	// SizeAdapt*q, and (DL only) its runtime is scaled by
+	// RuntimeShrink^(RuntimeAdapt*q).
+	SizeAdapt    float64
+	RuntimeAdapt float64
+	// QueueScale is the queue length treated as "full" for q = 1.
+	QueueScale float64
+}
+
+// Validate reports the first configuration problem.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Sys.TotalCores <= 0:
+		return fmt.Errorf("synth: %s: non-positive capacity", p.Sys.Name)
+	case p.Days <= 0:
+		return fmt.Errorf("synth: %s: non-positive days", p.Sys.Name)
+	case p.JobsPerDay <= 0:
+		return fmt.Errorf("synth: %s: non-positive arrival rate", p.Sys.Name)
+	case p.Users <= 0:
+		return fmt.Errorf("synth: %s: no users", p.Sys.Name)
+	case len(p.SizeChoices) == 0 || len(p.SizeChoices) != len(p.SizeWeights):
+		return fmt.Errorf("synth: %s: size choices/weights mismatch", p.Sys.Name)
+	case p.RuntimeMedian == nil:
+		return fmt.Errorf("synth: %s: no runtime distribution", p.Sys.Name)
+	case p.TemplatesPerUser <= 0:
+		return fmt.Errorf("synth: %s: no templates", p.Sys.Name)
+	case p.QueueScale <= 0:
+		return fmt.Errorf("synth: %s: non-positive queue scale", p.Sys.Name)
+	}
+	for _, c := range p.SizeChoices {
+		if c <= 0 || c > p.Sys.TotalCores {
+			return fmt.Errorf("synth: %s: size choice %d outside (0, %d]",
+				p.Sys.Name, c, p.Sys.TotalCores)
+		}
+	}
+	return nil
+}
+
+// template is one repeated job configuration owned by a user.
+type template struct {
+	procs      int
+	medianRun  float64
+	wallFactor float64
+}
+
+// user is a simulated submitter.
+type user struct {
+	id        int
+	vc        int
+	templates []template
+	tmplZipf  *dist.Zipf
+	failMult  float64
+	killMult  float64
+}
+
+// Generate produces a trace for the profile with the given seed. The
+// returned trace is sorted by submission and has Wait filled from the
+// shadow scheduler (the analog of the recorded waits in a real trace).
+func (p *Profile) Generate(seed uint64) (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := dist.NewRNG(seed)
+	users := p.makeUsers(rng)
+	userZipf := dist.NewZipf(len(users), p.UserZipfS)
+	sizeCat := dist.NewCategorical(p.SizeWeights)
+
+	nVC := p.Sys.VirtualClusters
+	if nVC < 1 {
+		nVC = 1
+	}
+	shadows := make([]*shadow, nVC)
+	vcCaps := make([]int, nVC)
+	base := p.Sys.TotalCores / nVC
+	rem := p.Sys.TotalCores % nVC
+	for i := range shadows {
+		vcCaps[i] = base
+		if i < rem {
+			vcCaps[i]++
+		}
+		shadows[i] = newShadow(vcCaps[i])
+	}
+
+	tr := trace.New(p.Sys)
+	horizon := p.Days * 86400
+	starts := map[int]float64{}
+	onStart := func(id int, st float64) { starts[id] = st }
+
+	// Arrival process: Weibull gaps whose scale tracks the diurnal rate.
+	shape := 1.0
+	if p.Burstiness > 0 {
+		shape = 1 / p.Burstiness
+	}
+	gammaFactor := math.Gamma(1 + 1/shape)
+	wsum := 0.0
+	for _, w := range p.HourlyWeights {
+		wsum += w
+	}
+	if wsum == 0 {
+		wsum = 24
+		for i := range p.HourlyWeights {
+			p.HourlyWeights[i] = 1
+		}
+	}
+
+	now := 0.0
+	id := 0
+	for now < horizon {
+		hour := (int(now/3600) + p.Sys.StartHour) % 24
+		rate := p.JobsPerDay / 86400 * (p.HourlyWeights[hour] * 24 / wsum)
+		if rate <= 0 {
+			now += 3600
+			continue
+		}
+		meanGap := 1 / rate
+		lambda := meanGap / gammaFactor
+		gap := dist.Weibull{K: shape, Lambda: lambda}.Sample(rng)
+		if gap > 6*3600 {
+			gap = 6 * 3600 // keep the process moving through dead hours
+		}
+		now += gap
+		if now >= horizon {
+			break
+		}
+
+		u := users[userZipf.SampleRank(rng)-1]
+		sh := shadows[u.vc%nVC]
+		sh.advance(now, onStart)
+		qFrac := float64(sh.queueLen()) / p.QueueScale
+		if qFrac > 1 {
+			qFrac = 1
+		}
+
+		j := p.makeJob(rng, u, sizeCat, qFrac, vcCaps[u.vc%nVC])
+		j.ID = id
+		j.Submit = now
+		if nVC > 1 {
+			j.VC = u.vc % nVC
+		} else {
+			j.VC = -1
+		}
+		// DL schedulers do not drain for big jobs; only HPC/hybrid
+		// capability jobs get priority-with-drain semantics.
+		large := p.Sys.Kind != trace.DL &&
+			sizeCategory3(p.Sys.Kind, j.Procs, p.Sys.TotalCores) == 2
+		sh.submit(shadowJob{id: id, procs: j.Procs, run: j.Run, submit: now, large: large}, onStart)
+		tr.Jobs = append(tr.Jobs, j)
+		id++
+	}
+	for _, sh := range shadows {
+		sh.flush(onStart)
+	}
+	for i := range tr.Jobs {
+		st, ok := starts[tr.Jobs[i].ID]
+		if !ok {
+			return nil, fmt.Errorf("synth: job %d never started in shadow scheduler", i)
+		}
+		tr.Jobs[i].Wait = st - tr.Jobs[i].Submit
+		if tr.Jobs[i].Wait < 0 {
+			tr.Jobs[i].Wait = 0
+		}
+	}
+	tr.SortBySubmit()
+	return tr, nil
+}
+
+// makeUsers builds the user population with their repeated templates.
+func (p *Profile) makeUsers(rng *dist.RNG) []*user {
+	sizeCat := dist.NewCategorical(p.SizeWeights)
+	users := make([]*user, p.Users)
+	for i := range users {
+		r := rng.Split()
+		u := &user{
+			id:       i,
+			failMult: math.Exp(p.UserFailSigma * r.Normal()),
+			killMult: math.Exp(p.UserFailSigma * r.Normal()),
+		}
+		if p.Sys.VirtualClusters > 1 {
+			// Deterministically skewed VC assignment: low-index (most
+			// active) users pile onto the first VCs. This is the
+			// imbalance behind Philly's queued-jobs-next-to-idle-GPUs
+			// pathology (Takeaway 5/6).
+			u.vc = skewedPartition(i, p.Users, p.Sys.VirtualClusters)
+		}
+		n := p.TemplatesPerUser
+		u.templates = make([]template, n)
+		for k := range u.templates {
+			procs := p.SizeChoices[sizeCat.SampleIndex(r)]
+			med := p.RuntimeMedian.Sample(r)
+			if p.RuntimeTailWeight > 0 && p.RuntimeTail != nil && r.Float64() < p.RuntimeTailWeight {
+				med = p.RuntimeTail.Sample(r)
+			}
+			if p.SizeRuntimeCorr != 0 && p.RefProcs > 0 {
+				med *= math.Pow(float64(procs)/float64(p.RefProcs), p.SizeRuntimeCorr)
+			}
+			if med < 1 {
+				med = 1
+			}
+			wf := 0.0
+			if p.WalltimeFactorHi > 0 {
+				wf = p.WalltimeFactorLo + (p.WalltimeFactorHi-p.WalltimeFactorLo)*r.Float64()
+			}
+			u.templates[k] = template{procs: procs, medianRun: med, wallFactor: wf}
+		}
+		u.tmplZipf = dist.NewZipf(n, p.TemplateZipfS)
+		users[i] = u
+	}
+	return users
+}
+
+// skewedPartition maps user index i of n onto one of k partitions with a
+// harmonic skew: partition v receives a share of users proportional to
+// 1/(v+1), so earlier partitions hold more (and, given Zipf user activity,
+// hotter) users.
+func skewedPartition(i, n, k int) int {
+	total := 0.0
+	for v := 0; v < k; v++ {
+		total += 1 / float64(v+3)
+	}
+	f := float64(i) / float64(n)
+	acc := 0.0
+	for v := 0; v < k; v++ {
+		acc += 1 / float64(v+3) / total
+		if f < acc {
+			return v
+		}
+	}
+	return k - 1
+}
+
+// lengthCategory classifies a runtime per the paper: short <1h,
+// middle 1h-1d, long >1d.
+func lengthCategory(run float64) int {
+	switch {
+	case run < 3600:
+		return 0
+	case run <= 86400:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// sizeCategory3 places procs into (small, middle, large) using the
+// system-appropriate convention; see analysis.SizeCategory for the shared
+// definition. Here only the DL boost needs it.
+func sizeCategory3(kind trace.SystemKind, procs, totalCores int) int {
+	if kind == trace.DL {
+		switch {
+		case procs <= 1:
+			return 0
+		case procs <= 8:
+			return 1
+		default:
+			return 2
+		}
+	}
+	frac := float64(procs) / float64(totalCores)
+	switch {
+	case frac < 0.10:
+		return 0
+	case frac <= 0.30:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// makeJob draws one job for user u under queue pressure qFrac.
+func (p *Profile) makeJob(rng *dist.RNG, u *user, _ *dist.Categorical, qFrac float64, vcCap int) trace.Job {
+	t := u.templates[u.tmplZipf.SampleRank(rng)-1]
+	procs := t.procs
+	// Adaptive sizing: under pressure users shrink to the minimal request.
+	if p.SizeAdapt > 0 && rng.Float64() < p.SizeAdapt*qFrac {
+		procs = p.SizeChoices[0]
+	}
+	if procs > vcCap {
+		procs = vcCap
+	}
+
+	run := t.medianRun * math.Exp(p.IntraTemplateSigma*rng.Normal())
+	// Adaptive runtime (DL): shorter jobs when the system is busy. The
+	// pressure level is quantized to halves — users switch to a discrete
+	// "short variant" of their job rather than scaling continuously —
+	// which also keeps their repeated-configuration groups (Figure 8)
+	// recognizable.
+	if p.RuntimeAdapt > 0 && qFrac > 0 {
+		level := math.Ceil(qFrac*2) / 2 // any visible queue selects the short variant
+		run *= math.Pow(0.05, p.RuntimeAdapt*level)
+	}
+	if run < 1 {
+		run = 1
+	}
+
+	// Failure model on the intended runtime/size.
+	cat := lengthCategory(run)
+	fail := p.FailByLength[cat] * u.failMult
+	kill := p.KillByLength[cat] * u.killMult
+	if p.SizeFailBoost != [3]float64{} {
+		b := p.SizeFailBoost[sizeCategory3(p.Sys.Kind, procs, p.Sys.TotalCores)]
+		fail *= b
+		kill *= b
+	}
+	if fail+kill > 0.95 {
+		scale := 0.95 / (fail + kill)
+		fail *= scale
+		kill *= scale
+	}
+	status := trace.Passed
+	switch x := rng.Float64(); {
+	case x < fail:
+		status = trace.Failed
+	case x < fail+kill:
+		status = trace.Killed
+	}
+
+	wall := 0.0
+	if t.wallFactor > 0 {
+		wall = t.medianRun * t.wallFactor
+	}
+
+	switch status {
+	case trace.Failed:
+		// Failures are cheap: they die early in the run.
+		run *= 0.01 + 0.34*rng.Float64()
+		if run < 1 {
+			run = 1
+		}
+	case trace.Killed:
+		if wall > 0 && rng.Float64() < p.WalltimeKillFrac {
+			// Killed exactly at the walltime limit.
+			wall = run
+		} else {
+			// Cancelled by the user partway through.
+			lo := 0.4
+			if p.Sys.Kind == trace.DL {
+				lo = 0.1
+			}
+			run *= lo + (1-lo)*rng.Float64()
+			if run < 1 {
+				run = 1
+			}
+		}
+	}
+	if wall > 0 && wall < run {
+		wall = run
+	}
+
+	return trace.Job{
+		User:     u.id,
+		Run:      run,
+		Walltime: wall,
+		Procs:    procs,
+		VC:       -1,
+		Wait:     -1,
+		Status:   status,
+	}
+}

@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"fmt"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/trace"
+)
+
+// Diurnal weight templates. All are relative rates by local hour; the
+// generator normalizes them.
+var (
+	// peaked: strong 8am-5pm business-hours cycle (Blue Waters, Helios;
+	// max/min about 10x, per Figure 1(b) bottom).
+	peakedHours = [24]float64{
+		0.25, 0.2, 0.18, 0.18, 0.2, 0.3, 0.5, 0.9, 1.4, 1.7, 1.9, 2.0,
+		1.9, 2.0, 1.95, 1.85, 1.6, 1.3, 1.0, 0.8, 0.6, 0.45, 0.35, 0.3,
+	}
+	// flatDip: Philly's flat profile with a mild dip in "peak hours"
+	// (max/min about 2.5x).
+	flatDipHours = [24]float64{
+		1.2, 1.15, 1.1, 1.0, 0.95, 0.9, 0.9, 0.85, 0.8, 0.7, 0.6, 0.55,
+		0.55, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.3, 1.25,
+	}
+	// afternoon: Mira/Theta's mild lift after 12pm.
+	afternoonHours = [24]float64{
+		0.9, 0.85, 0.82, 0.8, 0.8, 0.82, 0.85, 0.9, 0.95, 1.0, 1.05, 1.1,
+		1.18, 1.22, 1.22, 1.2, 1.15, 1.1, 1.05, 1.0, 0.98, 0.95, 0.92, 0.9,
+	}
+)
+
+// Mira returns the profile calibrated to ALCF Mira: a 49,152-node,
+// 786,432-core BlueGene/Q running capability-scale jobs. Median runtime
+// ~1.5h, stable runtimes, ~100s-scale arrival gaps, >50% of jobs above
+// 1,000 cores, high utilization, and near-certain walltime kills for
+// day-plus jobs.
+func Mira(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "Mira", Kind: trace.HPC,
+			TotalCores: 786432, CoresPerNode: 16, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 160, Burstiness: 1.25,
+		HourlyWeights: afternoonHours,
+		Users:         80, UserZipfS: 1.05,
+		TemplatesPerUser: 24, TemplateZipfS: 1.9,
+		// Node counts x 16 cores; Mira's minimum partition is 512 nodes.
+		SizeChoices: scale(16, 512, 1024, 2048, 4096, 8192, 12288, 16384, 24576, 49152),
+		SizeWeights: []float64{0.52, 0.22, 0.09, 0.05, 0.055, 0.015, 0.015, 0.008, 0.004},
+		RefProcs:    16384, SizeRuntimeCorr: 0.55,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(5400, 0.85), Lo: 60, Hi: 2.5e5},
+		RuntimeTailWeight:  0.03,
+		RuntimeTail:        dist.Clamped{S: dist.LogNormalFromMedian(1.4e5, 0.3), Lo: 9e4, Hi: 2.4e5},
+		IntraTemplateSigma: 0.05,
+		WalltimeFactorLo:   1.05, WalltimeFactorHi: 1.7,
+		FailByLength:     [3]float64{0.13, 0.06, 0.01},
+		KillByLength:     [3]float64{0.10, 0.28, 0.97},
+		UserFailSigma:    0.30,
+		WalltimeKillFrac: 0.6,
+		SizeAdapt:        0.5, RuntimeAdapt: 0,
+		QueueScale: 60,
+	}
+}
+
+// Theta returns the profile calibrated to ALCF Theta: 4,392 nodes x 64
+// cores. Similar geometry to Mira at smaller scale, with small jobs taking
+// only ~16% of core hours.
+func Theta(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "Theta", Kind: trace.HPC,
+			TotalCores: 281088, CoresPerNode: 64, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 290, Burstiness: 1.25,
+		HourlyWeights: afternoonHours,
+		Users:         100, UserZipfS: 1.05,
+		TemplatesPerUser: 24, TemplateZipfS: 1.9,
+		SizeChoices: scale(64, 128, 256, 512, 1024, 2048, 4096),
+		SizeWeights: []float64{0.56, 0.18, 0.12, 0.116, 0.02, 0.004},
+		RefProcs:    64 * 1024, SizeRuntimeCorr: 0.85,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(3600, 0.9), Lo: 60, Hi: 2.5e5},
+		RuntimeTailWeight:  0.02,
+		RuntimeTail:        dist.Clamped{S: dist.LogNormalFromMedian(1.3e5, 0.3), Lo: 9e4, Hi: 2.4e5},
+		IntraTemplateSigma: 0.05,
+		WalltimeFactorLo:   1.05, WalltimeFactorHi: 1.7,
+		FailByLength:     [3]float64{0.13, 0.07, 0.02},
+		KillByLength:     [3]float64{0.12, 0.30, 0.90},
+		UserFailSigma:    0.30,
+		WalltimeKillFrac: 0.55,
+		SizeAdapt:        0.4, RuntimeAdapt: 0,
+		QueueScale: 80,
+	}
+}
+
+// BlueWaters returns the profile calibrated to NCSA Blue Waters: the hybrid
+// 396,000-core system. Median job 32 nodes, median runtime ~1.5h with wide
+// dispersion, ~10s arrival gaps, small jobs dominating core hours (>85%),
+// and the longest waits of the five systems.
+func BlueWaters(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "BlueWaters", Kind: trace.Hybrid,
+			TotalCores: 396000, CoresPerNode: 32, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 2700, Burstiness: 2.2,
+		HourlyWeights: peakedHours,
+		Users:         300, UserZipfS: 1.05,
+		TemplatesPerUser: 28, TemplateZipfS: 1.8,
+		// Node counts x 32 cores.
+		SizeChoices: scale(32, 1, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+		SizeWeights: []float64{0.10, 0.10, 0.15, 0.15, 0.245, 0.12, 0.08, 0.03, 0.014, 0.006, 0.0025, 0.0008, 0.0004},
+		RefProcs:    32 * 32, SizeRuntimeCorr: 0.10,
+		// Hybrid runtime mixture: short DL-ish jobs plus long simulations.
+		RuntimeMedian: dist.Clamped{S: mixture(
+			0.30, dist.LogNormalFromMedian(400, 1.3),
+			0.70, dist.LogNormalFromMedian(9000, 1.1),
+		), Lo: 5, Hi: 6e5},
+		IntraTemplateSigma: 0.06,
+		WalltimeFactorLo:   1.05, WalltimeFactorHi: 1.8,
+		FailByLength:     [3]float64{0.10, 0.05, 0.02},
+		KillByLength:     [3]float64{0.12, 0.33, 0.80},
+		UserFailSigma:    0.35,
+		WalltimeKillFrac: 0.5,
+		SizeAdapt:        0.3, RuntimeAdapt: 0,
+		QueueScale: 1200,
+	}
+}
+
+// Philly returns the profile calibrated to Microsoft Philly: 2,490 GPUs in
+// 14 isolated virtual clusters. ~80% single-GPU jobs, median runtime ~12
+// minutes with week-long training tails, bursty ~8s arrivals, a flat
+// diurnal cycle, the highest failure rate (~40%), low utilization (~0.43)
+// from VC fragmentation, and long waits despite idle GPUs.
+func Philly(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "Philly", Kind: trace.DL,
+			TotalCores: 2490, VirtualClusters: 14, StartHour: 0,
+		},
+		Days: days, JobsPerDay: 5000, Burstiness: 1.9,
+		HourlyWeights: flatDipHours,
+		Users:         200, UserZipfS: 1.05,
+		TemplatesPerUser: 30, TemplateZipfS: 1.55,
+		SizeChoices: []int{1, 2, 4, 8, 16, 32, 64, 128},
+		SizeWeights: []float64{0.80, 0.05, 0.05, 0.05, 0.03, 0.015, 0.004, 0.001},
+		RefProcs:    8, SizeRuntimeCorr: 0.3,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(4200, 1.7), Lo: 1, Hi: 5e6},
+		RuntimeTailWeight:  0.08,
+		RuntimeTail:        dist.Clamped{S: dist.Pareto{Xm: 86400, Alpha: 1.3}, Lo: 86400, Hi: 5e6},
+		IntraTemplateSigma: 0.06,
+		FailByLength:       [3]float64{0.25, 0.15, 0.05},
+		KillByLength:       [3]float64{0.12, 0.33, 0.80},
+		SizeFailBoost:      [3]float64{1.0, 1.35, 1.9},
+		UserFailSigma:      0.40,
+		SizeAdapt:          0.9, RuntimeAdapt: 0.8,
+		QueueScale: 300,
+	}
+}
+
+// Helios returns the profile calibrated to SenseTime Helios: 6,416 GPUs,
+// jobs up to 2,048 GPUs, a 90-second median runtime with month-long
+// training tails, ~5s arrival gaps with a strong 10x diurnal cycle, and
+// minimal waits (80% under 10s).
+func Helios(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "Helios", Kind: trace.DL,
+			TotalCores: 6416, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 6800, Burstiness: 2.2,
+		HourlyWeights: peakedHours,
+		Users:         400, UserZipfS: 1.05,
+		TemplatesPerUser: 30, TemplateZipfS: 1.55,
+		SizeChoices: []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048},
+		SizeWeights: []float64{0.78, 0.06, 0.05, 0.06, 0.02, 0.015, 0.01, 0.004, 0.002, 0.0015, 0.0008, 0.0004},
+		RefProcs:    8, SizeRuntimeCorr: 0.35,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(450, 2.1), Lo: 1, Hi: 5e6},
+		RuntimeTailWeight:  0.05,
+		RuntimeTail:        dist.Clamped{S: dist.Pareto{Xm: 172800, Alpha: 1.4}, Lo: 172800, Hi: 5e6},
+		IntraTemplateSigma: 0.06,
+		FailByLength:       [3]float64{0.18, 0.12, 0.04},
+		KillByLength:       [3]float64{0.12, 0.33, 0.85},
+		SizeFailBoost:      [3]float64{1.0, 1.3, 1.8},
+		UserFailSigma:      0.40,
+		SizeAdapt:          0.9, RuntimeAdapt: 0.9,
+		QueueScale: 8,
+	}
+}
+
+// Profiles returns all five built-in system profiles keyed by name.
+func Profiles(days float64) map[string]*Profile {
+	return map[string]*Profile{
+		"Mira":       Mira(days),
+		"Theta":      Theta(days),
+		"BlueWaters": BlueWaters(days),
+		"Philly":     Philly(days),
+		"Helios":     Helios(days),
+	}
+}
+
+// ByName returns one built-in profile or an error listing the valid names.
+func ByName(name string, days float64) (*Profile, error) {
+	p, ok := Profiles(days)[name]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown profile %q (want Mira, Theta, BlueWaters, Philly, or Helios)", name)
+	}
+	return p, nil
+}
+
+// SystemNames lists the built-in systems in the paper's presentation order.
+var SystemNames = []string{"BlueWaters", "Mira", "Theta", "Philly", "Helios"}
+
+// scale multiplies each node count by coresPerNode.
+func scale(coresPerNode int, nodes ...int) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = n * coresPerNode
+	}
+	return out
+}
+
+// mixture builds a two-component sampler with the given weights.
+func mixture(w1 float64, s1 dist.Sampler, w2 float64, s2 dist.Sampler) dist.Sampler {
+	return dist.NewMixture([]float64{w1, w2}, []dist.Sampler{s1, s2})
+}

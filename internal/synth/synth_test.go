@@ -1,0 +1,711 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"crosssched/internal/stats"
+	"crosssched/internal/trace"
+)
+
+// gen generates a profile's trace once per test binary run.
+var genCache = map[string]*trace.Trace{}
+
+func gen(t *testing.T, name string, days float64) *trace.Trace {
+	t.Helper()
+	key := name
+	if tr, ok := genCache[key]; ok {
+		return tr
+	}
+	p, err := ByName(name, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genCache[key] = tr
+	return tr
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Frontier", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	base := func() *Profile { return Mira(1) }
+	mods := []func(*Profile){
+		func(p *Profile) { p.Sys.TotalCores = 0 },
+		func(p *Profile) { p.Days = 0 },
+		func(p *Profile) { p.JobsPerDay = 0 },
+		func(p *Profile) { p.Users = 0 },
+		func(p *Profile) { p.SizeChoices = nil },
+		func(p *Profile) { p.SizeWeights = p.SizeWeights[:1] },
+		func(p *Profile) { p.RuntimeMedian = nil },
+		func(p *Profile) { p.TemplatesPerUser = 0 },
+		func(p *Profile) { p.QueueScale = 0 },
+		func(p *Profile) { p.SizeChoices = append([]int(nil), p.SizeChoices...); p.SizeChoices[0] = -1 },
+		func(p *Profile) {
+			p.SizeChoices = append([]int(nil), p.SizeChoices...)
+			p.SizeChoices[0] = p.Sys.TotalCores * 2
+		},
+	}
+	for i, mod := range mods {
+		p := base()
+		mod(p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad profile %d accepted", i)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("good profile rejected: %v", err)
+	}
+}
+
+func TestGenerateStructuralInvariants(t *testing.T) {
+	for _, name := range SystemNames {
+		tr := gen(t, name, 10)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", name, err)
+		}
+		if tr.Len() < 500 {
+			t.Fatalf("%s: suspiciously few jobs: %d", name, tr.Len())
+		}
+		for i, j := range tr.Jobs {
+			if j.Wait < 0 {
+				t.Fatalf("%s: job %d has unknown wait", name, i)
+			}
+			if j.Run <= 0 {
+				t.Fatalf("%s: job %d non-positive runtime", name, i)
+			}
+			if j.Walltime > 0 && j.Walltime < j.Run {
+				t.Fatalf("%s: job %d walltime %v < run %v", name, i, j.Walltime, j.Run)
+			}
+			if tr.System.VirtualClusters > 1 && (j.VC < 0 || j.VC >= tr.System.VirtualClusters) {
+				t.Fatalf("%s: job %d bad VC %d", name, i, j.VC)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Helios(2)
+	a, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Helios(2).Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c, err := Helios(2).Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() {
+		same := true
+		for i := range a.Jobs {
+			if a.Jobs[i] != c.Jobs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+// --- Calibration tests: each asserts a paper-reported statistic within a
+// generous band. These pin the generators to the paper's Figure 1/2/6
+// shapes; see DESIGN.md "Calibration targets".
+
+func TestCalibrationRuntimeMedians(t *testing.T) {
+	// Paper: BW/Mira ~1.5h; Philly ~12min; Helios ~90s; HPC >> DL.
+	med := func(name string) float64 { return stats.Median(gen(t, name, 10).Runtimes()) }
+	bw, mira, theta := med("BlueWaters"), med("Mira"), med("Theta")
+	philly, helios := med("Philly"), med("Helios")
+	if bw < 1800 || bw > 10800 {
+		t.Fatalf("BW median runtime %v outside [0.5h, 3h]", bw)
+	}
+	if mira < 2700 || mira > 14400 {
+		t.Fatalf("Mira median runtime %v outside [0.75h, 4h]", mira)
+	}
+	if philly < 240 || philly > 2400 {
+		t.Fatalf("Philly median runtime %v outside [4min, 40min]", philly)
+	}
+	if helios < 30 || helios > 300 {
+		t.Fatalf("Helios median runtime %v outside [30s, 5min]", helios)
+	}
+	if !(helios < philly && philly < bw && bw <= mira*2 && theta > philly) {
+		t.Fatalf("runtime ordering broken: helios=%v philly=%v theta=%v bw=%v mira=%v",
+			helios, philly, theta, bw, mira)
+	}
+}
+
+func TestCalibrationRuntimeDispersion(t *testing.T) {
+	// Paper (Fig 1a bottom): DL runtimes are more diverse than HPC —
+	// wider in both tails on a log scale.
+	spread := func(name string) float64 {
+		rt := gen(t, name, 10).Runtimes()
+		return math.Log10(stats.Quantile(rt, 0.99)) - math.Log10(stats.Quantile(rt, 0.01))
+	}
+	if spread("Philly") <= spread("Mira") {
+		t.Fatalf("Philly log-spread %v not wider than Mira %v", spread("Philly"), spread("Mira"))
+	}
+	if spread("Helios") <= spread("Theta") {
+		t.Fatalf("Helios log-spread %v not wider than Theta %v", spread("Helios"), spread("Theta"))
+	}
+}
+
+func TestCalibrationArrivalIntervals(t *testing.T) {
+	// Paper: DL/hybrid medians 5-10s; HPC ~10x larger.
+	med := func(name string) float64 { return stats.Median(gen(t, name, 10).ArrivalIntervals()) }
+	for _, name := range []string{"BlueWaters", "Philly", "Helios"} {
+		if m := med(name); m < 1 || m > 30 {
+			t.Fatalf("%s median interval %v outside [1s, 30s]", name, m)
+		}
+	}
+	for _, name := range []string{"Mira", "Theta"} {
+		if m := med(name); m < 60 || m > 900 {
+			t.Fatalf("%s median interval %v outside [60s, 900s]", name, m)
+		}
+		if med(name) < 8*med("Helios") {
+			t.Fatalf("%s interval not ~10x the DL scale", name)
+		}
+	}
+}
+
+func TestCalibrationDiurnalShapes(t *testing.T) {
+	// Paper (Fig 1b bottom): Helios/BW strongly peaked (~10x max/min);
+	// Philly flat (~2.5x).
+	ratio := func(name string) float64 {
+		tr := gen(t, name, 10)
+		counts := stats.HourlyCounts(tr.Submits(), tr.System.StartHour)
+		return stats.MaxMinRatio(counts)
+	}
+	if r := ratio("Helios"); r < 4 {
+		t.Fatalf("Helios diurnal ratio %v want >= 4", r)
+	}
+	if r := ratio("BlueWaters"); r < 4 {
+		t.Fatalf("BW diurnal ratio %v want >= 4", r)
+	}
+	if r := ratio("Philly"); r > 4 {
+		t.Fatalf("Philly diurnal ratio %v want flat (< 4)", r)
+	}
+	if ratio("Philly") >= ratio("Helios") {
+		t.Fatal("Philly should be flatter than Helios")
+	}
+}
+
+func TestCalibrationJobSizes(t *testing.T) {
+	// Paper (Fig 1c): ~80% of DL jobs request a single GPU; >50% of Mira
+	// jobs request >1000 cores; BW median 32 nodes.
+	frac1 := func(name string) float64 {
+		tr := gen(t, name, 10)
+		n := 0
+		for _, j := range tr.Jobs {
+			if j.Procs == 1 {
+				n++
+			}
+		}
+		return float64(n) / float64(tr.Len())
+	}
+	if f := frac1("Philly"); f < 0.7 || f > 0.95 {
+		t.Fatalf("Philly single-GPU fraction %v outside [0.7, 0.95]", f)
+	}
+	if f := frac1("Helios"); f < 0.65 || f > 0.95 {
+		t.Fatalf("Helios single-GPU fraction %v outside [0.65, 0.95]", f)
+	}
+	mira := gen(t, "Mira", 10)
+	over1000 := 0
+	for _, j := range mira.Jobs {
+		if j.Procs > 1000 {
+			over1000++
+		}
+	}
+	if f := float64(over1000) / float64(mira.Len()); f < 0.5 {
+		t.Fatalf("Mira jobs >1000 cores fraction %v want > 0.5", f)
+	}
+	bw := gen(t, "BlueWaters", 10)
+	medNodes := stats.Median(bw.Procs()) / float64(bw.System.CoresPerNode)
+	if medNodes < 8 || medNodes > 64 {
+		t.Fatalf("BW median nodes %v outside [8, 64]", medNodes)
+	}
+}
+
+func TestCalibrationCoreHourDomination(t *testing.T) {
+	// Paper (Fig 2): small-job core-hour share: BW > 85%; Mira < ~45%;
+	// Theta lowest of HPC; Helios < 10%. Length: HPC dominated by middle,
+	// DL by long.
+	smallShare := func(name string) float64 {
+		tr := gen(t, name, 10)
+		small, tot := 0.0, 0.0
+		for _, j := range tr.Jobs {
+			ch := j.CoreHours()
+			tot += ch
+			if sizeCategory3(tr.System.Kind, j.Procs, tr.System.TotalCores) == 0 {
+				small += ch
+			}
+		}
+		return small / tot
+	}
+	if s := smallShare("BlueWaters"); s < 0.85 {
+		t.Fatalf("BW small-job CH share %v want > 0.85", s)
+	}
+	if s := smallShare("Mira"); s > 0.50 {
+		t.Fatalf("Mira small-job CH share %v want < 0.50", s)
+	}
+	if s := smallShare("Helios"); s > 0.10 {
+		t.Fatalf("Helios small-job CH share %v want < 0.10", s)
+	}
+	// Paper: Theta's small share (~16%) is also minor. (The exact
+	// Theta-vs-Mira ordering is sample-noise sensitive, so we assert the
+	// band, not the ordering.)
+	if s := smallShare("Theta"); s > 0.35 {
+		t.Fatalf("Theta small-job CH share %v want < 0.35", s)
+	}
+
+	lenShare := func(name string) [3]float64 {
+		tr := gen(t, name, 10)
+		var by [3]float64
+		tot := 0.0
+		for _, j := range tr.Jobs {
+			ch := j.CoreHours()
+			by[lengthCategory(j.Run)] += ch
+			tot += ch
+		}
+		for i := range by {
+			by[i] /= tot
+		}
+		return by
+	}
+	for _, name := range []string{"BlueWaters", "Mira", "Theta"} {
+		by := lenShare(name)
+		if !(by[1] > by[0] && by[1] > by[2]) {
+			t.Fatalf("%s core hours not middle-dominated: %v", name, by)
+		}
+	}
+	for _, name := range []string{"Philly", "Helios"} {
+		by := lenShare(name)
+		if !(by[2] > by[0] && by[2] > by[1]) {
+			t.Fatalf("%s core hours not long-dominated: %v", name, by)
+		}
+	}
+}
+
+func TestCalibrationStatusDistribution(t *testing.T) {
+	// Paper (Fig 6): Passed < 70% everywhere; Philly the highest failure
+	// rate; killed jobs consume disproportionate core hours; failed jobs
+	// consume less than their count share.
+	for _, name := range SystemNames {
+		tr := gen(t, name, 10)
+		var counts [3]float64
+		var hours [3]float64
+		tot := 0.0
+		for _, j := range tr.Jobs {
+			counts[j.Status]++
+			hours[j.Status] += j.CoreHours()
+			tot += j.CoreHours()
+		}
+		n := float64(tr.Len())
+		passFrac := counts[trace.Passed] / n
+		if passFrac > 0.75 {
+			t.Fatalf("%s pass fraction %v want < 0.75", name, passFrac)
+		}
+		if passFrac < 0.4 {
+			t.Fatalf("%s pass fraction %v implausibly low", name, passFrac)
+		}
+		killCount := counts[trace.Killed] / n
+		killHours := hours[trace.Killed] / tot
+		if killHours < killCount {
+			t.Fatalf("%s killed CH share %v below count share %v", name, killHours, killCount)
+		}
+		failCount := counts[trace.Failed] / n
+		failHours := hours[trace.Failed] / tot
+		if failHours > failCount {
+			t.Fatalf("%s failed CH share %v above count share %v", name, failHours, failCount)
+		}
+	}
+	// Philly has the highest failure(+kill) rate.
+	notPassed := func(name string) float64 {
+		tr := gen(t, name, 10)
+		n := 0
+		for _, j := range tr.Jobs {
+			if j.Status != trace.Passed {
+				n++
+			}
+		}
+		return float64(n) / float64(tr.Len())
+	}
+	p := notPassed("Philly")
+	for _, name := range []string{"Mira", "Theta", "BlueWaters", "Helios"} {
+		if notPassed(name) > p {
+			t.Fatalf("%s not-passed %v exceeds Philly %v", name, notPassed(name), p)
+		}
+	}
+}
+
+func TestCalibrationFailureVsRuntime(t *testing.T) {
+	// Paper (Fig 7b): pass rate decreases with runtime everywhere; the
+	// drop comes mostly from more Killed jobs. Mira long jobs ~99% killed.
+	passRateByLen := func(name string) [3]float64 {
+		tr := gen(t, name, 10)
+		var pass, tot [3]float64
+		for _, j := range tr.Jobs {
+			c := lengthCategory(j.Run)
+			tot[c]++
+			if j.Status == trace.Passed {
+				pass[c]++
+			}
+		}
+		var out [3]float64
+		for i := range out {
+			if tot[i] > 0 {
+				out[i] = pass[i] / tot[i]
+			}
+		}
+		return out
+	}
+	for _, name := range SystemNames {
+		pr := passRateByLen(name)
+		if pr[2] >= pr[0] {
+			t.Fatalf("%s long-job pass rate %v not below short %v", name, pr[2], pr[0])
+		}
+	}
+	mira := passRateByLen("Mira")
+	if mira[2] > 0.15 {
+		t.Fatalf("Mira long-job pass rate %v want near zero (paper: ~99%% killed)", mira[2])
+	}
+}
+
+func TestCalibrationFailureVsSizeDLOnly(t *testing.T) {
+	// Paper (Fig 7a): pass rate drops with size on Philly/Helios but not
+	// clearly on the HPC systems.
+	passRateBySize := func(name string) [3]float64 {
+		tr := gen(t, name, 10)
+		var pass, tot [3]float64
+		for _, j := range tr.Jobs {
+			c := sizeCategory3(tr.System.Kind, j.Procs, tr.System.TotalCores)
+			tot[c]++
+			if j.Status == trace.Passed {
+				pass[c]++
+			}
+		}
+		var out [3]float64
+		for i := range out {
+			if tot[i] > 0 {
+				out[i] = pass[i] / tot[i]
+			}
+		}
+		return out
+	}
+	for _, name := range []string{"Philly", "Helios"} {
+		pr := passRateBySize(name)
+		if pr[2] >= pr[0] {
+			t.Fatalf("%s pass rate should fall with size: %v", name, pr)
+		}
+	}
+}
+
+func TestCalibrationWaits(t *testing.T) {
+	// Paper (Fig 4): Helios 80% < 10s; Philly >50% >= 10min; BW the
+	// longest waits; Mira shorter than BW.
+	waits := func(name string) []float64 { return gen(t, name, 10).Waits() }
+	if p80 := stats.Quantile(waits("Helios"), 0.8); p80 > 10 {
+		t.Fatalf("Helios p80 wait %v want <= 10s", p80)
+	}
+	if p50 := stats.Median(waits("Philly")); p50 < 300 {
+		t.Fatalf("Philly median wait %v want >= 5min", p50)
+	}
+	bw := stats.Median(waits("BlueWaters"))
+	if bw < 600 {
+		t.Fatalf("BW median wait %v want >= 10min", bw)
+	}
+	for _, name := range []string{"Mira", "Theta", "Philly", "Helios"} {
+		if m := stats.Median(waits(name)); m > bw {
+			t.Fatalf("%s median wait %v exceeds BW %v", name, m, bw)
+		}
+	}
+}
+
+func TestCalibrationUtilization(t *testing.T) {
+	// Paper (Fig 3): Philly lowest (~0.43) despite queued jobs; Mira and
+	// Theta high (~0.87-0.88).
+	util := func(name string) float64 { return occupancyUtil(gen(t, name, 10)) }
+	p := util("Philly")
+	if p < 0.2 || p > 0.6 {
+		t.Fatalf("Philly utilization %v outside [0.2, 0.6]", p)
+	}
+	for _, name := range []string{"Mira", "Theta", "BlueWaters", "Helios"} {
+		if util(name) <= p {
+			t.Fatalf("%s utilization %v not above Philly %v", name, util(name), p)
+		}
+	}
+	if m := util("Mira"); m < 0.75 {
+		t.Fatalf("Mira utilization %v want >= 0.75", m)
+	}
+}
+
+func TestCalibrationUserRepetition(t *testing.T) {
+	// Paper (Fig 8): top-10 groups ~90%; top-3 lower on DL (~60%) than
+	// HPC (>80%). Grouping: same procs, runtime within 10% of group mean.
+	top := func(name string, k int) float64 {
+		tr := gen(t, name, 10)
+		return topGroupCoverage(tr, k)
+	}
+	for _, name := range SystemNames {
+		if c := top(name, 10); c < 0.6 {
+			t.Fatalf("%s top-10 group coverage %v want >= 0.6", name, c)
+		}
+	}
+	hpc3 := (top("Mira", 3) + top("Theta", 3) + top("BlueWaters", 3)) / 3
+	dl3 := (top("Philly", 3) + top("Helios", 3)) / 2
+	if dl3 >= hpc3 {
+		t.Fatalf("DL top-3 coverage %v should be below HPC %v", dl3, hpc3)
+	}
+}
+
+// topGroupCoverage computes the average (over heavy users) fraction of a
+// user's jobs covered by their k largest resource-configuration groups.
+// This mirrors analysis.UserGroups but lives here so the synth package can
+// be calibrated standalone.
+func topGroupCoverage(tr *trace.Trace, k int) float64 {
+	byUser := tr.JobsByUser()
+	users := tr.TopUsersByJobCount(20)
+	covSum, covN := 0.0, 0
+	for _, u := range users {
+		idxs := byUser[u]
+		if len(idxs) < 20 {
+			continue
+		}
+		// group by (procs, runtime cluster): sort runtimes per procs and
+		// cluster greedily within 10% of the running mean.
+		byProcs := map[int][]float64{}
+		for _, i := range idxs {
+			byProcs[tr.Jobs[i].Procs] = append(byProcs[tr.Jobs[i].Procs], tr.Jobs[i].Run)
+		}
+		var groupSizes []int
+		for _, runs := range byProcs {
+			groupSizes = append(groupSizes, clusterRuns(runs)...)
+		}
+		// sort descending
+		for i := 0; i < len(groupSizes); i++ {
+			for j := i + 1; j < len(groupSizes); j++ {
+				if groupSizes[j] > groupSizes[i] {
+					groupSizes[i], groupSizes[j] = groupSizes[j], groupSizes[i]
+				}
+			}
+		}
+		inTop := 0
+		for i := 0; i < len(groupSizes) && i < k; i++ {
+			inTop += groupSizes[i]
+		}
+		covSum += float64(inTop) / float64(len(idxs))
+		covN++
+	}
+	if covN == 0 {
+		return 0
+	}
+	return covSum / float64(covN)
+}
+
+// clusterRuns greedily clusters sorted runtimes into groups whose members
+// stay within 10% of the group's running mean; returns group sizes.
+func clusterRuns(runs []float64) []int {
+	c := append([]float64(nil), runs...)
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			if c[j] < c[i] {
+				c[i], c[j] = c[j], c[i]
+			}
+		}
+	}
+	var sizes []int
+	i := 0
+	for i < len(c) {
+		mean := c[i]
+		n := 1
+		j := i + 1
+		for j < len(c) {
+			if math.Abs(c[j]-mean) <= 0.1*mean {
+				mean = (mean*float64(n) + c[j]) / float64(n+1)
+				n++
+				j++
+			} else {
+				break
+			}
+		}
+		sizes = append(sizes, n)
+		i = j
+	}
+	return sizes
+}
+
+func TestCalibrationQueueAdaptiveSize(t *testing.T) {
+	// Paper (Fig 9): as the queue grows, the share of minimal requests
+	// grows, on every system.
+	for _, name := range []string{"Philly", "Helios", "BlueWaters"} {
+		tr := gen(t, name, 10)
+		loQ, hiQ := queueTerciles(tr)
+		loMin, hiMin := minimalShareByQueue(tr, loQ, hiQ)
+		if hiMin <= loMin {
+			t.Fatalf("%s minimal-request share should grow with queue: lo=%v hi=%v",
+				name, loMin, hiMin)
+		}
+	}
+}
+
+func TestCalibrationQueueAdaptiveRuntimeDLOnly(t *testing.T) {
+	// Paper (Fig 10): under long queues users submit shorter jobs on DL
+	// systems; on HPC the effect is absent.
+	shorter := func(name string) (lo, hi float64) {
+		tr := gen(t, name, 10)
+		loQ, hiQ := queueTerciles(tr)
+		return medianRunByQueue(tr, loQ, hiQ)
+	}
+	for _, name := range []string{"Philly", "Helios"} {
+		lo, hi := shorter(name)
+		if hi >= lo {
+			t.Fatalf("%s runtime under load (%v) should be below idle (%v)", name, hi, lo)
+		}
+	}
+	loM, hiM := shorter("Mira")
+	if hiM < loM*0.5 {
+		t.Fatalf("Mira runtimes should be insensitive to queue: lo=%v hi=%v", loM, hiM)
+	}
+}
+
+// queueTerciles returns the 1/3 and 2/3 quantiles of per-submission queue
+// lengths reconstructed from the recorded waits.
+func queueTerciles(tr *trace.Trace) (float64, float64) {
+	q := queueLengths(tr)
+	return stats.Quantile(q, 1.0/3), stats.Quantile(q, 2.0/3)
+}
+
+// queueLengths reconstructs the queue length observed at each submission:
+// the number of earlier jobs submitted but not yet started.
+func queueLengths(tr *trace.Trace) []float64 {
+	// sweep: jobs sorted by submit; maintain multiset of start times.
+	starts := make([]float64, 0, tr.Len())
+	out := make([]float64, tr.Len())
+	for i, j := range tr.Jobs {
+		// drop starts <= submit
+		w := 0
+		for _, s := range starts {
+			if s > j.Submit {
+				starts[w] = s
+				w++
+			}
+		}
+		starts = starts[:w]
+		out[i] = float64(len(starts))
+		starts = append(starts, j.Start())
+	}
+	return out
+}
+
+func minimalShareByQueue(tr *trace.Trace, loQ, hiQ float64) (lo, hi float64) {
+	q := queueLengths(tr)
+	var loMin, loTot, hiMin, hiTot float64
+	minProcs := tr.Jobs[0].Procs
+	for _, j := range tr.Jobs {
+		if j.Procs < minProcs {
+			minProcs = j.Procs
+		}
+	}
+	for i, j := range tr.Jobs {
+		switch {
+		case q[i] <= loQ:
+			loTot++
+			if j.Procs == minProcs {
+				loMin++
+			}
+		case q[i] > hiQ:
+			hiTot++
+			if j.Procs == minProcs {
+				hiMin++
+			}
+		}
+	}
+	if loTot == 0 || hiTot == 0 {
+		return 0, 0
+	}
+	return loMin / loTot, hiMin / hiTot
+}
+
+func medianRunByQueue(tr *trace.Trace, loQ, hiQ float64) (lo, hi float64) {
+	q := queueLengths(tr)
+	var loRuns, hiRuns []float64
+	for i, j := range tr.Jobs {
+		switch {
+		case q[i] <= loQ:
+			loRuns = append(loRuns, j.Run)
+		case q[i] > hiQ:
+			hiRuns = append(hiRuns, j.Run)
+		}
+	}
+	return stats.Median(loRuns), stats.Median(hiRuns)
+}
+
+func TestShadowSchedulerBasics(t *testing.T) {
+	s := newShadow(10)
+	starts := map[int]float64{}
+	cb := func(id int, st float64) { starts[id] = st }
+	// job 0 takes all cores at t=0 for 100s
+	s.advance(0, cb)
+	if q := s.submit(shadowJob{id: 0, procs: 10, run: 100, submit: 0}, cb); q != 0 {
+		t.Fatalf("observed queue %d want 0", q)
+	}
+	if starts[0] != 0 {
+		t.Fatal("job 0 should start immediately")
+	}
+	// job 1 must queue
+	s.advance(5, cb)
+	s.submit(shadowJob{id: 1, procs: 4, run: 10, submit: 5}, cb)
+	if _, ok := starts[1]; ok {
+		t.Fatal("job 1 started while full")
+	}
+	if s.queueLen() != 1 {
+		t.Fatalf("queue len %d want 1", s.queueLen())
+	}
+	// at t=100 job 0 ends; job 1 starts at exactly 100
+	s.advance(150, cb)
+	if starts[1] != 100 {
+		t.Fatalf("job 1 start %v want 100", starts[1])
+	}
+	s.flush(cb)
+	if s.queueLen() != 0 {
+		t.Fatal("flush left queued jobs")
+	}
+}
+
+func TestShadowFirstFitSkipsBlocked(t *testing.T) {
+	s := newShadow(10)
+	starts := map[int]float64{}
+	cb := func(id int, st float64) { starts[id] = st }
+	s.submit(shadowJob{id: 0, procs: 8, run: 100, submit: 0}, cb)
+	s.submit(shadowJob{id: 1, procs: 8, run: 10, submit: 1}, cb) // blocked
+	s.submit(shadowJob{id: 2, procs: 2, run: 10, submit: 2}, cb) // fits hole
+	if _, ok := starts[2]; !ok {
+		t.Fatal("small job should first-fit into the hole")
+	}
+	if starts[2] != 2 {
+		t.Fatalf("small job start %v want 2", starts[2])
+	}
+	s.flush(cb)
+	if starts[1] != 100 {
+		t.Fatalf("blocked job start %v want 100", starts[1])
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quickJob builds a valid job from arbitrary quick-check inputs.
+func quickJob(id int, user uint8, submit, wait, run, wall uint32, procs uint16, status uint8) Job {
+	j := Job{
+		ID:     id,
+		User:   int(user),
+		Submit: float64(submit) / 100,
+		Wait:   float64(wait) / 100,
+		Run:    float64(run) / 100,
+		Procs:  int(procs)%4096 + 1,
+		VC:     -1,
+		Status: Status(status % 3),
+	}
+	j.Walltime = j.Run + float64(wall)/100
+	return j
+}
+
+// Property: SWF round trip preserves every job field to 2 decimal places.
+func TestSWFRoundTripPropertyQuick(t *testing.T) {
+	f := func(users []uint8, submits []uint32, runs []uint32, procs []uint16) bool {
+		n := len(users)
+		for _, s := range [][]int{{len(submits)}, {len(runs)}, {len(procs)}} {
+			if s[0] < n {
+				n = s[0]
+			}
+		}
+		if n > 50 {
+			n = 50
+		}
+		tr := New(System{Name: "Q", Kind: Hybrid, TotalCores: 8192, CoresPerNode: 8, StartHour: 3})
+		for i := 0; i < n; i++ {
+			tr.Jobs = append(tr.Jobs, quickJob(i, users[i], submits[i], submits[i]/2,
+				runs[i], runs[i]/3, procs[i], users[i]))
+		}
+		tr.SortBySubmit()
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadSWF(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Jobs {
+			a, b := tr.Jobs[i], got.Jobs[i]
+			if a.User != b.User || a.Procs != b.Procs || a.Status != b.Status {
+				return false
+			}
+			for _, pair := range [][2]float64{
+				{a.Submit, b.Submit}, {a.Wait, b.Wait},
+				{a.Run, b.Run}, {a.Walltime, b.Walltime},
+			} {
+				if math.Abs(pair[0]-pair[1]) > 0.005 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSV round trip preserves every job field to 2 decimal places.
+func TestCSVRoundTripPropertyQuick(t *testing.T) {
+	f := func(users []uint8, submits []uint32, runs []uint32, procs []uint16) bool {
+		n := len(users)
+		for _, s := range []int{len(submits), len(runs), len(procs)} {
+			if s < n {
+				n = s
+			}
+		}
+		if n > 50 {
+			n = 50
+		}
+		sys := System{Name: "Q", Kind: DL, TotalCores: 8192}
+		tr := New(sys)
+		for i := 0; i < n; i++ {
+			tr.Jobs = append(tr.Jobs, quickJob(i, users[i], submits[i], submits[i]/2,
+				runs[i], runs[i]/3, procs[i], users[i]))
+		}
+		tr.SortBySubmit()
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, sys)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Jobs {
+			a, b := tr.Jobs[i], got.Jobs[i]
+			if a.User != b.User || a.Procs != b.Procs || a.Status != b.Status {
+				return false
+			}
+			if math.Abs(a.Run-b.Run) > 0.005 || math.Abs(a.Submit-b.Submit) > 0.005 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout for the CSV codec. CSV is the lingua
+// franca of the DL traces (Philly/Helios ship as CSV), so we provide it
+// alongside SWF.
+var csvHeader = []string{
+	"id", "user", "submit", "wait", "run", "walltime", "procs", "vc", "status",
+}
+
+// WriteCSV serializes the trace as CSV with a header row. System metadata
+// is not carried by CSV; pair it with the SWF codec when you need it.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, len(csvHeader))
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		rec[0] = strconv.Itoa(j.ID)
+		rec[1] = strconv.Itoa(j.User)
+		rec[2] = strconv.FormatFloat(j.Submit, 'f', 2, 64)
+		rec[3] = strconv.FormatFloat(j.Wait, 'f', 2, 64)
+		rec[4] = strconv.FormatFloat(j.Run, 'f', 2, 64)
+		rec[5] = strconv.FormatFloat(j.Walltime, 'f', 2, 64)
+		rec[6] = strconv.Itoa(j.Procs)
+		rec[7] = strconv.Itoa(j.VC)
+		rec[8] = j.Status.String()
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV into the provided system
+// description (CSV does not carry one).
+func ReadCSV(r io.Reader, sys System) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return New(sys), nil
+	}
+	t := New(sys)
+	for i, rec := range rows {
+		if i == 0 && rec[0] == "id" {
+			continue // header
+		}
+		j, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+1, err)
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	t.SortBySubmit()
+	if t.System.TotalCores == 0 {
+		for i := range t.Jobs {
+			if t.Jobs[i].Procs > t.System.TotalCores {
+				t.System.TotalCores = t.Jobs[i].Procs
+			}
+		}
+	}
+	return t, nil
+}
+
+func parseCSVRecord(rec []string) (Job, error) {
+	var j Job
+	var err error
+	if j.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return j, fmt.Errorf("id: %w", err)
+	}
+	if j.User, err = strconv.Atoi(rec[1]); err != nil {
+		return j, fmt.Errorf("user: %w", err)
+	}
+	if j.Submit, err = strconv.ParseFloat(rec[2], 64); err != nil {
+		return j, fmt.Errorf("submit: %w", err)
+	}
+	if j.Wait, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return j, fmt.Errorf("wait: %w", err)
+	}
+	if j.Run, err = strconv.ParseFloat(rec[4], 64); err != nil {
+		return j, fmt.Errorf("run: %w", err)
+	}
+	if j.Walltime, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return j, fmt.Errorf("walltime: %w", err)
+	}
+	if j.Procs, err = strconv.Atoi(rec[6]); err != nil {
+		return j, fmt.Errorf("procs: %w", err)
+	}
+	if j.VC, err = strconv.Atoi(rec[7]); err != nil {
+		return j, fmt.Errorf("vc: %w", err)
+	}
+	if j.Status, err = ParseStatus(rec[8]); err != nil {
+		return j, err
+	}
+	return j, nil
+}

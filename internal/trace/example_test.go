@@ -1,0 +1,58 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"crosssched/internal/trace"
+)
+
+// ExampleWriteSWF round-trips a trace through the SWF codec.
+func ExampleWriteSWF() {
+	tr := trace.New(trace.System{
+		Name: "demo", Kind: trace.HPC, TotalCores: 64, CoresPerNode: 16,
+	})
+	tr.Jobs = []trace.Job{
+		{User: 0, Submit: 0, Wait: 5, Run: 100, Walltime: 200, Procs: 16, VC: -1, Status: trace.Passed},
+		{User: 1, Submit: 10, Wait: 0, Run: 50, Walltime: 60, Procs: 32, VC: -1, Status: trace.Killed},
+	}
+	tr.SortBySubmit()
+
+	var buf bytes.Buffer
+	if err := trace.WriteSWF(&buf, tr); err != nil {
+		panic(err)
+	}
+	back, err := trace.ReadSWF(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.System.Name, back.Len())
+	fmt.Println(back.Jobs[1].Status)
+	// Output:
+	// demo 2
+	// Killed
+}
+
+// ExampleTrace_Window aligns a trace to a time window the way the paper
+// aligns its multi-year datasets.
+func ExampleTrace_Window() {
+	tr := trace.New(trace.System{Name: "demo", TotalCores: 4})
+	for i := 0; i < 5; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			User: 0, Submit: float64(i * 100), Run: 10, Procs: 1, VC: -1,
+		})
+	}
+	w := tr.Window(100, 400)
+	fmt.Println(w.Len(), w.Jobs[0].Submit)
+	// Output:
+	// 3 0
+}
+
+// ExampleJob_BoundedSlowdown shows the paper's bsld metric.
+func ExampleJob_BoundedSlowdown() {
+	short := trace.Job{Wait: 9, Run: 1} // clamped by the 10s threshold
+	normal := trace.Job{Wait: 100, Run: 100}
+	fmt.Println(short.BoundedSlowdown(10), normal.BoundedSlowdown(10))
+	// Output:
+	// 1 2
+}
