@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"crosssched/internal/check"
 	"crosssched/internal/experiments"
 	"crosssched/internal/figures"
 	"crosssched/internal/predict"
@@ -293,6 +294,48 @@ func BenchmarkHybridSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.HybridSweep(2, 1, []float64{0, 0.5}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Verification benchmarks: the differential-testing substrate
+// (internal/check) has to stay fast enough to run in every test cycle.
+
+func verifyBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := synth.VerifyHPC(0.5).Generate(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkOracleSimulator measures the O(n²) reference oracle on a
+// verification-scale workload; it bounds how big differential sweeps can be.
+func BenchmarkOracleSimulator(b *testing.B) {
+	tr := verifyBenchTrace(b)
+	opt := sim.Options{Policy: sim.FCFS, Backfill: sim.EASY}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Oracle(tr, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleAuditor measures the invariant auditor over a finished
+// run (the cost of `schedsim -audit` beyond the simulation itself).
+func BenchmarkScheduleAuditor(b *testing.B) {
+	tr := verifyBenchTrace(b)
+	opt := sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: 0.1}
+	res, err := sim.Run(tr, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := check.Audit(tr, opt, res); !rep.OK() {
+			b.Fatal(rep.Err())
 		}
 	}
 }

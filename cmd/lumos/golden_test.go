@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crosssched/internal/figures"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// goldenSuite is deliberately small: golden tests pin the exact rendered
+// output, so they must stay cheap enough to run on every test invocation.
+func goldenSuite() *figures.Suite {
+	return figures.NewSuite(figures.Config{Days: 2, SimDays: 1, Seed: 1})
+}
+
+// TestGoldenFigures locks down the rendered output of the headline figures
+// (Table I, Figure 1, Figure 6) against golden files in testdata/. On an
+// intentional change, regenerate with:
+//
+//	go test ./cmd/lumos -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	s := goldenSuite()
+	for _, name := range []string{"table1", "1", "6"} {
+		name := name
+		t.Run("fig_"+name, func(t *testing.T) {
+			out, err := s.Render(name, "Philly")
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "fig_"+name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if out != string(want) {
+				t.Errorf("rendered %s differs from %s:\n%s", name, golden, firstDiff(string(want), out))
+			}
+		})
+	}
+}
+
+// firstDiff reports the first differing line so a golden mismatch is
+// readable without an external diff tool.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"crosssched/internal/check"
 	"crosssched/internal/experiments"
 	"crosssched/internal/figures"
 	"crosssched/internal/rl"
@@ -36,17 +37,18 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "run the relaxation-factor sweep ablation")
 		estimates = flag.Bool("estimates", false, "compare walltime-estimate sources for EASY backfilling")
 		learned   = flag.Bool("learned", false, "train a learned linear policy (ES) and compare against the baselines")
+		audit     = flag.Bool("audit", false, "verify the schedule against the invariant auditor (and the reference oracle on small traces)")
 		out       = flag.String("o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
 	)
 	flag.Parse()
 	if err := run(*system, *input, *days, *seed, *policy, *backfill, *relax,
-		*compare, *matrix, *sweep, *estimates, *learned, *out); err != nil {
+		*compare, *matrix, *sweep, *estimates, *learned, *audit, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned bool, out string) error {
+func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned, audit bool, out string) error {
 	tr, err := loadTrace(system, input, days, seed)
 	if err != nil {
 		return err
@@ -93,9 +95,15 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(tr, sim.Options{Policy: pol, Backfill: bf, RelaxFactor: relax})
+	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: relax}
+	res, err := sim.Run(tr, opt)
 	if err != nil {
 		return err
+	}
+	if audit {
+		if err := runAudit(tr, opt, res); err != nil {
+			return err
+		}
 	}
 	if out != "" {
 		annotated := trace.New(tr.System)
@@ -118,6 +126,32 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 	fmt.Printf("  backfilled jobs %d\n", res.Backfilled)
 	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
 	fmt.Printf("  makespan        %.0f s\n", res.Makespan)
+	return nil
+}
+
+// oracleJobLimit bounds the traces we differential-test against the O(n²)
+// reference oracle; above it -audit still runs the invariant auditor, which
+// is near-linear. 2000 keeps the comparison under ~1 minute even for
+// conservative backfilling, the oracle's slowest planner.
+const oracleJobLimit = 2000
+
+// runAudit verifies a finished run: the invariant auditor always, plus the
+// differential oracle comparison when the trace is small enough for O(n²).
+func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result) error {
+	rep := check.Audit(tr, opt, res)
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	fmt.Printf("audit: OK (%d jobs, %d events checked)\n", rep.JobsChecked, rep.EventsChecked)
+	if tr.Len() > oracleJobLimit {
+		fmt.Printf("audit: trace has %d jobs, skipping O(n²) oracle comparison (limit %d)\n",
+			tr.Len(), oracleJobLimit)
+		return nil
+	}
+	if err := check.Verify(tr, opt); err != nil {
+		return fmt.Errorf("differential check: %w", err)
+	}
+	fmt.Println("audit: schedule matches reference oracle exactly")
 	return nil
 }
 

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"math"
+	"sort"
+)
+
+// availability is the oracle's naive free-cores-over-time model. The base
+// step function is rebuilt from scratch from the running set on every query
+// site, and conservative reservations are kept as a plain list subtracted at
+// evaluation time — nothing is maintained incrementally.
+//
+// The window predicate ("procs cores stay free throughout [t, t+dur)") is
+// the same spec internal/sim/profile.go implements, so both sides pick
+// identical start times; only the representation differs.
+type availability struct {
+	baseTimes []float64 // ascending breakpoints; baseTimes[0] == now
+	baseFree  []int     // free cores from baseTimes[i] until the next breakpoint
+	resv      []reservation
+}
+
+// reservation blocks procs cores during [start, end) while planning
+// conservative backfilling.
+type reservation struct {
+	start, end float64
+	procs      int
+}
+
+// availability builds the partition's free-core step function at o.now from
+// the planned (estimate-based) ends of its running jobs.
+func (o *oracle) availability(p int) *availability {
+	type plannedEnd struct {
+		end   float64
+		procs int
+	}
+	ends := make([]plannedEnd, 0, len(o.running[p]))
+	for _, ji := range o.running[p] {
+		j := &o.jobs[ji]
+		ends = append(ends, plannedEnd{end: j.plannedEnd(), procs: j.procs})
+	}
+	sort.SliceStable(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+
+	a := &availability{baseTimes: []float64{o.now}, baseFree: []int{o.free[p]}}
+	cur := o.free[p]
+	for _, e := range ends {
+		t := e.end
+		if t < o.now {
+			t = o.now // overdue planned end: cores free from now on
+		}
+		cur += e.procs
+		last := len(a.baseTimes) - 1
+		if t == a.baseTimes[last] {
+			a.baseFree[last] = cur
+		} else {
+			a.baseTimes = append(a.baseTimes, t)
+			a.baseFree = append(a.baseFree, cur)
+		}
+	}
+	return a
+}
+
+// points returns the ascending, deduplicated union of base breakpoints and
+// reservation edges.
+func (a *availability) points() []float64 {
+	pts := append([]float64(nil), a.baseTimes...)
+	for _, r := range a.resv {
+		pts = append(pts, r.start, r.end)
+	}
+	sort.Float64s(pts)
+	dedup := pts[:1]
+	for _, t := range pts[1:] {
+		if t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
+// freeAt evaluates the step function at time t (t >= baseTimes[0]):
+// base free cores minus any reservation active at t.
+func (a *availability) freeAt(t float64) int {
+	i := sort.SearchFloat64s(a.baseTimes, t)
+	if i >= len(a.baseTimes) || a.baseTimes[i] != t {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	free := a.baseFree[i]
+	for _, r := range a.resv {
+		if r.start <= t && t < r.end {
+			free -= r.procs
+		}
+	}
+	return free
+}
+
+// window reports whether procs cores stay free throughout [t, t+dur), and
+// the minimum free count over the examined segments.
+func (a *availability) window(t, dur float64, procs int) (bool, int) {
+	pts := a.points()
+	end := t + dur
+	minFree := math.MaxInt64
+	// start at the segment containing t
+	i := sort.SearchFloat64s(pts, t)
+	if i >= len(pts) || pts[i] != t {
+		if i > 0 {
+			i--
+		}
+	}
+	for ; i < len(pts); i++ {
+		if pts[i] >= end {
+			break
+		}
+		f := a.freeAt(pts[i])
+		if f < minFree {
+			minFree = f
+		}
+		if f < procs {
+			return false, minFree
+		}
+	}
+	if minFree == math.MaxInt64 {
+		minFree = a.freeAt(pts[len(pts)-1])
+	}
+	return true, minFree
+}
+
+// earliest returns the first time >= from at which procs cores stay free
+// for dur seconds, plus the minimum free count over that window.
+func (a *availability) earliest(from float64, procs int, dur float64) (float64, int) {
+	if ok, mf := a.window(from, dur, procs); ok {
+		return from, mf
+	}
+	pts := a.points()
+	for _, c := range pts {
+		if c <= from {
+			continue
+		}
+		if ok, mf := a.window(c, dur, procs); ok {
+			return c, mf
+		}
+	}
+	// Past the last breakpoint everything running has ended.
+	last := pts[len(pts)-1]
+	if last < from {
+		last = from
+	}
+	return last, a.freeAt(pts[len(pts)-1])
+}
+
+// reserve blocks procs cores during [t, t+dur) for later queries.
+func (a *availability) reserve(t, dur float64, procs int) {
+	a.resv = append(a.resv, reservation{start: t, end: t + dur, procs: procs})
+}

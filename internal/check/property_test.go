@@ -1,0 +1,55 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+)
+
+// TestAdaptiveNeverWorseThanRelaxed states Table II's headline claim as an
+// invariant and drives it with testing/quick: on any workload, adaptive
+// relaxed backfilling (whose allowance is the fixed allowance scaled by
+// queue pressure <= 1) must not produce MORE promise violations than fixed
+// relaxed backfilling with the same factor.
+func TestAdaptiveNeverWorseThanRelaxed(t *testing.T) {
+	days := 0.25
+	maxCount := 12
+	if testing.Short() {
+		maxCount = 4
+	}
+	profiles := synth.VerifyProfiles(days)
+
+	property := func(seed uint64, pick uint8, relaxTenths uint8) bool {
+		p := profiles[int(pick)%len(profiles)]
+		tr, err := p.Generate(seed)
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		relax := 0.05 + float64(relaxTenths%4)*0.05 // 0.05 .. 0.20
+		relaxed, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: relax})
+		if err != nil {
+			t.Logf("relaxed: %v", err)
+			return false
+		}
+		adaptive, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed, RelaxFactor: relax})
+		if err != nil {
+			t.Logf("adaptive: %v", err)
+			return false
+		}
+		if adaptive.Violations > relaxed.Violations {
+			t.Logf("%s seed=%d relax=%.2f: adaptive %d violations > relaxed %d",
+				p.Sys.Name, seed, relax, adaptive.Violations, relaxed.Violations)
+			return false
+		}
+		return true
+	}
+	// A fixed source keeps the workload sample reproducible run to run.
+	cfg := &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(20240805))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

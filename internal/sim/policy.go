@@ -99,48 +99,57 @@ func ParsePolicy(s string) (Policy, error) {
 // score returns the priority score of a pending job at time now; the queue
 // is sorted ascending by score (ties broken by submit then ID upstream).
 func (p Policy) score(j *pending, now float64) float64 {
-	rt := j.reqTime
+	return p.Score(j.reqTime, j.procs, j.submit, now)
+}
+
+// Score is the policy's priority formula on raw job attributes: the
+// planning runtime estimate, requested cores, submission time, and the
+// current time. Lower scores schedule first. It is exported so independent
+// verifiers (internal/check's reference oracle) rank jobs with bit-identical
+// scores while reimplementing the scheduling machinery itself.
+func (p Policy) Score(reqTime float64, procs int, submit, now float64) float64 {
+	rt := reqTime
 	if rt <= 0 {
 		rt = 1
 	}
 	switch p {
 	case FCFS:
-		return j.submit
+		return submit
 	case SJF:
 		return rt
 	case LJF:
 		return -rt
 	case SAF:
-		return rt * float64(j.procs)
+		return rt * float64(procs)
 	case WFP3:
-		wait := now - j.submit
+		wait := now - submit
 		r := wait / rt
-		return -(r * r * r * float64(j.procs))
+		return -(r * r * r * float64(procs))
 	case F1:
 		// RLScheduler's F1: minimize log10(rt)*procs + 870*log10(submit).
-		sub := j.submit
+		sub := submit
 		if sub < 1 {
 			sub = 1
 		}
-		return math.Log10(rt)*float64(j.procs) + 870*math.Log10(sub)
+		return math.Log10(rt)*float64(procs) + 870*math.Log10(sub)
 	case F2:
-		sub := j.submit
+		sub := submit
 		if sub < 1 {
 			sub = 1
 		}
-		return math.Sqrt(rt)*float64(j.procs) + 25600*math.Log10(sub)
+		return math.Sqrt(rt)*float64(procs) + 25600*math.Log10(sub)
 	case F3:
-		sub := j.submit
+		sub := submit
 		if sub < 1 {
 			sub = 1
 		}
-		return rt*float64(j.procs) + 6.86e6*math.Log10(sub)
+		return rt*float64(procs) + 6.86e6*math.Log10(sub)
 	case Fair:
 		// handled by the simulator, which holds the usage state; the
 		// static fallback is FCFS.
-		return j.submit
+		return submit
 	default:
-		return j.submit
+		return submit
 	}
 }
 
@@ -164,6 +173,9 @@ const (
 	AdaptiveRelaxed
 )
 
+// Backfills lists every backfill kind in declaration order.
+var Backfills = []BackfillKind{NoBackfill, EASY, Conservative, Relaxed, AdaptiveRelaxed}
+
 // String names the backfill kind.
 func (b BackfillKind) String() string {
 	switch b {
@@ -184,7 +196,7 @@ func (b BackfillKind) String() string {
 
 // ParseBackfill converts a backfill name to a BackfillKind.
 func ParseBackfill(s string) (BackfillKind, error) {
-	for _, b := range []BackfillKind{NoBackfill, EASY, Conservative, Relaxed, AdaptiveRelaxed} {
+	for _, b := range Backfills {
 		if b.String() == s {
 			return b, nil
 		}

@@ -24,7 +24,8 @@ func newProfile(now float64, freeNow int, ends []jobEnd) *profile {
 		return p
 	}
 	sorted := append([]jobEnd(nil), ends...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].end < sorted[b].end })
+	// Stable keeps the caller's (deterministic) order among equal ends.
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].end < sorted[b].end })
 	cur := freeNow
 	for _, e := range sorted {
 		t := e.end

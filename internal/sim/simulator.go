@@ -238,7 +238,7 @@ func (s *simulator) run() error {
 		}
 		s.now = t
 
-		touched := map[int]bool{}
+		touched := make([]bool, len(s.queues))
 		// completions at t release resources first
 		for s.compl.Len() > 0 && s.compl[0].real <= t {
 			r := heap.Pop(&s.compl).(running)
@@ -284,7 +284,13 @@ func (s *simulator) run() error {
 		if q := s.totalQueued(); q > s.maxQueueSeen {
 			s.maxQueueSeen = q
 		}
-		for p := range touched {
+		// Partitions are scheduled in index order: the Fair policy's usage
+		// accounts are shared across partitions, so iteration order is
+		// observable (map-order iteration here made runs nondeterministic).
+		for p, hit := range touched {
+			if !hit {
+				continue
+			}
 			if err := s.schedule(p); err != nil {
 				return err
 			}
@@ -455,9 +461,17 @@ func (s *simulator) allowance(p int, head *pending) float64 {
 }
 
 // buildProfile constructs the availability profile for partition p at now.
+// Running jobs are visited in job-index order (not map order) so equal-end
+// ties sort identically on every run and the profile is deterministic.
 func (s *simulator) buildProfile(p int) *profile {
-	ends := make([]jobEnd, 0, len(s.runsets[p]))
-	for _, r := range s.runsets[p] {
+	idxs := make([]int, 0, len(s.runsets[p]))
+	for idx := range s.runsets[p] {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	ends := make([]jobEnd, 0, len(idxs))
+	for _, idx := range idxs {
+		r := s.runsets[p][idx]
 		ends = append(ends, jobEnd{end: r.end, procs: r.procs})
 	}
 	return newProfile(s.now, s.cl.Free(p), ends)

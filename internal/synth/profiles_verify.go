@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"crosssched/internal/dist"
+	"crosssched/internal/trace"
+)
+
+// Verification workloads: deliberately small clusters under heavy load, so
+// a few hundred jobs exercise deep queues, reservations, and backfilling.
+// The differential harness in internal/check sweeps these across every
+// policy x backfill combination, comparing the optimized simulator against
+// the naive reference oracle — the O(n²) oracle needs small n, and the
+// full-size profiles barely queue at small n. Loads are tuned to ~0.85-0.95
+// so queues build and drain within a fraction of a day.
+
+// VerifyHPC is a 64-core HPC-style workload with user walltimes, so
+// reservations plan against overestimates and killed jobs hit their limit.
+func VerifyHPC(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "VerifyHPC", Kind: trace.HPC,
+			TotalCores: 64, CoresPerNode: 1, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 380, Burstiness: 1.3,
+		HourlyWeights: afternoonHours,
+		Users:         12, UserZipfS: 1.1,
+		TemplatesPerUser: 6, TemplateZipfS: 1.6,
+		SizeChoices: []int{1, 2, 4, 8, 16, 32},
+		SizeWeights: []float64{0.30, 0.25, 0.20, 0.15, 0.07, 0.03},
+		RefProcs:    8, SizeRuntimeCorr: 0.4,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(1800, 0.8), Lo: 30, Hi: 4e4},
+		IntraTemplateSigma: 0.08,
+		WalltimeFactorLo:   1.1, WalltimeFactorHi: 1.9,
+		FailByLength:     [3]float64{0.12, 0.06, 0.02},
+		KillByLength:     [3]float64{0.10, 0.25, 0.60},
+		UserFailSigma:    0.3,
+		WalltimeKillFrac: 0.5,
+		QueueScale:       20,
+	}
+}
+
+// VerifyVC is a 48-GPU DL-style workload split over three virtual clusters
+// and carrying no walltimes, so the planner falls back to actual runtimes
+// and partition isolation (including the user-hash fallback) is exercised.
+func VerifyVC(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "VerifyVC", Kind: trace.DL,
+			TotalCores: 48, VirtualClusters: 3, StartHour: 0,
+		},
+		Days: days, JobsPerDay: 1300, Burstiness: 1.8,
+		HourlyWeights: flatDipHours,
+		Users:         18, UserZipfS: 1.05,
+		TemplatesPerUser: 8, TemplateZipfS: 1.5,
+		SizeChoices: []int{1, 2, 4, 8},
+		SizeWeights: []float64{0.70, 0.15, 0.10, 0.05},
+		RefProcs:    4, SizeRuntimeCorr: 0.3,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(700, 1.2), Lo: 5, Hi: 5e4},
+		IntraTemplateSigma: 0.08,
+		FailByLength:       [3]float64{0.20, 0.12, 0.05},
+		KillByLength:       [3]float64{0.10, 0.25, 0.50},
+		SizeFailBoost:      [3]float64{1.0, 1.3, 1.8},
+		UserFailSigma:      0.35,
+		SizeAdapt:          0.6, RuntimeAdapt: 0.4,
+		QueueScale: 25,
+	}
+}
+
+// VerifyBurst is a 96-core hybrid workload with bursty arrivals and a
+// long-tailed runtime mixture: queue length swings hard, which is what the
+// adaptive backfill allowance (Eq. 1) keys on.
+func VerifyBurst(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "VerifyBurst", Kind: trace.Hybrid,
+			TotalCores: 96, CoresPerNode: 4, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 360, Burstiness: 2.2,
+		HourlyWeights: peakedHours,
+		Users:         15, UserZipfS: 1.1,
+		TemplatesPerUser: 6, TemplateZipfS: 1.7,
+		SizeChoices: []int{2, 4, 8, 16, 32, 64},
+		SizeWeights: []float64{0.30, 0.25, 0.20, 0.15, 0.07, 0.03},
+		RefProcs:    16, SizeRuntimeCorr: 0.3,
+		RuntimeMedian: dist.Clamped{S: mixture(
+			0.4, dist.LogNormalFromMedian(300, 1.0),
+			0.6, dist.LogNormalFromMedian(2500, 0.9),
+		), Lo: 10, Hi: 5e4},
+		IntraTemplateSigma: 0.08,
+		WalltimeFactorLo:   1.05, WalltimeFactorHi: 1.6,
+		FailByLength:     [3]float64{0.10, 0.05, 0.02},
+		KillByLength:     [3]float64{0.10, 0.25, 0.60},
+		UserFailSigma:    0.3,
+		WalltimeKillFrac: 0.4,
+		QueueScale:       30,
+	}
+}
+
+// VerifyProfiles returns the verification workloads used by the
+// differential harness, in a fixed order.
+func VerifyProfiles(days float64) []*Profile {
+	return []*Profile{VerifyHPC(days), VerifyVC(days), VerifyBurst(days)}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSWFRoundTrip feeds arbitrary bytes to the SWF reader; whenever they
+// parse, the codec must be write-stable: serializing the parsed trace,
+// re-reading it, and serializing again must reproduce the first
+// serialization byte for byte (the first write normalizes float precision
+// and job order; after that the round trip must be exact).
+func FuzzSWFRoundTrip(f *testing.F) {
+	f.Add([]byte("; Computer: Seed\n; Kind: HPC\n; MaxProcs: 8\n" +
+		"1 0.00 0.00 10.00 2 -1 -1 2 12.00 -1 1 1 -1 -1 -1 -1 -1 -1\n" +
+		"2 1.50 -1.00 5.00 1 -1 -1 1 0.00 -1 5 2 -1 -1 0 -1 -1 -1\n"))
+	f.Add([]byte("; VirtualClusters: 3\n" +
+		"7 3.25 2.00 100.00 4 -1 -1 4 120.00 -1 0 3 -1 -1 2 -1 -1 -1\n"))
+	f.Add([]byte("bogus\n"))
+	f.Add([]byte("1 0 0 1 1 -1 -1 1 1 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadSWF(bytes.NewReader(data))
+		if err != nil {
+			return // arbitrary bytes may legitimately fail to parse
+		}
+		var first bytes.Buffer
+		if err := WriteSWF(&first, tr); err != nil {
+			t.Fatalf("write parsed trace: %v", err)
+		}
+		tr2, err := ReadSWF(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteSWF(&second, tr2); err != nil {
+			t.Fatalf("write re-read trace: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("SWF round trip not stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round trip changed job count: %d -> %d", tr.Len(), tr2.Len())
+		}
+	})
+}
+
+// FuzzCSVReader feeds arbitrary bytes to the CSV reader: it must never
+// panic, and any trace it accepts must round-trip write-stably just like
+// the SWF codec.
+func FuzzCSVReader(f *testing.F) {
+	f.Add([]byte("id,user,submit,wait,run,walltime,procs,vc,status\n" +
+		"0,0,0.00,0.00,10.00,12.00,2,-1,Passed\n" +
+		"1,1,1.50,-1.00,5.00,0.00,1,0,Failed\n"))
+	f.Add([]byte("0,0,3.25,2.00,100.00,120.00,4,2,Killed\n"))
+	f.Add([]byte("id,user\n"))
+	f.Add([]byte(",,,,,,,,\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data), System{})
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteCSV(&first, tr); err != nil {
+			t.Fatalf("write parsed trace: %v", err)
+		}
+		tr2, err := ReadCSV(bytes.NewReader(first.Bytes()), System{})
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteCSV(&second, tr2); err != nil {
+			t.Fatalf("write re-read trace: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("CSV round trip not stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}
