@@ -13,6 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"crosssched/internal/check"
 	"crosssched/internal/experiments"
@@ -25,30 +28,62 @@ import (
 
 func main() {
 	var (
-		system    = flag.String("system", "Mira", "built-in system profile")
-		input     = flag.String("input", "", "SWF trace to schedule instead of a built-in")
-		days      = flag.Float64("days", 8, "synthetic trace duration in days")
-		seed      = flag.Uint64("seed", 1, "generator seed")
-		policy    = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, LJF, SAF, WFP3, F1, F2, F3, Fair")
-		backfill  = flag.String("backfill", "easy", "backfilling: none, easy, conservative, relaxed, adaptive")
-		relax     = flag.Float64("relax", 0.10, "relaxation factor for relaxed/adaptive")
-		compare   = flag.Bool("compare", false, "run the Table II relaxed-vs-adaptive comparison")
-		matrix    = flag.Bool("matrix", false, "run the full policy x backfilling ablation")
-		sweep     = flag.Bool("sweep", false, "run the relaxation-factor sweep ablation")
-		estimates = flag.Bool("estimates", false, "compare walltime-estimate sources for EASY backfilling")
-		learned   = flag.Bool("learned", false, "train a learned linear policy (ES) and compare against the baselines")
-		audit     = flag.Bool("audit", false, "verify the schedule against the invariant auditor (and the reference oracle on small traces)")
-		out       = flag.String("o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
+		system     = flag.String("system", "Mira", "built-in system profile")
+		input      = flag.String("input", "", "SWF trace to schedule instead of a built-in")
+		days       = flag.Float64("days", 8, "synthetic trace duration in days")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		policy     = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, LJF, SAF, WFP3, F1, F2, F3, Fair")
+		backfill   = flag.String("backfill", "easy", "backfilling: none, easy, conservative, relaxed, adaptive")
+		relax      = flag.Float64("relax", 0.10, "relaxation factor for relaxed/adaptive")
+		compare    = flag.Bool("compare", false, "run the Table II relaxed-vs-adaptive comparison")
+		matrix     = flag.Bool("matrix", false, "run the full policy x backfilling ablation")
+		sweep      = flag.Bool("sweep", false, "run the relaxation-factor sweep ablation")
+		estimates  = flag.Bool("estimates", false, "compare walltime-estimate sources for EASY backfilling")
+		learned    = flag.Bool("learned", false, "train a learned linear policy (ES) and compare against the baselines")
+		audit      = flag.Bool("audit", false, "verify the schedule against the invariant auditor (and the reference oracle on small traces)")
+		out        = flag.String("o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
+		bench      = flag.Int("bench", 0, "repeat the simulation N times and report per-run timing (hot-path diagnosis without a Go test)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the simulation) to this file")
 	)
 	flag.Parse()
-	if err := run(*system, *input, *days, *seed, *policy, *backfill, *relax,
-		*compare, *matrix, *sweep, *estimates, *learned, *audit, *out); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*system, *input, *days, *seed, *policy, *backfill, *relax,
+		*compare, *matrix, *sweep, *estimates, *learned, *audit, *out, *bench)
+	if err == nil && *memprofile != "" {
+		err = writeMemProfile(*memprofile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned, audit bool, out string) error {
+// writeMemProfile snapshots the heap after the run (post-GC, like go test's
+// -memprofile).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned, audit bool, out string, bench int) error {
 	tr, err := loadTrace(system, input, days, seed)
 	if err != nil {
 		return err
@@ -96,6 +131,11 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 		return err
 	}
 	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: relax}
+	if bench > 0 {
+		if err := runBench(tr, opt, bench); err != nil {
+			return err
+		}
+	}
 	res, err := sim.Run(tr, opt)
 	if err != nil {
 		return err
@@ -126,6 +166,28 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 	fmt.Printf("  backfilled jobs %d\n", res.Backfilled)
 	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
 	fmt.Printf("  makespan        %.0f s\n", res.Makespan)
+	return nil
+}
+
+// runBench repeats the simulation n times and prints per-run wall time plus
+// min/mean — enough to diagnose a hot-path regression (typically together
+// with -cpuprofile/-memprofile) without writing a Go benchmark.
+func runBench(tr *trace.Trace, opt sim.Options, n int) error {
+	fmt.Printf("bench: %d jobs under %s + %s, %d runs\n", tr.Len(), opt.Policy, opt.Backfill, n)
+	min, sum := time.Duration(0), time.Duration(0)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := sim.Run(tr, opt); err != nil {
+			return err
+		}
+		d := time.Since(start)
+		sum += d
+		if i == 0 || d < min {
+			min = d
+		}
+		fmt.Printf("  run %2d  %12v  (%.0f jobs/s)\n", i+1, d, float64(tr.Len())/d.Seconds())
+	}
+	fmt.Printf("bench: min %v  mean %v over %d runs\n", min, sum/time.Duration(n), n)
 	return nil
 }
 

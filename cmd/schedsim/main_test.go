@@ -26,21 +26,21 @@ func quiet(t *testing.T) {
 
 func TestRunBasicSimulation(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, ""); err != nil {
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCompare(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, true, false, false, false, false, false, ""); err != nil {
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, true, false, false, false, false, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunEstimates(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, true, false, false, ""); err != nil {
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, true, false, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,23 +49,23 @@ func TestRunEstimates(t *testing.T) {
 // invariant auditor and (on a trace this small) the oracle comparison.
 func TestRunAudit(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 0.5, 1, "SJF", "relaxed", 0.1, false, false, false, false, false, true, ""); err != nil {
+	if err := run("Theta", "", 0.5, 1, "SJF", "relaxed", 0.1, false, false, false, false, false, true, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	quiet(t)
-	if err := run("Nope", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, ""); err == nil {
+	if err := run("Nope", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
 		t.Fatal("unknown system accepted")
 	}
-	if err := run("Theta", "", 1, 1, "BOGUS", "easy", 0.1, false, false, false, false, false, false, ""); err == nil {
+	if err := run("Theta", "", 1, 1, "BOGUS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if err := run("Theta", "", 1, 1, "FCFS", "bogus", 0.1, false, false, false, false, false, false, ""); err == nil {
+	if err := run("Theta", "", 1, 1, "FCFS", "bogus", 0.1, false, false, false, false, false, false, "", 0); err == nil {
 		t.Fatal("unknown backfill accepted")
 	}
-	if err := run("Theta", "/does/not/exist.swf", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, ""); err == nil {
+	if err := run("Theta", "/does/not/exist.swf", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }
@@ -73,7 +73,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunWritesAnnotatedTrace(t *testing.T) {
 	quiet(t)
 	out := filepath.Join(t.TempDir(), "annotated.swf")
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, out); err != nil {
+	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, out, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -92,5 +92,13 @@ func TestRunWritesAnnotatedTrace(t *testing.T) {
 		if j.Wait < 0 {
 			t.Fatal("annotated trace missing waits")
 		}
+	}
+}
+
+// TestRunBenchMode exercises the -bench diagnosis path (repeat runs +
+// timing report) end to end on a small trace.
+func TestRunBenchMode(t *testing.T) {
+	if err := run("Theta", "", 0.25, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 2); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -26,26 +26,36 @@ type reservation struct {
 	procs      int
 }
 
+// plannedEnd is one running job's planning-horizon completion.
+type plannedEnd struct {
+	end   float64
+	procs int
+}
+
 // availability builds the partition's free-core step function at o.now from
 // the planned (estimate-based) ends of its running jobs.
 func (o *oracle) availability(p int) *availability {
-	type plannedEnd struct {
-		end   float64
-		procs int
-	}
 	ends := make([]plannedEnd, 0, len(o.running[p]))
 	for _, ji := range o.running[p] {
 		j := &o.jobs[ji]
 		ends = append(ends, plannedEnd{end: j.plannedEnd(), procs: j.procs})
 	}
-	sort.SliceStable(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+	return newAvailability(o.now, o.free[p], ends)
+}
 
-	a := &availability{baseTimes: []float64{o.now}, baseFree: []int{o.free[p]}}
-	cur := o.free[p]
-	for _, e := range ends {
+// newAvailability folds raw (end, procs) pairs into the naive step function.
+// It is the reference construction the incremental-profile property tests
+// compare sim.AvailSet against.
+func newAvailability(now float64, freeNow int, ends []plannedEnd) *availability {
+	sorted := append([]plannedEnd(nil), ends...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].end < sorted[b].end })
+
+	a := &availability{baseTimes: []float64{now}, baseFree: []int{freeNow}}
+	cur := freeNow
+	for _, e := range sorted {
 		t := e.end
-		if t < o.now {
-			t = o.now // overdue planned end: cores free from now on
+		if t < now {
+			t = now // overdue planned end: cores free from now on
 		}
 		cur += e.procs
 		last := len(a.baseTimes) - 1

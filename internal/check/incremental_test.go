@@ -1,0 +1,190 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"crosssched/internal/sim"
+)
+
+// The incremental-profile invariant introduced with the simulator's fast
+// path: a sim.AvailSet maintained by Add/Remove must, at every step,
+// materialize exactly the profile a from-scratch rebuild produces
+// (sim.ReferenceSnapshot == the old per-pass newProfile reconstruction),
+// and planning on top of it (earliest starts, conservative reservations)
+// must agree with this package's naive availability model.
+
+// refMultiset tracks the live (end, procs) pairs the AvailSet should hold.
+type refMultiset struct {
+	ends []sim.JobEnd
+}
+
+func (m *refMultiset) add(end float64, procs int) {
+	m.ends = append(m.ends, sim.JobEnd{End: end, Procs: procs})
+}
+
+// removeRandom retracts one live entry and returns it.
+func (m *refMultiset) removeRandom(rng *rand.Rand) sim.JobEnd {
+	i := rng.Intn(len(m.ends))
+	e := m.ends[i]
+	m.ends[i] = m.ends[len(m.ends)-1]
+	m.ends = m.ends[:len(m.ends)-1]
+	return e
+}
+
+// snapshotsEqual compares an incremental snapshot against the reference.
+func snapshotsEqual(t *testing.T, a *sim.AvailSet, ends []sim.JobEnd, now float64, freeNow int, step string) {
+	t.Helper()
+	gotT, gotF := a.Snapshot(now, freeNow)
+	wantT, wantF := sim.ReferenceSnapshot(now, freeNow, ends)
+	if len(gotT) != len(wantT) {
+		t.Fatalf("%s: %d breakpoints incremental vs %d rebuilt", step, len(gotT), len(wantT))
+	}
+	for i := range gotT {
+		if gotT[i] != wantT[i] || gotF[i] != wantF[i] {
+			t.Fatalf("%s: breakpoint %d = (%v, %d) incremental vs (%v, %d) rebuilt",
+				step, i, gotT[i], gotF[i], wantT[i], wantF[i])
+		}
+	}
+}
+
+// TestIncrementalProfileMatchesRebuild drives a randomized start/release
+// sequence through an AvailSet and asserts after every single operation that
+// the incrementally-maintained profile is identical to a fresh rebuild —
+// the exact per-pass reconstruction the simulator used to perform.
+func TestIncrementalProfileMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 20; trial++ {
+		var set sim.AvailSet
+		var ref refMultiset
+		now := float64(rng.Intn(1000))
+		// Coarse end values force frequent exact collisions, exercising the
+		// aggregation paths (Procs summing, entry removal at zero).
+		endAt := func() float64 { return now + float64(rng.Intn(20)) - 2 }
+		for op := 0; op < 200; op++ {
+			if len(ref.ends) == 0 || rng.Intn(3) > 0 {
+				end, procs := endAt(), 1+rng.Intn(16)
+				set.Add(end, procs)
+				ref.add(end, procs)
+			} else {
+				e := ref.removeRandom(rng)
+				set.Remove(e.End, e.Procs)
+			}
+			// now also advances between scheduling passes; check a few
+			// vantage points including times past some pending ends.
+			for _, at := range []float64{now, now + 5, now + 25} {
+				snapshotsEqual(t, &set, ref.ends, at, 4+rng.Intn(60), "op")
+			}
+		}
+	}
+}
+
+// TestPlannerMatchesNaiveAvailability cross-checks the fast planner (the
+// profile machinery the simulator's backfill planners run on) against this
+// package's deliberately naive availability model: same free counts at all
+// probe times, same earliest-start decisions, through randomized
+// reservation sequences.
+func TestPlannerMatchesNaiveAvailability(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		now := float64(rng.Intn(100))
+		capacity := 8 + rng.Intn(120)
+		var set sim.AvailSet
+		var ends []plannedEnd
+		used := 0
+		for used < capacity && rng.Intn(5) > 0 {
+			procs := 1 + rng.Intn(capacity-used)
+			end := now + float64(rng.Intn(50)) - 5
+			set.Add(end, procs)
+			ends = append(ends, plannedEnd{end: end, procs: procs})
+			used += procs
+		}
+		free := capacity - used
+
+		fast := set.NewPlanner(now, free)
+		naive := newAvailability(now, free, ends)
+
+		// Interleave earliest-start queries with conservative reservations,
+		// mirroring conservativePass's plan-then-reserve loop.
+		for q := 0; q < 12; q++ {
+			procs := 1 + rng.Intn(capacity)
+			dur := float64(1 + rng.Intn(40))
+			gotSt, gotMf := fast.EarliestStart(now, procs, dur)
+			wantSt, wantMf := naive.earliest(now, procs, dur)
+			if gotSt != wantSt || gotMf != wantMf {
+				t.Fatalf("trial %d query %d (procs=%d dur=%v): planner (%v, %d) vs naive (%v, %d)",
+					trial, q, procs, dur, gotSt, gotMf, wantSt, wantMf)
+			}
+			if procs <= capacity {
+				fast.Reserve(gotSt, dur, procs)
+				naive.reserve(gotSt, dur, procs)
+			}
+			// Free counts must agree everywhere, including at and between
+			// the naive model's breakpoints.
+			for _, p := range naive.points() {
+				for _, at := range []float64{p, p + 0.5} {
+					if at < now {
+						continue
+					}
+					if g, w := fast.FreeAt(at), naive.freeAt(at); g != w {
+						t.Fatalf("trial %d query %d: freeAt(%v) = %d vs naive %d", trial, q, at, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzIncrementalProfile feeds arbitrary operation tapes to the AvailSet and
+// asserts the rebuild invariant after every operation, then checks one
+// planning query against the naive model. Seeds cover aggregation (equal
+// ends), overdue ends (before now), and full-capacity sets.
+func FuzzIncrementalProfile(f *testing.F) {
+	f.Add([]byte{10, 4, 10, 4, 10, 8, 255, 1, 3, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 200, 200, 9, 9})
+	f.Add([]byte{50, 16, 40, 8, 30, 4, 20, 2, 10, 1})
+	f.Add([]byte{1, 255, 2, 254, 3, 253})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const now = 64.0
+		var set sim.AvailSet
+		var live []sim.JobEnd
+		for i := 0; i+1 < len(data); i += 2 {
+			endByte, procByte := data[i], data[i+1]
+			if procByte%4 == 3 && len(live) > 0 {
+				// retract the oldest live entry
+				e := live[0]
+				live = live[1:]
+				set.Remove(e.End, e.Procs)
+			} else {
+				end := float64(endByte) // may be before, at, or after now
+				procs := 1 + int(procByte)%32
+				set.Add(end, procs)
+				live = append(live, sim.JobEnd{End: end, Procs: procs})
+			}
+			gotT, gotF := set.Snapshot(now, 7)
+			wantT, wantF := sim.ReferenceSnapshot(now, 7, live)
+			if len(gotT) != len(wantT) {
+				t.Fatalf("op %d: %d breakpoints vs rebuilt %d", i/2, len(gotT), len(wantT))
+			}
+			for k := range gotT {
+				if gotT[k] != wantT[k] || gotF[k] != wantF[k] {
+					t.Fatalf("op %d: breakpoint %d = (%v, %d) vs rebuilt (%v, %d)",
+						i/2, k, gotT[k], gotF[k], wantT[k], wantF[k])
+				}
+			}
+		}
+		// One planning query against the naive reference model.
+		ends := make([]plannedEnd, len(live))
+		for i, e := range live {
+			ends[i] = plannedEnd{end: e.End, procs: e.Procs}
+		}
+		fast := set.NewPlanner(now, 7)
+		naive := newAvailability(now, 7, ends)
+		gotSt, gotMf := fast.EarliestStart(now, 5, 17)
+		wantSt, wantMf := naive.earliest(now, 5, 17)
+		if gotSt != wantSt || gotMf != wantMf {
+			t.Fatalf("earliest(5, 17): planner (%v, %d) vs naive (%v, %d)", gotSt, gotMf, wantSt, wantMf)
+		}
+	})
+}

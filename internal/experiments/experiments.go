@@ -97,28 +97,49 @@ type SweepPoint struct {
 
 // RelaxFactorSweep evaluates relaxed and adaptive backfilling across
 // relaxation factors — the sensitivity study behind Table II's fixed 10%.
+// Factors are simulated in parallel (sim.Run is safe for concurrent use on
+// a shared trace); within a factor the adaptive run depends on the relaxed
+// run's observed queue length, so the pair stays sequential. The result
+// order follows the input factors.
 func RelaxFactorSweep(tr *trace.Trace, factors []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, f := range factors {
-		rel, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
+	out := make([]SweepPoint, len(factors))
+	errs := make([]error, len(factors))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, f := range factors {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, f float64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rel, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ad, err := sim.Run(tr, sim.Options{
+				Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed,
+				RelaxFactor: f, MaxQueueLen: rel.MaxQueueLen,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = SweepPoint{
+				Factor:      f,
+				RelaxedWait: rel.AvgWait, AdaptiveWait: ad.AvgWait,
+				RelaxedViol: rel.Violations, AdaptiveViol: ad.Violations,
+				RelaxedBsld: rel.AvgBsld, AdaptiveBsld: ad.AvgBsld,
+				RelaxedUtil: rel.Utilization, AdaptiveUtil: ad.Utilization,
+				RelaxedDelay: rel.ViolationDelay, AdaptiveDelay: ad.ViolationDelay,
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		ad, err := sim.Run(tr, sim.Options{
-			Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed,
-			RelaxFactor: f, MaxQueueLen: rel.MaxQueueLen,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Factor:      f,
-			RelaxedWait: rel.AvgWait, AdaptiveWait: ad.AvgWait,
-			RelaxedViol: rel.Violations, AdaptiveViol: ad.Violations,
-			RelaxedBsld: rel.AvgBsld, AdaptiveBsld: ad.AvgBsld,
-			RelaxedUtil: rel.Utilization, AdaptiveUtil: ad.Utilization,
-			RelaxedDelay: rel.ViolationDelay, AdaptiveDelay: ad.ViolationDelay,
-		})
 	}
 	return out, nil
 }

@@ -1,0 +1,147 @@
+package sim
+
+import "sort"
+
+// JobEnd is one running job's planned completion: the time its cores come
+// back at the scheduler's planning horizon (start + walltime estimate) and
+// how many cores it holds.
+type JobEnd struct {
+	End   float64
+	Procs int
+}
+
+// AvailSet incrementally maintains the multiset of planned ends of a
+// partition's running jobs. It replaces the per-pass "collect the runset
+// into a slice, sort it, fold it into a step function" reconstruction the
+// simulator used to perform at every blocked-head scheduling pass: Add on
+// dispatch and Remove on release keep the set sorted at all times, so
+// materializing the availability profile is a single allocation-free linear
+// fold (buildInto).
+//
+// Entries are aggregated by end time — one entry per distinct End with the
+// core counts summed — which is exactly the information the merged step
+// function depends on: the profile newProfile builds from the raw runset is
+// a function only of this multiset, not of the order jobs were visited in.
+// That makes the incremental profile bit-identical to a from-scratch
+// rebuild, an invariant internal/check pins with a property test against
+// both Snapshot/ReferenceSnapshot and its own naive availability model.
+//
+// The type is exported (with a read-only verification surface) so that
+// internal/check can drive it directly; the simulator itself embeds one
+// AvailSet per partition.
+type AvailSet struct {
+	ends []JobEnd // ascending by End; one entry per distinct End, Procs summed
+}
+
+// Len returns the number of distinct planned end times in the set.
+func (a *AvailSet) Len() int { return len(a.ends) }
+
+// search returns the position of end in the aggregated slice, or the
+// insertion point when absent.
+func (a *AvailSet) search(end float64) int {
+	return sort.Search(len(a.ends), func(i int) bool { return a.ends[i].End >= end })
+}
+
+// Add records a started job's planned end. O(log n) search plus an O(n)
+// memmove in the worst case; ends aggregate, so n is the number of distinct
+// end times among running jobs, not the number of running jobs.
+func (a *AvailSet) Add(end float64, procs int) {
+	i := a.search(end)
+	if i < len(a.ends) && a.ends[i].End == end {
+		a.ends[i].Procs += procs
+		return
+	}
+	a.ends = append(a.ends, JobEnd{})
+	copy(a.ends[i+1:], a.ends[i:])
+	a.ends[i] = JobEnd{End: end, Procs: procs}
+}
+
+// Remove retracts a previously-added planned end (on job release). The
+// (end, procs) pair must have been Added before; the simulator guarantees
+// this by storing the exact planned end on the running record, so the float
+// equality match is exact by construction.
+func (a *AvailSet) Remove(end float64, procs int) {
+	i := a.search(end)
+	if i >= len(a.ends) || a.ends[i].End != end || a.ends[i].Procs < procs {
+		panic("sim: AvailSet.Remove of an end that was never added")
+	}
+	a.ends[i].Procs -= procs
+	if a.ends[i].Procs == 0 {
+		a.ends = append(a.ends[:i], a.ends[i+1:]...)
+	}
+}
+
+// buildInto materializes the availability step function at time now into the
+// caller's scratch profile, reusing its slices. freeNow is the partition's
+// currently free core count. Planned ends at or before now (jobs running
+// past their estimate, e.g. under advisory walltime predictions) fold into
+// the base entry, mirroring newProfile's clamping.
+func (a *AvailSet) buildInto(p *profile, now float64, freeNow int) {
+	p.times = append(p.times[:0], now)
+	p.free = append(p.free[:0], freeNow)
+	cur := freeNow
+	i := 0
+	for ; i < len(a.ends) && a.ends[i].End <= now; i++ {
+		cur += a.ends[i].Procs
+	}
+	p.free[0] = cur
+	for ; i < len(a.ends); i++ {
+		cur += a.ends[i].Procs
+		p.times = append(p.times, a.ends[i].End)
+		p.free = append(p.free, cur)
+	}
+}
+
+// Snapshot returns the availability profile (breakpoints and free counts)
+// the set produces at time now with freeNow cores currently free. It is the
+// verification view of buildInto: internal/check asserts it equals
+// ReferenceSnapshot after every randomized Add/Remove sequence.
+func (a *AvailSet) Snapshot(now float64, freeNow int) (times []float64, free []int) {
+	var p profile
+	a.buildInto(&p, now, freeNow)
+	return p.times, p.free
+}
+
+// ReferenceSnapshot builds the same availability profile from scratch with
+// newProfile — the non-incremental reconstruction the simulator used before
+// the incremental hot path, kept as the reference the AvailSet invariant is
+// checked against. The ends may be in any order and may repeat end times.
+func ReferenceSnapshot(now float64, freeNow int, ends []JobEnd) (times []float64, free []int) {
+	p := newProfile(now, freeNow, ends)
+	return p.times, p.free
+}
+
+// Planner is an availability profile with reservation planning on top — the
+// same machinery the simulator's backfill planners run on the hot path
+// (earliest-start queries and conservative reservations), exported so
+// internal/check can differentially test it against its naive reference
+// model.
+type Planner struct {
+	prof profile
+}
+
+// NewPlanner materializes the set into a fresh standalone planner at now.
+func (a *AvailSet) NewPlanner(now float64, freeNow int) *Planner {
+	pl := &Planner{}
+	a.buildInto(&pl.prof, now, freeNow)
+	return pl
+}
+
+// FreeAt evaluates the planner's step function at time t (t >= now).
+func (pl *Planner) FreeAt(t float64) int { return pl.prof.freeAt(t) }
+
+// EarliestStart returns the first time >= from at which procs cores stay
+// free for dur seconds, plus the minimum free count over that window.
+func (pl *Planner) EarliestStart(from float64, procs int, dur float64) (start float64, minFree int) {
+	return pl.prof.earliestStart(from, procs, dur)
+}
+
+// Window reports whether procs cores stay free throughout [t, t+dur); see
+// profile.window for the minFree contract on the failure path.
+func (pl *Planner) Window(t, dur float64, procs int) (bool, int) {
+	return pl.prof.window(t, dur, procs)
+}
+
+// Reserve subtracts procs cores over [t, t+dur), as conservative
+// backfilling does while planning queue-wide reservations.
+func (pl *Planner) Reserve(t, dur float64, procs int) { pl.prof.reserve(t, dur, procs) }

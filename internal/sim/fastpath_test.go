@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"reflect"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -11,7 +13,7 @@ import (
 // queue built by insertSorted with the full comparator must be a no-op.
 func TestInsertSortedMatchesFullSort(t *testing.T) {
 	for _, pol := range []Policy{FCFS, SJF, LJF, SAF, F1, F2, F3} {
-		s := &simulator{opt: Options{Policy: pol}, queues: make([][]*pending, 1)}
+		s := &simulator{opt: Options{Policy: pol}, parts: make([]partState, 1)}
 		jobs := []*pending{
 			{idx: 0, submit: 10, reqTime: 100, procs: 4},
 			{idx: 1, submit: 5, reqTime: 1000, procs: 1},
@@ -23,7 +25,7 @@ func TestInsertSortedMatchesFullSort(t *testing.T) {
 		for _, j := range jobs {
 			s.insertSorted(0, j)
 		}
-		got := append([]*pending(nil), s.queues[0]...)
+		got := append([]*pending(nil), s.parts[0].q.live()...)
 		want := append([]*pending(nil), jobs...)
 		sort.SliceStable(want, func(a, b int) bool { return s.less(want[a], want[b], 0) })
 		for i := range want {
@@ -81,5 +83,50 @@ func TestFCFSFastPathOrdering(t *testing.T) {
 			t.Fatalf("FCFS start order violated at job %d: %v < %v", i, start, prevStart)
 		}
 		prevStart = start
+	}
+}
+
+// TestConcurrentRunsAreIdentical exercises the rewritten hot path from many
+// goroutines sharing one trace: Run must be safe for concurrent use (all
+// mutable state — queues, incremental availability sets, scratch profiles,
+// score caches — is per-call) and fully deterministic. Run under -race in
+// CI, this is the data-race coverage for the incremental fast path.
+func TestConcurrentRunsAreIdentical(t *testing.T) {
+	tr := randomTrace(2026, 400, 48)
+	opts := []Options{
+		{Policy: FCFS, Backfill: EASY},
+		{Policy: SJF, Backfill: Conservative},
+		{Policy: WFP3, Backfill: Relaxed, RelaxFactor: 0.1},
+		{Policy: Fair, Backfill: AdaptiveRelaxed, RelaxFactor: 0.2},
+	}
+	const workers = 4
+	results := make([][]*Result, len(opts))
+	var wg sync.WaitGroup
+	for oi := range opts {
+		results[oi] = make([]*Result, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(oi, w int) {
+				defer wg.Done()
+				res, err := Run(tr, opts[oi])
+				if err != nil {
+					t.Errorf("opt %d worker %d: %v", oi, w, err)
+					return
+				}
+				results[oi][w] = res
+			}(oi, w)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for oi := range opts {
+		for w := 1; w < workers; w++ {
+			if !reflect.DeepEqual(results[oi][0], results[oi][w]) {
+				t.Errorf("%v+%v: concurrent run %d differs from run 0",
+					opts[oi].Policy, opts[oi].Backfill, w)
+			}
+		}
 	}
 }

@@ -9,6 +9,12 @@ import (
 // reservations. It starts from the current free count and regains cores as
 // running jobs reach their expected ends; conservative backfilling also
 // subtracts planned reservations from it.
+//
+// On the hot path the simulator does not build profiles with newProfile:
+// each partition's AvailSet materializes into a per-partition scratch
+// profile (AvailSet.buildInto), so steady-state scheduling passes reuse the
+// same two slices and allocate nothing. newProfile remains as the
+// from-scratch reference construction for tests and verification.
 type profile struct {
 	times []float64 // breakpoints, ascending; times[0] == now
 	free  []int     // free cores during [times[i], times[i+1]); last entry extends to +Inf
@@ -18,21 +24,21 @@ type profile struct {
 // with the given current free count and the (end, procs) pairs of running
 // jobs. Ends before now contribute immediately (defensive: a job at its
 // exact end event is already released by the caller).
-func newProfile(now float64, freeNow int, ends []jobEnd) *profile {
+func newProfile(now float64, freeNow int, ends []JobEnd) *profile {
 	p := &profile{times: []float64{now}, free: []int{freeNow}}
 	if len(ends) == 0 {
 		return p
 	}
-	sorted := append([]jobEnd(nil), ends...)
+	sorted := append([]JobEnd(nil), ends...)
 	// Stable keeps the caller's (deterministic) order among equal ends.
-	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].end < sorted[b].end })
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].End < sorted[b].End })
 	cur := freeNow
 	for _, e := range sorted {
-		t := e.end
+		t := e.End
 		if t < now {
 			t = now
 		}
-		cur += e.procs
+		cur += e.Procs
 		last := len(p.times) - 1
 		if t == p.times[last] {
 			p.free[last] = cur
@@ -42,12 +48,6 @@ func newProfile(now float64, freeNow int, ends []jobEnd) *profile {
 		}
 	}
 	return p
-}
-
-// jobEnd is one running job's expected completion.
-type jobEnd struct {
-	end   float64
-	procs int
 }
 
 // freeAt returns the free cores at time t (t >= times[0]).
@@ -65,30 +65,88 @@ func (p *profile) freeAt(t float64) int {
 // earliestStart returns the earliest time >= from at which procs cores stay
 // free for dur seconds, plus the minimum free count over that window (used
 // to compute the "extra" cores available alongside a reservation).
+//
+// Candidate starts are `from` and every breakpoint after it, in order —
+// the same candidate sequence a naive scan tries — but candidates that are
+// provably infeasible are skipped: when the window starting at c fails at
+// segment j (free[j] < procs), every candidate c' in (c, times[j]] also
+// covers segment j (times[j]-c' < times[j]-c < dur), so the search resumes
+// at breakpoint j+1. The first feasible candidate — and therefore the
+// result — is identical to the naive scan's; only the failures in between
+// are skipped, making the search linear instead of quadratic in the number
+// of breakpoints.
 func (p *profile) earliestStart(from float64, procs int, dur float64) (start float64, minFree int) {
-	candidates := []float64{from}
-	for _, t := range p.times {
-		if t > from {
-			candidates = append(candidates, t)
+	times, free := p.times, p.free
+	n := len(times)
+	// Locate the segment containing from once; every later candidate is a
+	// breakpoint whose index the sweep already knows, so the per-candidate
+	// binary search a window()-based loop would pay is gone.
+	i := sort.SearchFloat64s(times, from)
+	if i >= n || times[i] != from {
+		if i > 0 {
+			i--
 		}
 	}
-	for _, c := range candidates {
-		ok, mf := p.window(c, dur, procs)
+	cand, candIdx := from, i
+	for {
+		end := cand + dur
+		j := candIdx
+		ok := true
+		for ; j < n; j++ {
+			if times[j] >= end {
+				break
+			}
+			if free[j] < procs {
+				ok = false
+				break
+			}
+		}
 		if ok {
-			return c, mf
+			mf := math.MaxInt64
+			for k := candIdx; k < j; k++ {
+				if free[k] < mf {
+					mf = free[k]
+				}
+			}
+			if mf == math.MaxInt64 {
+				mf = free[n-1]
+			}
+			return cand, mf
 		}
+		// Resume after the failing segment; times are strictly ascending so
+		// times[j+1] > cand always holds (the failing segment either
+		// contains cand or lies beyond it).
+		if j+1 >= n {
+			// After the last breakpoint everything running has ended.
+			last := times[n-1]
+			if last < from {
+				last = from
+			}
+			return last, free[n-1]
+		}
+		cand, candIdx = times[j+1], j+1
 	}
-	// After the last breakpoint everything is free (all running jobs done).
-	last := p.times[len(p.times)-1]
-	if last < from {
-		last = from
-	}
-	return last, p.free[len(p.free)-1]
 }
 
 // window reports whether procs cores remain free throughout [t, t+dur) and
 // the minimum free count seen over the window.
+//
+// minFree contract: on the true path it is the minimum over every segment
+// the window touches. On the false path it is a PARTIAL minimum — only the
+// segments up to and including the first failing one were examined — so it
+// must not be used as the window's minimum. The simulator only consumes
+// minFree from successful windows (earliestStart propagates it exclusively
+// alongside a feasible start, where it bounds the backfill "extra cores"
+// budget); TestWindowMinFreeContract pins this so the allowance cannot
+// silently widen.
 func (p *profile) window(t, dur float64, procs int) (bool, int) {
+	ok, mf, _ := p.windowIdx(t, dur, procs)
+	return ok, mf
+}
+
+// windowIdx is window plus the index of the failing segment on the false
+// path (-1 on success), which earliestStart uses to skip doomed candidates.
+func (p *profile) windowIdx(t, dur float64, procs int) (bool, int, int) {
 	end := t + dur
 	minFree := math.MaxInt64
 	// examine the segment containing t and all breakpoints within (t, end)
@@ -107,13 +165,13 @@ func (p *profile) window(t, dur float64, procs int) (bool, int) {
 			minFree = p.free[i]
 		}
 		if p.free[i] < procs {
-			return false, minFree
+			return false, minFree, i
 		}
 	}
 	if minFree == math.MaxInt64 {
 		minFree = p.free[len(p.free)-1]
 	}
-	return true, minFree
+	return true, minFree, -1
 }
 
 // reserve subtracts procs cores over [t, t+dur) from the profile, splitting
@@ -123,14 +181,17 @@ func (p *profile) reserve(t, dur float64, procs int) {
 	end := t + dur
 	p.split(t)
 	p.split(end)
-	for i := range p.times {
-		if p.times[i] >= t && p.times[i] < end {
-			p.free[i] -= procs
-		}
+	// Only segments in [t, end) change; start at the first breakpoint >= t
+	// instead of scanning the whole profile.
+	for i := sort.SearchFloat64s(p.times, t); i < len(p.times) && p.times[i] < end; i++ {
+		p.free[i] -= procs
 	}
 }
 
 // split inserts a breakpoint at time t (no-op if present or before start).
+// The append grows into existing capacity in the steady state: conservative
+// planning reuses per-partition scratch profiles whose segment storage is
+// retained across passes.
 func (p *profile) split(t float64) {
 	if t <= p.times[0] {
 		return

@@ -18,7 +18,7 @@ func TestProfileEmpty(t *testing.T) {
 
 func TestProfileStep(t *testing.T) {
 	// 2 free now; a 4-core job ends at t=10, an 8-core job ends at t=20.
-	p := newProfile(0, 2, []jobEnd{{end: 10, procs: 4}, {end: 20, procs: 8}})
+	p := newProfile(0, 2, []JobEnd{{End: 10, Procs: 4}, {End: 20, Procs: 8}})
 	if p.freeAt(0) != 2 || p.freeAt(9.99) != 2 {
 		t.Fatalf("freeAt before first end wrong: %d", p.freeAt(0))
 	}
@@ -31,7 +31,7 @@ func TestProfileStep(t *testing.T) {
 }
 
 func TestProfileEarliestStart(t *testing.T) {
-	p := newProfile(0, 2, []jobEnd{{end: 10, procs: 4}, {end: 20, procs: 8}})
+	p := newProfile(0, 2, []JobEnd{{End: 10, Procs: 4}, {End: 20, Procs: 8}})
 	// needs 6 cores for 5s: available at t=10
 	st, mf := p.earliestStart(0, 6, 5)
 	if st != 10 {
@@ -58,7 +58,7 @@ func TestProfileEarliestStart(t *testing.T) {
 }
 
 func TestProfileEndsBeforeNowClamped(t *testing.T) {
-	p := newProfile(100, 3, []jobEnd{{end: 50, procs: 2}})
+	p := newProfile(100, 3, []JobEnd{{End: 50, Procs: 2}})
 	if p.freeAt(100) != 5 {
 		t.Fatalf("stale end not clamped: %d", p.freeAt(100))
 	}
@@ -99,7 +99,7 @@ func TestProfileEarliestFeasiblePropertyQuick(t *testing.T) {
 	f := func(seedEnds []uint8, procsRaw, durRaw uint8) bool {
 		capacity := 32
 		used := 0
-		var ends []jobEnd
+		var ends []JobEnd
 		for i, e := range seedEnds {
 			if i >= 6 {
 				break
@@ -109,7 +109,7 @@ func TestProfileEarliestFeasiblePropertyQuick(t *testing.T) {
 				break
 			}
 			used += pr
-			ends = append(ends, jobEnd{end: float64(int(e)%50 + 1), procs: pr})
+			ends = append(ends, JobEnd{End: float64(int(e)%50 + 1), Procs: pr})
 		}
 		p := newProfile(0, capacity-used, ends)
 		procs := int(procsRaw)%capacity + 1
@@ -117,6 +117,83 @@ func TestProfileEarliestFeasiblePropertyQuick(t *testing.T) {
 		st, _ := p.earliestStart(0, procs, dur)
 		ok, _ := p.window(st, dur, procs)
 		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowMinFreeContract pins window's minFree semantics so the backfill
+// "extra cores" budget cannot silently widen:
+//
+//   - On the false path, minFree is a PARTIAL minimum — segments are only
+//     examined up to and including the first one that fails — so it must
+//     never be treated as the minimum over the whole requested window.
+//   - earliestStart therefore only propagates minFree from a successful
+//     window, where it is the exact minimum over every covered segment.
+func TestWindowMinFreeContract(t *testing.T) {
+	// free: 10 over [0,10), 2 over [10,20), 1 over [20,30), 10 from 30 on.
+	p := newProfile(0, 10, nil)
+	p.reserve(10, 20, 8) // 8 cores over [10,30)
+	p.reserve(20, 10, 1) // 1 more over [20,30)
+	if got := []int{p.freeAt(0), p.freeAt(10), p.freeAt(20), p.freeAt(30)}; got[0] != 10 || got[1] != 2 || got[2] != 1 || got[3] != 10 {
+		t.Fatalf("fixture profile wrong: %v", got)
+	}
+
+	// The window fails at the second segment (2 < 5); the third segment
+	// (free 1, the true window minimum) is never examined. The partial
+	// minimum is 2, not 1 — that is the documented false-path contract.
+	ok, mf := p.window(0, 30, 5)
+	if ok {
+		t.Fatal("window [0,30) should not fit 5 cores")
+	}
+	if mf != 2 {
+		t.Fatalf("false-path minFree = %d; the partial up-to-failure minimum must be 2", mf)
+	}
+
+	// On the success path minFree is the exact minimum over the window.
+	ok, mf = p.window(0, 10, 5)
+	if !ok || mf != 10 {
+		t.Fatalf("window [0,10): ok=%v minFree=%d, want true, 10", ok, mf)
+	}
+	ok, mf = p.window(10, 20, 1)
+	if !ok || mf != 1 {
+		t.Fatalf("window [10,30): ok=%v minFree=%d, want true, 1", ok, mf)
+	}
+}
+
+// TestEarliestStartMinFreeExact verifies that the minFree earliestStart
+// reports (the sole source of the backfill extra-cores budget) equals an
+// independently recomputed minimum over the returned window, across many
+// random profiles and queries.
+func TestEarliestStartMinFreeExact(t *testing.T) {
+	f := func(seedEnds []uint8, procsRaw, durRaw uint8) bool {
+		capacity := 48
+		used := 0
+		var ends []JobEnd
+		for i, e := range seedEnds {
+			if i >= 8 {
+				break
+			}
+			pr := int(e)%12 + 1
+			if used+pr > capacity {
+				break
+			}
+			used += pr
+			ends = append(ends, JobEnd{End: float64(int(e)%60 + 1), Procs: pr})
+		}
+		p := newProfile(0, capacity-used, ends)
+		procs := int(procsRaw)%capacity + 1
+		dur := float64(durRaw%80) + 1
+		st, mf := p.earliestStart(0, procs, dur)
+		// Recompute the window minimum from scratch via freeAt.
+		want := p.freeAt(st)
+		for i := range p.times {
+			if p.times[i] > st && p.times[i] < st+dur && p.free[i] < want {
+				want = p.free[i]
+			}
+		}
+		return mf == want
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

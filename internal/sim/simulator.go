@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -40,7 +39,9 @@ type Options struct {
 	// CustomScore, when non-nil, overrides Policy for queue ordering
 	// (lower scores schedule first). Arguments are the job's planning
 	// runtime estimate, requested cores, submission time, and the current
-	// simulation time. Used by learned schedulers (internal/rl).
+	// simulation time. Used by learned schedulers (internal/rl). It must
+	// be a pure function of its arguments: the simulator caches scores
+	// per scheduling pass instead of recomputing them per comparison.
 	CustomScore func(reqTime float64, procs int, submit, now float64) float64
 }
 
@@ -90,10 +91,11 @@ type pending struct {
 	user     int
 	submit   float64
 	procs    int
+	part     int     // partition the job is confined to
 	reqTime  float64 // planning estimate (walltime, or runtime fallback)
 	run      float64 // effective runtime once started
-	vc       int
 	promised float64 // first promised start time; <0 when never reserved
+	score    float64 // cached policy score (dynamic policies; see sortQueue)
 }
 
 // running is a dispatched job occupying cores until end.
@@ -102,35 +104,153 @@ type running struct {
 	end   float64 // expected end used for planning (start + reqTime)
 	real  float64 // actual completion time (start + run)
 	procs int
+	part  int
 }
 
-// completionHeap orders running jobs by actual completion time.
-type completionHeap []running
+// completionHeap is a typed binary min-heap of running jobs ordered by
+// actual completion time. It replaces the container/heap implementation:
+// pushing a value no longer boxes it into an interface{}, so the per-start
+// heap allocation is gone.
+type completionHeap struct {
+	items []running
+}
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].real < h[j].real }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(running)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *completionHeap) len() int { return len(h.items) }
+
+// min returns the earliest completion without removing it.
+func (h *completionHeap) min() *running { return &h.items[0] }
+
+func (h *completionHeap) push(r running) {
+	h.items = append(h.items, r)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].real <= h.items[i].real {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() running {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].real < h.items[small].real {
+			small = l
+		}
+		if r < n && h.items[r].real < h.items[small].real {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// jobQueue is one partition's waiting queue: a slice with a live region
+// [head:] so that popping the queue head — the overwhelmingly common
+// removal under every policy — advances an index instead of copying the
+// tail. Middle removals (backfills) shift whichever side of the removal
+// point is shorter, and the dead prefix is compacted amortized-O(1) on push.
+type jobQueue struct {
+	buf  []*pending
+	head int
+}
+
+func (q *jobQueue) len() int { return len(q.buf) - q.head }
+
+func (q *jobQueue) at(i int) *pending { return q.buf[q.head+i] }
+
+// live returns the active queue region, in queue order.
+func (q *jobQueue) live() []*pending { return q.buf[q.head:] }
+
+func (q *jobQueue) push(j *pending) {
+	if q.head == len(q.buf) {
+		// drained: recycle the whole buffer
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.buf) {
+		// compact the dead prefix (amortized against the head advances
+		// that created it)
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, j)
+}
+
+// insert places j at live position pos, shifting the cheaper side.
+func (q *jobQueue) insert(pos int, j *pending) {
+	abs := q.head + pos
+	if q.head > 0 && pos < q.len()-pos {
+		copy(q.buf[q.head-1:abs-1], q.buf[q.head:abs])
+		q.head--
+		q.buf[abs-1] = j
+		return
+	}
+	q.buf = append(q.buf, nil)
+	copy(q.buf[abs+1:], q.buf[abs:])
+	q.buf[abs] = j
+}
+
+// remove deletes the live position pos, shifting the cheaper side.
+func (q *jobQueue) remove(pos int) {
+	abs := q.head + pos
+	if pos < q.len()-pos-1 {
+		copy(q.buf[q.head+1:abs+1], q.buf[q.head:abs])
+		q.head++
+		return
+	}
+	copy(q.buf[abs:], q.buf[abs+1:])
+	q.buf = q.buf[:len(q.buf)-1]
+}
+
+// partState is the per-partition scheduling state.
+type partState struct {
+	q     jobQueue
+	avail AvailSet // planned ends of running jobs, maintained incrementally
+	prof  profile  // scratch availability profile, rebuilt per blocked pass
+	// planned is conservativePass's scratch reservation plan.
+	planned []plannedStart
+	// Dynamic-policy score cache: the queue order is a pure function of
+	// (now, fair-usage version), so the sort runs once per distinct pass
+	// instead of once per schedule-loop iteration.
+	sorted   bool
+	sortTime float64
+	sortFair int
+}
+
+// plannedStart is one conservative-backfilling reservation decision.
+type plannedStart struct {
+	pos   int
+	start float64
 }
 
 // simulator is the run state.
 type simulator struct {
-	opt     Options
-	jobs    []trace.Job
-	cl      *cluster.Cluster
-	queues  [][]*pending // one waiting queue per partition
-	runsets []map[int]*running
-	compl   completionHeap
-	now     float64
+	opt      Options
+	jobs     []trace.Job
+	cl       *cluster.Cluster
+	parts    []partState
+	pendings []pending // backing store; queue entries point into it
+	compl    completionHeap
+	now      float64
 
-	fair *FairshareState // non-nil when Policy == Fair
+	fair    *FairshareState // non-nil when Policy == Fair
+	fairVer int             // bumped on every Charge; invalidates score caches
 
+	queued         int // total jobs waiting across partitions
+	touched        []bool
 	waits          []float64
 	promised       []float64
 	violations     int
@@ -145,7 +265,7 @@ type simulator struct {
 // sampleQueue appends a queue-length sample, thinning by halving once the
 // cap is reached (keeps coverage of the whole run, bounded memory).
 func (s *simulator) sampleQueue(t float64) {
-	s.timeline = append(s.timeline, QueueSample{Time: t, Length: s.totalQueued()})
+	s.timeline = append(s.timeline, QueueSample{Time: t, Length: s.queued})
 	if len(s.timeline) >= 2*maxTimelineSamples {
 		kept := s.timeline[:0]
 		for i := 0; i < len(s.timeline); i += 2 {
@@ -156,7 +276,8 @@ func (s *simulator) sampleQueue(t float64) {
 }
 
 // Run simulates scheduling of tr under opt and returns the metrics.
-// The input trace is not modified.
+// The input trace is not modified. Run is safe to call concurrently
+// (including on the same trace): all mutable state is per-call.
 func Run(tr *trace.Trace, opt Options) (*Result, error) {
 	if opt.BsldTau <= 0 {
 		opt.BsldTau = 10
@@ -183,17 +304,24 @@ func Run(tr *trace.Trace, opt Options) (*Result, error) {
 		opt:      opt,
 		jobs:     append([]trace.Job(nil), tr.Jobs...),
 		cl:       cl,
-		queues:   make([][]*pending, nParts),
-		runsets:  make([]map[int]*running, nParts),
+		parts:    make([]partState, nParts),
+		pendings: make([]pending, len(tr.Jobs)),
+		touched:  make([]bool, nParts),
 		waits:    make([]float64, len(tr.Jobs)),
 		promised: make([]float64, len(tr.Jobs)),
 	}
 	for i := range s.promised {
 		s.promised[i] = -1
 	}
-	for p := range s.runsets {
-		s.runsets[p] = map[int]*running{}
+	// One sample lands per event loop iteration, of which there are at most
+	// two per job (arrival, completion); thinning caps the slice length at
+	// 2*maxTimelineSamples. Reserving the smaller of the two up front keeps
+	// the append loop from re-growing the backing array.
+	timelineCap := 2 * len(tr.Jobs)
+	if timelineCap > 2*maxTimelineSamples {
+		timelineCap = 2 * maxTimelineSamples
 	}
+	s.timeline = make([]QueueSample, 0, timelineCap)
 	if opt.Policy == Fair {
 		s.fair = NewFairshareState(opt.FairshareHalfLife)
 	}
@@ -227,30 +355,32 @@ func (s *simulator) partition(j *trace.Job) int {
 
 func (s *simulator) run() error {
 	next := 0 // next arrival index
-	for next < len(s.jobs) || s.compl.Len() > 0 {
+	for next < len(s.jobs) || s.compl.len() > 0 {
 		// choose the next event time
 		t := math.Inf(1)
 		if next < len(s.jobs) {
 			t = s.jobs[next].Submit
 		}
-		if s.compl.Len() > 0 && s.compl[0].real < t {
-			t = s.compl[0].real
+		if s.compl.len() > 0 && s.compl.min().real < t {
+			t = s.compl.min().real
 		}
 		s.now = t
 
-		touched := make([]bool, len(s.queues))
+		touched := s.touched
+		for i := range touched {
+			touched[i] = false
+		}
 		// completions at t release resources first
-		for s.compl.Len() > 0 && s.compl[0].real <= t {
-			r := heap.Pop(&s.compl).(running)
-			p := s.partition(&s.jobs[r.idx])
-			if err := s.cl.Release(t, p, r.procs); err != nil {
+		for s.compl.len() > 0 && s.compl.min().real <= t {
+			r := s.compl.pop()
+			if err := s.cl.Release(t, r.part, r.procs); err != nil {
 				return err
 			}
-			delete(s.runsets[p], r.idx)
+			s.parts[r.part].avail.Remove(r.end, r.procs)
 			if r.real > s.makespan {
 				s.makespan = r.real
 			}
-			touched[p] = true
+			touched[r.part] = true
 		}
 		// arrivals at t join their queue
 		for next < len(s.jobs) && s.jobs[next].Submit <= t {
@@ -269,20 +399,23 @@ func (s *simulator) run() error {
 					reqTime = pred // advisory estimate; no kill at pred
 				}
 			}
-			pj := &pending{
+			pj := &s.pendings[next]
+			*pj = pending{
 				idx: next, user: j.User, submit: j.Submit, procs: j.Procs,
-				reqTime: reqTime, run: run, vc: j.VC, promised: -1,
+				part: p, reqTime: reqTime, run: run, promised: -1,
 			}
 			if s.staticOrder() {
 				s.insertSorted(p, pj)
 			} else {
-				s.queues[p] = append(s.queues[p], pj)
+				s.parts[p].q.push(pj)
+				s.parts[p].sorted = false
 			}
+			s.queued++
 			touched[p] = true
 			next++
 		}
-		if q := s.totalQueued(); q > s.maxQueueSeen {
-			s.maxQueueSeen = q
+		if s.queued > s.maxQueueSeen {
+			s.maxQueueSeen = s.queued
 		}
 		// Partitions are scheduled in index order: the Fair policy's usage
 		// accounts are shared across partitions, so iteration order is
@@ -303,21 +436,16 @@ func (s *simulator) run() error {
 	return nil
 }
 
-func (s *simulator) totalQueued() int {
-	n := 0
-	for _, q := range s.queues {
-		n += len(q)
-	}
-	return n
-}
-
 // staticOrder reports whether queue order is fixed at arrival time.
 func (s *simulator) staticOrder() bool {
 	return s.opt.Policy.static() && s.opt.CustomScore == nil
 }
 
 // less is the canonical queue ordering at time now: policy score, then
-// submit time, then job index for determinism.
+// submit time, then job index for determinism. It recomputes scores per
+// comparison and is used only on the static arrival path (insertSorted),
+// where scores are time-independent; dynamic passes sort on cached scores
+// in sortQueue instead.
 func (s *simulator) less(a, b *pending, now float64) bool {
 	var sa, sb float64
 	switch {
@@ -341,29 +469,63 @@ func (s *simulator) less(a, b *pending, now float64) bool {
 // insertSorted places a pending job at its ordered position (static
 // policies only — the position never changes afterwards).
 func (s *simulator) insertSorted(p int, j *pending) {
-	q := s.queues[p]
-	lo := sort.Search(len(q), func(i int) bool { return s.less(j, q[i], s.now) })
-	q = append(q, nil)
-	copy(q[lo+1:], q[lo:])
-	q[lo] = j
-	s.queues[p] = q
+	q := &s.parts[p].q
+	live := q.live()
+	lo := sort.Search(len(live), func(i int) bool { return s.less(j, live[i], s.now) })
+	q.insert(lo, j)
 }
 
 // sortQueue orders the partition queue by the policy. For static policies
-// the queue is already sorted by insertSorted and this is a no-op.
+// the queue is already sorted by insertSorted and this is a no-op. For
+// dynamic policies the order is a pure function of the current time (and,
+// under Fair, of the usage accounts), so scores are computed once per
+// (partition, time, usage-version) pass, cached on the pending entries, and
+// the sort is skipped entirely on repeat passes — removals preserve order.
 func (s *simulator) sortQueue(p int) {
 	if s.staticOrder() {
 		return
 	}
-	q := s.queues[p]
+	ps := &s.parts[p]
+	if ps.sorted && ps.sortTime == s.now && (s.fair == nil || ps.sortFair == s.fairVer) {
+		return
+	}
+	live := ps.q.live()
 	now := s.now
-	sort.SliceStable(q, func(a, b int) bool { return s.less(q[a], q[b], now) })
+	switch {
+	case s.opt.CustomScore != nil:
+		for _, j := range live {
+			j.score = s.opt.CustomScore(j.reqTime, j.procs, j.submit, now)
+		}
+	case s.fair != nil:
+		for _, j := range live {
+			j.score = s.fair.Usage(j.user, now)
+		}
+	default:
+		for _, j := range live {
+			j.score = s.opt.Policy.score(j, now)
+		}
+	}
+	// The comparator is a total order (score, submit, idx), so the sorted
+	// permutation is unique and stability is irrelevant.
+	sort.Slice(live, func(a, b int) bool {
+		ja, jb := live[a], live[b]
+		if ja.score != jb.score {
+			return ja.score < jb.score
+		}
+		if ja.submit != jb.submit {
+			return ja.submit < jb.submit
+		}
+		return ja.idx < jb.idx
+	})
+	ps.sorted = true
+	ps.sortTime = now
+	ps.sortFair = s.fairVer
 }
 
 // start dispatches job j from partition p's queue position pos.
 func (s *simulator) start(p, pos int) {
-	q := s.queues[p]
-	j := q[pos]
+	ps := &s.parts[p]
+	j := ps.q.at(pos)
 	if err := s.cl.Allocate(s.now, p, j.procs); err != nil {
 		// The caller checked CanAllocate; reaching here is a bug.
 		panic(fmt.Sprintf("sim: allocation invariant broken: %v", err))
@@ -378,25 +540,29 @@ func (s *simulator) start(p, pos int) {
 	}
 	if s.fair != nil {
 		s.fair.Charge(j.user, s.now, float64(j.procs)*j.run)
+		s.fairVer++
 	}
-	r := &running{idx: j.idx, end: s.now + j.reqTime, real: s.now + j.run, procs: j.procs}
-	s.runsets[p][j.idx] = r
-	heap.Push(&s.compl, *r)
-	s.queues[p] = append(q[:pos], q[pos+1:]...)
+	end := s.now + j.reqTime
+	real := s.now + j.run
+	s.compl.push(running{idx: j.idx, end: end, real: real, procs: j.procs, part: p})
+	ps.avail.Add(end, j.procs)
+	ps.q.remove(pos)
+	s.queued--
 	s.started++
-	if r.real > s.makespan {
-		s.makespan = r.real
+	if real > s.makespan {
+		s.makespan = real
 	}
 }
 
 // schedule runs one scheduling pass for partition p at the current time.
 func (s *simulator) schedule(p int) error {
+	ps := &s.parts[p]
 	for {
-		if len(s.queues[p]) == 0 {
+		if ps.q.len() == 0 {
 			return nil
 		}
 		s.sortQueue(p)
-		head := s.queues[p][0]
+		head := ps.q.at(0)
 		if s.cl.CanAllocate(p, head.procs) {
 			s.start(p, 0)
 			continue
@@ -413,7 +579,7 @@ func (s *simulator) schedule(p int) error {
 			s.promised[head.idx] = shadow
 		}
 		if s.opt.Backfill == Conservative {
-			s.conservativePass(p, prof)
+			s.conservativePass(p, prof, shadow)
 			return nil
 		}
 		extra := minFree - head.procs
@@ -450,7 +616,7 @@ func (s *simulator) allowance(p int, head *pending) float64 {
 		if maxQ <= 0 {
 			maxQ = 1
 		}
-		frac := float64(len(s.queues[p])) / float64(maxQ)
+		frac := float64(s.parts[p].q.len()) / float64(maxQ)
 		if frac > 1 {
 			frac = 1
 		}
@@ -460,30 +626,24 @@ func (s *simulator) allowance(p int, head *pending) float64 {
 	}
 }
 
-// buildProfile constructs the availability profile for partition p at now.
-// Running jobs are visited in job-index order (not map order) so equal-end
-// ties sort identically on every run and the profile is deterministic.
+// buildProfile materializes partition p's availability profile at now into
+// the partition's scratch profile. The planned ends are maintained
+// incrementally by start/release (AvailSet), so this is a linear fold with
+// no sorting and, in the steady state, no allocation — the per-pass runset
+// collection, sort.Ints, and newProfile rebuild this used to do are gone.
 func (s *simulator) buildProfile(p int) *profile {
-	idxs := make([]int, 0, len(s.runsets[p]))
-	for idx := range s.runsets[p] {
-		idxs = append(idxs, idx)
-	}
-	sort.Ints(idxs)
-	ends := make([]jobEnd, 0, len(idxs))
-	for _, idx := range idxs {
-		r := s.runsets[p][idx]
-		ends = append(ends, jobEnd{end: r.end, procs: r.procs})
-	}
-	return newProfile(s.now, s.cl.Free(p), ends)
+	ps := &s.parts[p]
+	ps.avail.buildInto(&ps.prof, s.now, s.cl.Free(p))
+	return &ps.prof
 }
 
 // backfillPass tries to start one queued job (after the head) that fits now
 // and either finishes before the deadline or fits inside the extra cores
 // not needed by the head's reservation. Returns true if a job started.
 func (s *simulator) backfillPass(p int, deadline float64, extra int) bool {
-	q := s.queues[p]
-	for pos := 1; pos < len(q); pos++ {
-		c := q[pos]
+	q := &s.parts[p].q
+	for pos := 1; pos < q.len(); pos++ {
+		c := q.at(pos)
 		if !s.cl.CanAllocate(p, c.procs) {
 			continue
 		}
@@ -496,26 +656,29 @@ func (s *simulator) backfillPass(p int, deadline float64, extra int) bool {
 }
 
 // conservativePass plans a reservation for every queued job in priority
-// order and starts those whose planned start is now.
-func (s *simulator) conservativePass(p int, prof *profile) {
-	// Plan on a copy of the queue order; starting jobs mutates the queue.
-	planned := make([]struct {
-		pos   int
-		start float64
-	}, 0, len(s.queues[p]))
-	for pos := 0; pos < len(s.queues[p]); pos++ {
-		c := s.queues[p][pos]
-		st, _ := prof.earliestStart(s.now, c.procs, c.reqTime)
+// order and starts those whose planned start is now. The plan scratch and
+// the profile's segment storage are reused across passes, so steady-state
+// planning allocates nothing.
+func (s *simulator) conservativePass(p int, prof *profile, headShadow float64) {
+	ps := &s.parts[p]
+	// Plan on the queue order; starting jobs mutates the queue, so record
+	// positions first and start afterwards.
+	planned := ps.planned[:0]
+	n := ps.q.len()
+	for pos := 0; pos < n; pos++ {
+		c := ps.q.at(pos)
+		st := headShadow // the caller already planned the head on this profile
+		if pos > 0 {
+			st, _ = prof.earliestStart(s.now, c.procs, c.reqTime)
+		}
 		prof.reserve(st, c.reqTime, c.procs)
-		planned = append(planned, struct {
-			pos   int
-			start float64
-		}{pos, st})
+		planned = append(planned, plannedStart{pos, st})
 	}
+	ps.planned = planned
 	// Start immediately-startable jobs; iterate descending position so
 	// earlier removals don't shift later indices.
 	for i := len(planned) - 1; i >= 0; i-- {
-		if planned[i].start <= s.now+1e-9 && s.cl.CanAllocate(p, s.queues[p][planned[i].pos].procs) {
+		if planned[i].start <= s.now+1e-9 && s.cl.CanAllocate(p, ps.q.at(planned[i].pos).procs) {
 			s.start(p, planned[i].pos)
 		}
 	}

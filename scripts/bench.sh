@@ -1,0 +1,65 @@
+#!/bin/sh
+# bench.sh — run the simulator benchmarks and emit a machine-readable JSON
+# summary, suitable for committing as a baseline (BENCH_baseline.json) or
+# diffing against one in CI.
+#
+# Usage:
+#   scripts/bench.sh [pattern] [count] [out.json]
+#
+#   pattern   go test -bench regexp   (default: BenchmarkSimulator)
+#   count     repetitions per bench   (default: 3)
+#   out.json  JSON output path        (default: stdout; raw go test output
+#                                      always goes to stderr so benchstat
+#                                      users can tee it)
+#
+# The JSON groups runs by benchmark name and reports the per-run series plus
+# the minimum ns/op (the least-noise statistic) and the B/op and allocs/op,
+# which are deterministic per run:
+#
+#   {"benchmarks": [{"name": ..., "runs": N,
+#                    "ns_per_op": [...], "min_ns_per_op": ...,
+#                    "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+#
+# For statistically rigorous before/after comparisons prefer benchstat on the
+# raw output (see the Performance section in DESIGN.md).
+set -eu
+
+pattern=${1:-BenchmarkSimulator}
+count=${2:-3}
+out=${3:-}
+
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench "$pattern" -benchmem -count "$count" . )
+printf '%s\n' "$raw" >&2
+
+json=$(printf '%s\n' "$raw" | awk '
+  /^Benchmark/ {
+    # BenchmarkName-P  iters  X ns/op  Y B/op  Z allocs/op
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = ns[name] sep[name] $3
+    sep[name] = ", "
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+    min_ns[name] = (min_ns[name] == "" || $3 + 0 < min_ns[name] + 0) ? $3 : min_ns[name]
+    bytes[name] = $5
+    allocs[name] = $7
+  }
+  END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+      name = names[i]
+      printf "    {\"name\": \"%s\", \"runs\": %d,\n", name, split(ns[name], _, ", ")
+      printf "     \"ns_per_op\": [%s],\n", ns[name]
+      printf "     \"min_ns_per_op\": %s,\n", min_ns[name]
+      printf "     \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", bytes[name], allocs[name], (i < n) ? "," : ""
+    }
+    printf "  ]\n}\n"
+  }')
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$json" > "$out"
+    echo "wrote $out" >&2
+else
+    printf '%s\n' "$json"
+fi
