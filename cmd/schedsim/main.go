@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,32 +21,63 @@ import (
 	"crosssched/internal/check"
 	"crosssched/internal/experiments"
 	"crosssched/internal/figures"
+	"crosssched/internal/obs"
 	"crosssched/internal/rl"
 	"crosssched/internal/sim"
 	"crosssched/internal/synth"
 	"crosssched/internal/trace"
 )
 
+// runConfig carries every flag the command accepts; run consumes it so
+// tests can drive the full CLI surface without a process boundary.
+type runConfig struct {
+	system   string // built-in system profile
+	input    string // SWF trace path overriding the built-in
+	days     float64
+	seed     uint64
+	policy   string
+	backfill string
+	relax    float64
+
+	compare   bool
+	matrix    bool
+	sweep     bool
+	estimates bool
+	learned   bool
+	audit     bool
+
+	out   string
+	bench int
+
+	eventsOut  string        // decision stream as JSONL
+	metricsOut string        // per-run counters as JSON
+	timeout    time.Duration // whole-run deadline (0 = none)
+	progress   bool          // live progress line on stderr
+}
+
 func main() {
-	var (
-		system     = flag.String("system", "Mira", "built-in system profile")
-		input      = flag.String("input", "", "SWF trace to schedule instead of a built-in")
-		days       = flag.Float64("days", 8, "synthetic trace duration in days")
-		seed       = flag.Uint64("seed", 1, "generator seed")
-		policy     = flag.String("policy", "FCFS", "priority policy: FCFS, SJF, LJF, SAF, WFP3, F1, F2, F3, Fair")
-		backfill   = flag.String("backfill", "easy", "backfilling: none, easy, conservative, relaxed, adaptive")
-		relax      = flag.Float64("relax", 0.10, "relaxation factor for relaxed/adaptive")
-		compare    = flag.Bool("compare", false, "run the Table II relaxed-vs-adaptive comparison")
-		matrix     = flag.Bool("matrix", false, "run the full policy x backfilling ablation")
-		sweep      = flag.Bool("sweep", false, "run the relaxation-factor sweep ablation")
-		estimates  = flag.Bool("estimates", false, "compare walltime-estimate sources for EASY backfilling")
-		learned    = flag.Bool("learned", false, "train a learned linear policy (ES) and compare against the baselines")
-		audit      = flag.Bool("audit", false, "verify the schedule against the invariant auditor (and the reference oracle on small traces)")
-		out        = flag.String("o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
-		bench      = flag.Int("bench", 0, "repeat the simulation N times and report per-run timing (hot-path diagnosis without a Go test)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile (after the simulation) to this file")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.system, "system", "Mira", "built-in system profile")
+	flag.StringVar(&cfg.input, "input", "", "SWF trace to schedule instead of a built-in")
+	flag.Float64Var(&cfg.days, "days", 8, "synthetic trace duration in days")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.StringVar(&cfg.policy, "policy", "FCFS", "priority policy: FCFS, SJF, LJF, SAF, WFP3, F1, F2, F3, Fair")
+	flag.StringVar(&cfg.backfill, "backfill", "easy", "backfilling: none, easy, conservative, relaxed, adaptive")
+	flag.Float64Var(&cfg.relax, "relax", 0.10, "relaxation factor for relaxed/adaptive")
+	flag.BoolVar(&cfg.compare, "compare", false, "run the Table II relaxed-vs-adaptive comparison")
+	flag.BoolVar(&cfg.matrix, "matrix", false, "run the full policy x backfilling ablation")
+	flag.BoolVar(&cfg.sweep, "sweep", false, "run the relaxation-factor sweep ablation")
+	flag.BoolVar(&cfg.estimates, "estimates", false, "compare walltime-estimate sources for EASY backfilling")
+	flag.BoolVar(&cfg.learned, "learned", false, "train a learned linear policy (ES) and compare against the baselines")
+	flag.BoolVar(&cfg.audit, "audit", false, "verify the schedule against the invariant auditor, the decision-stream auditor, and (on small traces) the reference oracle")
+	flag.StringVar(&cfg.out, "o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
+	flag.IntVar(&cfg.bench, "bench", 0, "repeat the simulation N times and report per-run timing (hot-path diagnosis without a Go test)")
+	flag.StringVar(&cfg.eventsOut, "events-out", "", "write the decision-event stream as JSONL to this file")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write per-run counters as JSON to this file")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this wall-clock duration (e.g. 30s)")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress line to stderr during the simulation")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the simulation) to this file")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -60,8 +92,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(*system, *input, *days, *seed, *policy, *backfill, *relax,
-		*compare, *matrix, *sweep, *estimates, *learned, *audit, *out, *bench)
+	err := run(cfg)
 	if err == nil && *memprofile != "" {
 		err = writeMemProfile(*memprofile)
 	}
@@ -83,38 +114,44 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(system, input string, days float64, seed uint64, policy, backfill string, relax float64, compare, matrix, sweep, estimates, learned, audit bool, out string, bench int) error {
-	tr, err := loadTrace(system, input, days, seed)
+func run(cfg runConfig) error {
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	tr, err := loadTrace(cfg.system, cfg.input, cfg.days, cfg.seed)
 	if err != nil {
 		return err
 	}
 	switch {
-	case learned:
-		return runLearned(tr)
-	case compare:
+	case cfg.learned:
+		return runLearned(ctx, tr)
+	case cfg.compare:
 		row, err := figures.CompareRelaxedAdaptive(tr)
 		if err != nil {
 			return err
 		}
 		fmt.Print(figures.RenderTableII([]figures.TableIIRow{*row}))
 		return nil
-	case matrix:
-		cells, err := experiments.PolicyMatrix(tr, sim.Policies,
+	case cfg.matrix:
+		cells, err := experiments.PolicyMatrixContext(ctx, tr, sim.Policies,
 			[]sim.BackfillKind{sim.NoBackfill, sim.EASY, sim.Conservative, sim.Relaxed, sim.AdaptiveRelaxed})
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderPolicyMatrix(tr.System.Name, cells))
 		return nil
-	case sweep:
-		pts, err := experiments.RelaxFactorSweep(tr, []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
+	case cfg.sweep:
+		pts, err := experiments.RelaxFactorSweepContext(ctx, tr, []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderSweep(tr.System.Name, pts))
 		return nil
-	case estimates:
-		res, err := experiments.PredictionBackfill(tr)
+	case cfg.estimates:
+		res, err := experiments.PredictionBackfillContext(ctx, tr)
 		if err != nil {
 			return err
 		}
@@ -122,33 +159,78 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 		return nil
 	}
 
-	pol, err := sim.ParsePolicy(policy)
+	pol, err := sim.ParsePolicy(cfg.policy)
 	if err != nil {
 		return err
 	}
-	bf, err := sim.ParseBackfill(backfill)
+	bf, err := sim.ParseBackfill(cfg.backfill)
 	if err != nil {
 		return err
 	}
-	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: relax}
-	if bench > 0 {
-		if err := runBench(tr, opt, bench); err != nil {
+	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: cfg.relax}
+	if cfg.bench > 0 {
+		// Benchmark repeats run bare: no observers, so the timing reflects
+		// the hot path the user is diagnosing.
+		if err := runBench(ctx, tr, opt, cfg.bench); err != nil {
 			return err
 		}
 	}
-	res, err := sim.Run(tr, opt)
+
+	// Assemble the observer stack for the measured run. Tee collapses to
+	// nil when nothing is requested, keeping the simulator's fast path.
+	var observers []obs.Observer
+	var events *obs.JSONLWriter
+	if cfg.eventsOut != "" {
+		f, err := os.Create(cfg.eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = obs.NewJSONLWriter(f)
+		observers = append(observers, events)
+	}
+	var prog *obs.Progress
+	if cfg.progress {
+		prog = obs.NewProgress(os.Stderr, 0)
+		observers = append(observers, prog)
+	}
+	var rec *obs.Recorder
+	if cfg.audit {
+		rec = &obs.Recorder{}
+		observers = append(observers, rec)
+	}
+	met := &obs.Metrics{}
+	opt.Observer = obs.Tee(observers...)
+	opt.Metrics = met
+
+	res, err := sim.RunContext(ctx, tr, opt)
+	if prog != nil {
+		prog.Finish()
+	}
+	if events != nil {
+		if ferr := events.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if cfg.metricsOut != "" {
+		// Metrics are written even for a canceled run — the partial
+		// counters say how far it got.
+		if werr := writeMetrics(cfg.metricsOut, met); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if audit {
-		if err := runAudit(tr, opt, res); err != nil {
+	if cfg.audit {
+		if err := runAudit(tr, opt, res, rec.Events); err != nil {
 			return err
 		}
 	}
-	if out != "" {
+	if cfg.out != "" {
 		annotated := trace.New(tr.System)
 		annotated.Jobs = res.Jobs
-		f, err := os.Create(out)
+		f, err := os.Create(cfg.out)
 		if err != nil {
 			return err
 		}
@@ -156,7 +238,7 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 		if err := trace.WriteSWF(f, annotated); err != nil {
 			return err
 		}
-		fmt.Printf("wrote re-scheduled trace to %s\n", out)
+		fmt.Printf("wrote re-scheduled trace to %s\n", cfg.out)
 	}
 	fmt.Printf("%s: %d jobs under %s + %s backfilling\n", tr.System.Name, tr.Len(), pol, bf)
 	fmt.Printf("  avg wait        %.2f s\n", res.AvgWait)
@@ -172,12 +254,12 @@ func run(system, input string, days float64, seed uint64, policy, backfill strin
 // runBench repeats the simulation n times and prints per-run wall time plus
 // min/mean — enough to diagnose a hot-path regression (typically together
 // with -cpuprofile/-memprofile) without writing a Go benchmark.
-func runBench(tr *trace.Trace, opt sim.Options, n int) error {
+func runBench(ctx context.Context, tr *trace.Trace, opt sim.Options, n int) error {
 	fmt.Printf("bench: %d jobs under %s + %s, %d runs\n", tr.Len(), opt.Policy, opt.Backfill, n)
 	min, sum := time.Duration(0), time.Duration(0)
 	for i := 0; i < n; i++ {
 		start := time.Now()
-		if _, err := sim.Run(tr, opt); err != nil {
+		if _, err := sim.RunContext(ctx, tr, opt); err != nil {
 			return err
 		}
 		d := time.Since(start)
@@ -197,14 +279,20 @@ func runBench(tr *trace.Trace, opt sim.Options, n int) error {
 // conservative backfilling, the oracle's slowest planner.
 const oracleJobLimit = 2000
 
-// runAudit verifies a finished run: the invariant auditor always, plus the
-// differential oracle comparison when the trace is small enough for O(n²).
-func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result) error {
+// runAudit verifies a finished run: the invariant auditor and the
+// decision-stream auditor always, plus the differential oracle comparison
+// when the trace is small enough for O(n²).
+func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result, events []obs.Event) error {
 	rep := check.Audit(tr, opt, res)
 	if err := rep.Err(); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
 	fmt.Printf("audit: OK (%d jobs, %d events checked)\n", rep.JobsChecked, rep.EventsChecked)
+	srep := check.AuditStream(tr, opt, events, res)
+	if err := srep.Err(); err != nil {
+		return fmt.Errorf("stream audit: %w", err)
+	}
+	fmt.Printf("stream audit: OK (%d decision events)\n", srep.EventsChecked)
 	if tr.Len() > oracleJobLimit {
 		fmt.Printf("audit: trace has %d jobs, skipping O(n²) oracle comparison (limit %d)\n",
 			tr.Len(), oracleJobLimit)
@@ -217,9 +305,19 @@ func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result) error {
 	return nil
 }
 
+// writeMetrics dumps the run counters as indented JSON.
+func writeMetrics(path string, met *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return met.WriteJSON(f)
+}
+
 // runLearned trains an ES policy on the trace and prints the comparison.
-func runLearned(tr *trace.Trace) error {
-	policy, history, err := rl.Train(tr, rl.TrainConfig{
+func runLearned(ctx context.Context, tr *trace.Trace) error {
+	policy, history, err := rl.TrainContext(ctx, tr, rl.TrainConfig{
 		Iterations: 20, Population: 8, Seed: 1, Backfill: sim.EASY,
 	})
 	if err != nil {
@@ -230,13 +328,13 @@ func runLearned(tr *trace.Trace) error {
 	fmt.Printf("weights [logRT logN logWait logArea bias]: %.2f\n\n", policy.W)
 	fmt.Printf("%-8s  %10s  %10s\n", "policy", "avg bsld", "avg wait")
 	for _, p := range []sim.Policy{sim.FCFS, sim.SJF, sim.F1} {
-		res, err := sim.Run(tr, sim.Options{Policy: p, Backfill: sim.EASY})
+		res, err := sim.RunContext(ctx, tr, sim.Options{Policy: p, Backfill: sim.EASY})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-8s  %10.2f  %10.1f\n", p, res.AvgBsld, res.AvgWait)
 	}
-	res, err := sim.Run(tr, policy.Options(sim.EASY))
+	res, err := sim.RunContext(ctx, tr, policy.Options(sim.EASY))
 	if err != nil {
 		return err
 	}

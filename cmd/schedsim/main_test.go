@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
+	"crosssched/internal/obs"
 	"crosssched/internal/trace"
 )
 
@@ -26,21 +33,21 @@ func quiet(t *testing.T) {
 
 func TestRunBasicSimulation(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err != nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCompare(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, true, false, false, false, false, false, "", 0); err != nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, compare: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunEstimates(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, true, false, false, "", 0); err != nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, estimates: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -49,23 +56,23 @@ func TestRunEstimates(t *testing.T) {
 // invariant auditor and (on a trace this small) the oracle comparison.
 func TestRunAudit(t *testing.T) {
 	quiet(t)
-	if err := run("Theta", "", 0.5, 1, "SJF", "relaxed", 0.1, false, false, false, false, false, true, "", 0); err != nil {
+	if err := run(runConfig{system: "Theta", days: 0.5, seed: 1, policy: "SJF", backfill: "relaxed", relax: 0.1, audit: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	quiet(t)
-	if err := run("Nope", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
+	if err := run(runConfig{system: "Nope", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1}); err == nil {
 		t.Fatal("unknown system accepted")
 	}
-	if err := run("Theta", "", 1, 1, "BOGUS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "BOGUS", backfill: "easy", relax: 0.1}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if err := run("Theta", "", 1, 1, "FCFS", "bogus", 0.1, false, false, false, false, false, false, "", 0); err == nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "FCFS", backfill: "bogus", relax: 0.1}); err == nil {
 		t.Fatal("unknown backfill accepted")
 	}
-	if err := run("Theta", "/does/not/exist.swf", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 0); err == nil {
+	if err := run(runConfig{system: "Theta", input: "/does/not/exist.swf", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1}); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }
@@ -73,7 +80,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunWritesAnnotatedTrace(t *testing.T) {
 	quiet(t)
 	out := filepath.Join(t.TempDir(), "annotated.swf")
-	if err := run("Theta", "", 1, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, out, 0); err != nil {
+	if err := run(runConfig{system: "Theta", days: 1, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, out: out}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -98,7 +105,97 @@ func TestRunWritesAnnotatedTrace(t *testing.T) {
 // TestRunBenchMode exercises the -bench diagnosis path (repeat runs +
 // timing report) end to end on a small trace.
 func TestRunBenchMode(t *testing.T) {
-	if err := run("Theta", "", 0.25, 1, "FCFS", "easy", 0.1, false, false, false, false, false, false, "", 2); err != nil {
+	if err := run(runConfig{system: "Theta", days: 0.25, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, bench: 2}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunGoldenEvents replays the handcrafted testdata trace and compares
+// the emitted decision stream byte-for-byte against the committed golden
+// JSONL, and the run metrics against the golden JSON (ignoring wall time).
+// The stream is deterministic: same trace, same options, same floats.
+func TestRunGoldenEvents(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	eventsOut := filepath.Join(dir, "events.jsonl")
+	metricsOut := filepath.Join(dir, "metrics.json")
+	err := run(runConfig{
+		input: "testdata/golden.swf", policy: "FCFS", backfill: "relaxed", relax: 0.1,
+		audit: true, eventsOut: eventsOut, metricsOut: metricsOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(eventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden.events.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("event stream diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	var gotMet, wantMet map[string]interface{}
+	gm, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := os.ReadFile("testdata/golden.metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(gm, &gotMet); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wm, &wantMet); err != nil {
+		t.Fatal(err)
+	}
+	delete(gotMet, "wall_seconds") // the only nondeterministic field
+	delete(wantMet, "wall_seconds")
+	if !reflect.DeepEqual(gotMet, wantMet) {
+		t.Fatalf("metrics diverged from golden:\n got %v\nwant %v", gotMet, wantMet)
+	}
+}
+
+// TestRunTimeout: an absurdly short -timeout must abort the run with a
+// deadline error instead of completing.
+func TestRunTimeout(t *testing.T) {
+	quiet(t)
+	err := run(runConfig{
+		system: "Theta", days: 4, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1,
+		timeout: time.Nanosecond,
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestRunEventsAndProgress covers the -events-out/-progress plumbing on a
+// synthetic trace: the JSONL must decode to a stream the auditor accepts.
+func TestRunEventsAndProgress(t *testing.T) {
+	quiet(t)
+	eventsOut := filepath.Join(t.TempDir(), "events.jsonl")
+	err := run(runConfig{
+		system: "Theta", days: 0.25, seed: 1, policy: "SJF", backfill: "easy", relax: 0.1,
+		eventsOut: eventsOut, progress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(eventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events written")
 	}
 }

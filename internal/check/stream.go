@@ -1,0 +1,220 @@
+package check
+
+import (
+	"crosssched/internal/obs"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// AuditStream verifies a recorded decision stream against the input trace,
+// the options, and the run's final result — an independent consumer for
+// the observability layer: instead of trusting the simulator's aggregate
+// counters, it re-derives the auditor's invariants from the per-decision
+// events alone.
+//
+// The stream is expected in emission order (as collected by obs.Recorder
+// or re-read from a JSONL trace). Because every event carries the exact
+// float values the simulator computed, all checks here are exact — no
+// epsilon reconstruction like the schedule auditor needs:
+//
+//   - lifecycle: every job has exactly one submit, start, and complete
+//     event, in that stream order, with causally ordered times and the
+//     exact wait the result reports;
+//   - conservation: replaying starts (+procs) and completions (-procs) in
+//     stream order never exceeds any partition's capacity and ends at
+//     zero cores in use;
+//   - promises: reservation events are unique per job, match
+//     Result.PromisedStart, and precede the job's start; violation
+//     events reproduce the result's count and exact summed delay;
+//   - backfills: backfill events follow their job's start at the same
+//     instant, come from queue positions >= 1, and match the result's
+//     count; relaxation events appear only under relaxed kinds, name a
+//     promised head, and never relax below the promise.
+func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.Result) *AuditReport {
+	r := &AuditReport{}
+	if len(res.Jobs) != len(tr.Jobs) || len(res.PromisedStart) != len(tr.Jobs) {
+		r.addf("shape", "result covers %d jobs, trace has %d", len(res.Jobs), len(tr.Jobs))
+		return r
+	}
+	r.JobsChecked = len(tr.Jobs)
+	r.EventsChecked = len(events)
+
+	caps := PartitionCapacities(tr.System)
+	byID := make(map[int]int, len(tr.Jobs)) // trace job ID -> index
+	for i := range tr.Jobs {
+		byID[tr.Jobs[i].ID] = i
+	}
+
+	const (
+		unseen = iota
+		submitted
+		started
+		completed
+	)
+	phase := make([]uint8, len(tr.Jobs))
+	startTime := make([]float64, len(tr.Jobs))
+	reserved := make([]bool, len(tr.Jobs))
+	inUse := make([]int, len(caps))
+	var lastSubmit, lastStart, lastComplete float64 // per-kind monotonicity
+	violations, backfills := 0, 0
+	delay := 0.0
+	relaxedKind := opt.Backfill == sim.Relaxed || opt.Backfill == sim.AdaptiveRelaxed
+
+	for ei, e := range events {
+		i, ok := byID[e.Job]
+		if !ok {
+			r.addf("stream", "event %d (%s) names unknown job %d", ei, e.Kind, e.Job)
+			return r
+		}
+		j := &tr.Jobs[i]
+		if e.Part < 0 || e.Part >= len(caps) {
+			r.addf("stream", "event %d (%s) names partition %d of %d", ei, e.Kind, e.Part, len(caps))
+			return r
+		}
+		if e.Procs != j.Procs {
+			r.addf("stream", "event %d (%s): job %d procs %d, trace says %d", ei, e.Kind, e.Job, e.Procs, j.Procs)
+		}
+		switch e.Kind {
+		case obs.JobSubmit:
+			if phase[i] != unseen {
+				r.addf("lifecycle", "job %d submitted twice", e.Job)
+			}
+			phase[i] = submitted
+			if e.Time != j.Submit {
+				r.addf("lifecycle", "job %d submit event at t=%v, trace says %v", e.Job, e.Time, j.Submit)
+			}
+			if e.Time < lastSubmit {
+				r.addf("lifecycle", "submit times regress at job %d (%v after %v)", e.Job, e.Time, lastSubmit)
+			}
+			lastSubmit = e.Time
+		case obs.JobStart:
+			if phase[i] != submitted {
+				r.addf("lifecycle", "job %d started in phase %d (want submitted)", e.Job, phase[i])
+			}
+			phase[i] = started
+			startTime[i] = e.Time
+			if e.Detail != res.Jobs[i].Wait {
+				r.addf("lifecycle", "job %d start wait %v, result says %v", e.Job, e.Detail, res.Jobs[i].Wait)
+			}
+			if e.Time < j.Submit {
+				r.addf("lifecycle", "job %d started at %v before submission %v", e.Job, e.Time, j.Submit)
+			}
+			if e.Time < lastStart {
+				r.addf("lifecycle", "start times regress at job %d (%v after %v)", e.Job, e.Time, lastStart)
+			}
+			lastStart = e.Time
+			inUse[e.Part] += e.Procs
+			if inUse[e.Part] > caps[e.Part] {
+				r.addf("conservation", "partition %d holds %d/%d cores at t=%v (job %d)",
+					e.Part, inUse[e.Part], caps[e.Part], e.Time, e.Job)
+				return r
+			}
+		case obs.JobComplete:
+			if phase[i] != started {
+				r.addf("lifecycle", "job %d completed in phase %d (want started)", e.Job, phase[i])
+				return r
+			}
+			phase[i] = completed
+			// The effective occupancy is the runtime clipped at the
+			// walltime kill limit; the completion instant must equal the
+			// start plus exactly that.
+			effRun := j.Run
+			if j.Walltime > 0 && effRun > j.Walltime {
+				effRun = j.Walltime
+			}
+			if want := startTime[i] + effRun; e.Time != want {
+				r.addf("lifecycle", "job %d completed at %v, want start+run = %v", e.Job, e.Time, want)
+			}
+			if e.Time < lastComplete {
+				r.addf("lifecycle", "completion times regress at job %d (%v after %v)", e.Job, e.Time, lastComplete)
+			}
+			lastComplete = e.Time
+			inUse[e.Part] -= e.Procs
+			if inUse[e.Part] < 0 {
+				r.addf("conservation", "partition %d frees cores it never held (job %d)", e.Part, e.Job)
+				return r
+			}
+		case obs.ReservationMade:
+			if reserved[i] {
+				r.addf("promise", "job %d reserved twice", e.Job)
+			}
+			reserved[i] = true
+			if phase[i] != submitted {
+				r.addf("promise", "job %d reserved in phase %d (want submitted)", e.Job, phase[i])
+			}
+			if opt.Backfill == sim.NoBackfill {
+				r.addf("promise", "job %d reserved with backfilling off", e.Job)
+			}
+			if e.Detail != res.PromisedStart[i] {
+				r.addf("promise", "job %d reservation event promises %v, result says %v",
+					e.Job, e.Detail, res.PromisedStart[i])
+			}
+			if e.Detail < e.Time {
+				r.addf("promise", "job %d promised start %v before the decision at %v", e.Job, e.Detail, e.Time)
+			}
+		case obs.ReservationRelaxed:
+			if !relaxedKind {
+				r.addf("promise", "relaxation event under %s backfilling", opt.Backfill)
+			}
+			if !reserved[i] {
+				r.addf("promise", "job %d relaxed without a reservation", e.Job)
+			}
+			if e.Detail < res.PromisedStart[i] {
+				r.addf("promise", "job %d relaxed deadline %v below its promise %v",
+					e.Job, e.Detail, res.PromisedStart[i])
+			}
+		case obs.PromiseViolation:
+			violations++
+			delay += e.Detail
+			if !reserved[i] {
+				r.addf("promise", "job %d violated a promise it never received", e.Job)
+			}
+			if phase[i] != started || e.Time != startTime[i] {
+				r.addf("promise", "job %d violation not at its start instant", e.Job)
+			}
+			if want := startTime[i] - res.PromisedStart[i]; e.Detail != want {
+				r.addf("promise", "job %d violation delay %v, want start-promise = %v", e.Job, e.Detail, want)
+			}
+		case obs.Backfill:
+			backfills++
+			if phase[i] != started || e.Time != startTime[i] {
+				r.addf("stream", "job %d backfill event not at its start instant", e.Job)
+			}
+			if e.Detail < 1 {
+				r.addf("stream", "job %d backfilled from queue position %v", e.Job, e.Detail)
+			}
+		default:
+			r.addf("stream", "event %d has unknown kind %d", ei, e.Kind)
+			return r
+		}
+		if len(r.Findings) > 20 {
+			r.addf("stream", "stopping after 20 findings")
+			return r
+		}
+	}
+
+	for i := range tr.Jobs {
+		if phase[i] != completed {
+			r.addf("lifecycle", "job %d stream incomplete (phase %d)", tr.Jobs[i].ID, phase[i])
+		}
+		if reserved[i] != (res.PromisedStart[i] >= 0) {
+			r.addf("promise", "job %d reservation events disagree with PromisedStart %v",
+				tr.Jobs[i].ID, res.PromisedStart[i])
+		}
+	}
+	for p, n := range inUse {
+		if n != 0 {
+			r.addf("conservation", "partition %d ends the stream with %d cores leaked", p, n)
+		}
+	}
+	if violations != res.Violations {
+		r.addf("promise", "%d violation events, result reports %d", violations, res.Violations)
+	}
+	if delay != res.ViolationDelay {
+		r.addf("promise", "violation delay from events %v, result reports %v", delay, res.ViolationDelay)
+	}
+	if backfills != res.Backfilled {
+		r.addf("stream", "%d backfill events, result reports %d", backfills, res.Backfilled)
+	}
+	return r
+}

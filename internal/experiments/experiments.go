@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -31,6 +32,13 @@ type Cell struct {
 // Combinations are simulated in parallel (each simulation is independent);
 // the result order is deterministic: policies outer, backfills inner.
 func PolicyMatrix(tr *trace.Trace, policies []sim.Policy, backfills []sim.BackfillKind) ([]Cell, error) {
+	return PolicyMatrixContext(context.Background(), tr, policies, backfills)
+}
+
+// PolicyMatrixContext is PolicyMatrix with cancellation: when ctx is
+// canceled the in-flight simulations abort at their next event and the
+// first cancellation error is returned.
+func PolicyMatrixContext(ctx context.Context, tr *trace.Trace, policies []sim.Policy, backfills []sim.BackfillKind) ([]Cell, error) {
 	type task struct {
 		pol sim.Policy
 		bf  sim.BackfillKind
@@ -51,7 +59,7 @@ func PolicyMatrix(tr *trace.Trace, policies []sim.Policy, backfills []sim.Backfi
 		go func(i int, tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := sim.Run(tr, sim.Options{Policy: tk.pol, Backfill: tk.bf, RelaxFactor: 0.10})
+			res, err := sim.RunContext(ctx, tr, sim.Options{Policy: tk.pol, Backfill: tk.bf, RelaxFactor: 0.10})
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: %v/%v: %w", tk.pol, tk.bf, err)
 				return
@@ -102,6 +110,11 @@ type SweepPoint struct {
 // run's observed queue length, so the pair stays sequential. The result
 // order follows the input factors.
 func RelaxFactorSweep(tr *trace.Trace, factors []float64) ([]SweepPoint, error) {
+	return RelaxFactorSweepContext(context.Background(), tr, factors)
+}
+
+// RelaxFactorSweepContext is RelaxFactorSweep with cancellation.
+func RelaxFactorSweepContext(ctx context.Context, tr *trace.Trace, factors []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(factors))
 	errs := make([]error, len(factors))
 	var wg sync.WaitGroup
@@ -112,12 +125,12 @@ func RelaxFactorSweep(tr *trace.Trace, factors []float64) ([]SweepPoint, error) 
 		go func(i int, f float64) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rel, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
+			rel, err := sim.RunContext(ctx, tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			ad, err := sim.Run(tr, sim.Options{
+			ad, err := sim.RunContext(ctx, tr, sim.Options{
 				Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed,
 				RelaxFactor: f, MaxQueueLen: rel.MaxQueueLen,
 			})
@@ -172,32 +185,61 @@ type PredictionBackfillResult struct {
 	Oracle sim.Result
 }
 
+// defaultColdStartEstimate is the planning estimate used when a job has
+// no requested walltime AND nothing at all has been observed yet — the
+// very first jobs of a trace with missing walltimes. One hour is the
+// conventional queue-default on the paper's systems.
+const defaultColdStartEstimate = 3600
+
+// last2Predictions precomputes per-job Last2 walltime predictions in
+// submit order. Every prediction uses only information available BEFORE
+// the job runs: the user's Last2 history, the job's requested walltime,
+// or — when the walltime is missing — the running mean of runtimes
+// observed so far across all users. The predicted job's own runtime is
+// never an input (using it would leak the oracle into the "system
+// prediction" arm of the comparison).
+func last2Predictions(tr *trace.Trace) map[int]float64 {
+	last2 := ml.NewLast2()
+	preds := make(map[int]float64, tr.Len())
+	seenSum, seenN := 0.0, 0
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		fallback := j.Walltime
+		if fallback <= 0 {
+			if seenN > 0 {
+				fallback = seenSum / float64(seenN)
+			} else {
+				fallback = defaultColdStartEstimate
+			}
+		}
+		preds[j.ID] = last2.Predict(j.User, fallback)
+		last2.Observe(j.User, j.Run)
+		seenSum += j.Run
+		seenN++
+	}
+	return preds
+}
+
 // PredictionBackfill runs the three-estimate comparison. The Last2
 // predictor is trained online: each job's prediction uses only jobs the
 // scheduler has already seen complete (approximated by submit order, as in
 // the original study).
 func PredictionBackfill(tr *trace.Trace) (*PredictionBackfillResult, error) {
+	return PredictionBackfillContext(context.Background(), tr)
+}
+
+// PredictionBackfillContext is PredictionBackfill with cancellation.
+func PredictionBackfillContext(ctx context.Context, tr *trace.Trace) (*PredictionBackfillResult, error) {
 	out := &PredictionBackfillResult{System: tr.System.Name}
 
-	user, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY})
+	user, err := sim.RunContext(ctx, tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY})
 	if err != nil {
 		return nil, err
 	}
 	out.UserEstimates = *user
 
-	// Precompute per-job Last2 predictions in submit order.
-	last2 := ml.NewLast2()
-	preds := make(map[int]float64, tr.Len())
-	for i := range tr.Jobs {
-		j := &tr.Jobs[i]
-		fallback := j.Walltime
-		if fallback <= 0 {
-			fallback = j.Run // cold-start fallback
-		}
-		preds[j.ID] = last2.Predict(j.User, fallback)
-		last2.Observe(j.User, j.Run)
-	}
-	l2, err := sim.Run(tr, sim.Options{
+	preds := last2Predictions(tr)
+	l2, err := sim.RunContext(ctx, tr, sim.Options{
 		Policy: sim.FCFS, Backfill: sim.EASY,
 		WalltimePredictor: func(j trace.Job) float64 { return preds[j.ID] },
 	})
@@ -206,7 +248,7 @@ func PredictionBackfill(tr *trace.Trace) (*PredictionBackfillResult, error) {
 	}
 	out.Last2 = *l2
 
-	oracle, err := sim.Run(tr, sim.Options{
+	oracle, err := sim.RunContext(ctx, tr, sim.Options{
 		Policy: sim.FCFS, Backfill: sim.EASY, UseActualRuntime: true,
 	})
 	if err != nil {

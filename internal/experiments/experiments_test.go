@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -97,6 +99,48 @@ func TestRelaxFactorSweep(t *testing.T) {
 	}
 }
 
+// TestLast2PredictionsNeverReadOwnRuntime is the regression test for the
+// oracle leak: a job's Last2 prediction must not depend on that job's own
+// runtime in any way. Perturbing job k's Run may change predictions for
+// LATER jobs (it enters the history) but never job k's own.
+func TestLast2PredictionsNeverReadOwnRuntime(t *testing.T) {
+	tr := thetaTrace(t)
+	base := last2Predictions(tr)
+	for k := 0; k < tr.Len(); k += 17 {
+		cp := *tr
+		cp.Jobs = append([]trace.Job(nil), tr.Jobs...)
+		cp.Jobs[k].Run = cp.Jobs[k].Run*3 + 1000
+		perturbed := last2Predictions(&cp)
+		if got, want := perturbed[cp.Jobs[k].ID], base[tr.Jobs[k].ID]; got != want {
+			t.Fatalf("job %d's prediction %v changed to %v when its own runtime changed — oracle leak",
+				tr.Jobs[k].ID, want, got)
+		}
+	}
+}
+
+// TestLast2PredictionsColdStart pins the fallback chain for jobs with no
+// requested walltime: the queue default before anything is observed, then
+// the running mean of observed runtimes, and the user's own history once
+// one exists.
+func TestLast2PredictionsColdStart(t *testing.T) {
+	tr := trace.New(trace.System{Name: "T", TotalCores: 64})
+	tr.Jobs = []trace.Job{
+		{ID: 1, User: 1, Submit: 0, Run: 100, Procs: 1},  // nothing observed yet
+		{ID: 2, User: 2, Submit: 10, Run: 300, Procs: 1}, // mean of {100}
+		{ID: 3, User: 1, Submit: 20, Run: 50, Procs: 1},  // user 1's Last2 history
+	}
+	preds := last2Predictions(tr)
+	if preds[1] != defaultColdStartEstimate {
+		t.Fatalf("first cold-start prediction %v, want queue default %v", preds[1], float64(defaultColdStartEstimate))
+	}
+	if preds[2] != 100 {
+		t.Fatalf("second cold-start prediction %v, want running mean 100", preds[2])
+	}
+	if preds[3] != 100 {
+		t.Fatalf("history prediction %v, want user 1's last runtime 100", preds[3])
+	}
+}
+
 func TestPredictionBackfill(t *testing.T) {
 	tr := thetaTrace(t)
 	res, err := PredictionBackfill(tr)
@@ -122,5 +166,24 @@ func TestPredictionBackfill(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestExperimentsCancellation: a pre-canceled context must abort every
+// experiment driver with a wrapped context.Canceled instead of running
+// the full study.
+func TestExperimentsCancellation(t *testing.T) {
+	tr := thetaTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PolicyMatrixContext(ctx, tr,
+		[]sim.Policy{sim.FCFS}, []sim.BackfillKind{sim.EASY}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PolicyMatrixContext: want context.Canceled, got %v", err)
+	}
+	if _, err := RelaxFactorSweepContext(ctx, tr, []float64{0.1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RelaxFactorSweepContext: want context.Canceled, got %v", err)
+	}
+	if _, err := PredictionBackfillContext(ctx, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictionBackfillContext: want context.Canceled, got %v", err)
 	}
 }

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSONLWriter streams events as one JSON object per line:
+//
+//	{"kind":"start","t":120,"job":3,"part":0,"procs":16,"detail":120}
+//
+// Floats are written with strconv's shortest round-trippable formatting,
+// so the output is deterministic and decodes to the exact emitted values.
+// Lines are buffered; call Flush before reading the destination. Write
+// errors are sticky: the first one is remembered, later events are
+// dropped, and Flush reports it.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
+}
+
+// Observe encodes and buffers one event.
+func (l *JSONLWriter) Observe(e Event) {
+	if l.err != nil {
+		return
+	}
+	b := l.buf[:0]
+	b = append(b, `{"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","t":`...)
+	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
+	b = append(b, `,"job":`...)
+	b = strconv.AppendInt(b, int64(e.Job), 10)
+	b = append(b, `,"part":`...)
+	b = strconv.AppendInt(b, int64(e.Part), 10)
+	b = append(b, `,"procs":`...)
+	b = strconv.AppendInt(b, int64(e.Procs), 10)
+	b = append(b, `,"detail":`...)
+	b = strconv.AppendFloat(b, e.Detail, 'g', -1, 64)
+	b = append(b, "}\n"...)
+	l.buf = b
+	if _, err := l.bw.Write(b); err != nil {
+		l.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (l *JSONLWriter) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	l.err = l.bw.Flush()
+	return l.err
+}
+
+// wireEvent is Event with the kind as its wire name, for decoding.
+type wireEvent struct {
+	Kind   string  `json:"kind"`
+	Time   float64 `json:"t"`
+	Job    int     `json:"job"`
+	Part   int     `json:"part"`
+	Procs  int     `json:"procs"`
+	Detail float64 `json:"detail"`
+}
+
+// ReadJSONL decodes a JSONL event stream written by JSONLWriter.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(line, &w); err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", lineNo, err)
+		}
+		k, err := ParseKind(w.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", lineNo, err)
+		}
+		out = append(out, Event{
+			Kind: k, Time: w.Time, Job: w.Job, Part: w.Part,
+			Procs: w.Procs, Detail: w.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+// Package obs is the simulator's observability layer: a structured
+// decision-event stream, per-run metrics, and the observers that consume
+// them (in-memory recording, JSONL export, progress reporting).
+//
+// The simulator emits one Event per scheduling decision through the
+// Observer interface when — and only when — an observer is attached
+// (sim.Options.Observer). Events are plain value structs handed to
+// Observe by value, so the disabled path costs a single nil check per
+// decision and allocates nothing; an attached observer owns whatever cost
+// it incurs. Observers are invoked synchronously from the simulation loop
+// and must not call back into the simulator.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind enumerates the decision-event types the simulator emits.
+type Kind uint8
+
+const (
+	// JobSubmit: a job joined its partition's waiting queue.
+	// Detail is the scheduler's planning estimate (walltime, prediction,
+	// or runtime fallback) for the job.
+	JobSubmit Kind = iota
+	// JobStart: a job was dispatched onto cores. Detail is its waiting
+	// time in seconds.
+	JobStart
+	// JobComplete: a running job released its cores. Detail is the
+	// planned (estimate-based) end time, so estimate overruns are visible
+	// by comparing Detail with Time.
+	JobComplete
+	// Backfill: the started job jumped ahead of a blocked queue head.
+	// Emitted immediately after the job's JobStart event; Detail is the
+	// queue position it was taken from (>= 1).
+	Backfill
+	// ReservationMade: a blocked queue head received its first promised
+	// start time. Detail is the promised start. At most one per job.
+	ReservationMade
+	// ReservationRelaxed: a backfill was admitted under relaxed or
+	// adaptive backfilling by delaying the head's promise within its
+	// allowance. The event names the HEAD job; Detail is the relaxed
+	// deadline the backfill was held to.
+	ReservationRelaxed
+	// PromiseViolation: a job started later than its promised start.
+	// Emitted after the job's JobStart event; Detail is the delay in
+	// seconds behind the promise.
+	PromiseViolation
+
+	numKinds = iota
+)
+
+// kindNames are the wire names used in JSONL output.
+var kindNames = [numKinds]string{
+	"submit", "start", "complete", "backfill", "reservation", "relaxed", "violation",
+}
+
+// String returns the event kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a wire name back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one scheduling decision. Time is the simulation clock in
+// seconds; Job is the trace job ID the decision concerns; Part is the
+// partition it happened in; Procs is the job's core request; Detail is a
+// kind-dependent payload documented on each Kind constant.
+type Event struct {
+	Kind   Kind    `json:"kind"`
+	Time   float64 `json:"t"`
+	Job    int     `json:"job"`
+	Part   int     `json:"part"`
+	Procs  int     `json:"procs"`
+	Detail float64 `json:"detail"`
+}
+
+// Observer receives the decision stream. Implementations are called
+// synchronously from the simulation loop, in decision order.
+type Observer interface {
+	Observe(Event)
+}
+
+// Recorder collects every event in memory, in emission order. It is not
+// safe for concurrent use; wrap it with Synced to share across runs.
+type Recorder struct {
+	Events []Event
+}
+
+// Observe appends the event.
+func (r *Recorder) Observe(e Event) { r.Events = append(r.Events, e) }
+
+// Counter tallies events per kind without retaining them.
+type Counter struct {
+	counts [numKinds]int64
+}
+
+// Observe increments the event's kind tally.
+func (c *Counter) Observe(e Event) {
+	if int(e.Kind) < len(c.counts) {
+		c.counts[e.Kind]++
+	}
+}
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k Kind) int64 {
+	if int(k) < len(c.counts) {
+		return c.counts[k]
+	}
+	return 0
+}
+
+// Total returns the tally across all kinds.
+func (c *Counter) Total() int64 {
+	var n int64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// tee fans one stream out to several observers, in order.
+type tee struct {
+	obs []Observer
+}
+
+func (t *tee) Observe(e Event) {
+	for _, o := range t.obs {
+		o.Observe(e)
+	}
+}
+
+// Tee combines observers into one. Nil entries are dropped; Tee returns
+// nil when nothing remains (so the result can go straight into
+// sim.Options.Observer and keep the disabled fast path), and the observer
+// itself when exactly one remains.
+func Tee(observers ...Observer) Observer {
+	kept := make([]Observer, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return &tee{obs: kept}
+	}
+}
+
+// synced serializes Observe calls with a mutex.
+type synced struct {
+	mu sync.Mutex
+	o  Observer
+}
+
+func (s *synced) Observe(e Event) {
+	s.mu.Lock()
+	s.o.Observe(e)
+	s.mu.Unlock()
+}
+
+// Synced wraps an observer so it can be shared by concurrent simulation
+// runs (each sim.Run is single-threaded, but separate runs may share one
+// sink). Returns nil for a nil observer.
+func Synced(o Observer) Observer {
+	if o == nil {
+		return nil
+	}
+	return &synced{o: o}
+}

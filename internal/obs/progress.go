@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress prints a one-line run status at most once per interval, driven
+// by the event stream — useful on large traces where a run takes long
+// enough to wonder whether it is still making progress.
+type Progress struct {
+	w        io.Writer
+	every    time.Duration
+	counts   Counter
+	lastWall time.Time
+	lastSim  float64
+}
+
+// NewProgress reports to w at most once per every (default 1s).
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = time.Second
+	}
+	return &Progress{w: w, every: every, lastWall: time.Now()}
+}
+
+// Observe counts the event and emits a status line when the interval has
+// elapsed.
+func (p *Progress) Observe(e Event) {
+	p.counts.Observe(e)
+	p.lastSim = e.Time
+	if now := time.Now(); now.Sub(p.lastWall) >= p.every {
+		p.lastWall = now
+		p.line()
+	}
+}
+
+// Finish prints the final status line.
+func (p *Progress) Finish() { p.line() }
+
+func (p *Progress) line() {
+	fmt.Fprintf(p.w, "progress: t=%.0fs submitted=%d started=%d completed=%d backfilled=%d violations=%d\n",
+		p.lastSim, p.counts.Count(JobSubmit), p.counts.Count(JobStart),
+		p.counts.Count(JobComplete), p.counts.Count(Backfill), p.counts.Count(PromiseViolation))
+}

@@ -158,7 +158,7 @@ func buildFeatures(tr *trace.Trace) []jobFeatures {
 			}
 			med = stats.Median(recent)
 		}
-		hour := math.Mod(j.Submit/3600+float64(tr.System.StartHour), 24)
+		hour := hourOfDay(j.Submit, tr.System.StartHour)
 		rows = append(rows, jobFeatures{
 			feats: []float64{
 				math.Log1p(last),
@@ -175,6 +175,20 @@ func buildFeatures(tr *trace.Trace) []jobFeatures {
 		h.runs = append(h.runs, j.Run)
 	}
 	return rows
+}
+
+// hourOfDay maps a submit offset (seconds, possibly negative for jobs
+// carried in from before the trace window) onto [0, 24). math.Mod keeps
+// the sign of its dividend, so negative submits need the extra wrap.
+func hourOfDay(submit float64, startHour int) float64 {
+	hour := math.Mod(submit/3600+float64(startHour), 24)
+	if hour < 0 {
+		hour += 24
+	}
+	if hour >= 24 { // Mod(-eps)+24 can round up to exactly 24
+		hour = 0
+	}
+	return hour
 }
 
 // runModel evaluates one model family across all thresholds.

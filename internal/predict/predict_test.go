@@ -179,3 +179,32 @@ func TestDatasetSubsampleCap(t *testing.T) {
 		t.Fatalf("elapsed column missing: dim %d", ds.Dim())
 	}
 }
+
+// TestHourOfDayNormalized: the hour-of-day feature must land in [0, 24)
+// for every submit offset, including the negative submits of jobs carried
+// in from before the trace window (math.Mod keeps the dividend's sign).
+func TestHourOfDayNormalized(t *testing.T) {
+	cases := []struct {
+		submit float64
+		start  int
+		want   float64
+	}{
+		{0, 0, 0},
+		{3600, 0, 1},
+		{3600, 8, 9},
+		{25 * 3600, 0, 1}, // wraps past midnight
+		{-3600, 0, 23},    // negative submit wraps backward
+		{-3600, 8, 7},
+		{-30 * 3600, 3, 21}, // more than a day before the window
+	}
+	for _, tc := range cases {
+		if got := hourOfDay(tc.submit, tc.start); got != tc.want {
+			t.Fatalf("hourOfDay(%v, %d) = %v, want %v", tc.submit, tc.start, got, tc.want)
+		}
+	}
+	for s := -100.0; s < 100; s += 0.7 {
+		if h := hourOfDay(s*3600+0.123, 5); h < 0 || h >= 24 {
+			t.Fatalf("hourOfDay(%v, 5) = %v out of [0,24)", s*3600+0.123, h)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 package rl
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -104,7 +106,13 @@ func (c TrainConfig) withDefaults() TrainConfig {
 // Fitness evaluates a policy on a trace: negative average bounded slowdown
 // (higher is better).
 func Fitness(p *LinearPolicy, tr *trace.Trace, backfill sim.BackfillKind) (float64, error) {
-	res, err := sim.Run(tr, p.Options(backfill))
+	return FitnessContext(context.Background(), p, tr, backfill)
+}
+
+// FitnessContext is Fitness with cancellation: the underlying simulation
+// aborts at its next event once ctx is canceled.
+func FitnessContext(ctx context.Context, p *LinearPolicy, tr *trace.Trace, backfill sim.BackfillKind) (float64, error) {
+	res, err := sim.RunContext(ctx, tr, p.Options(backfill))
 	if err != nil {
 		return 0, err
 	}
@@ -115,6 +123,14 @@ func Fitness(p *LinearPolicy, tr *trace.Trace, backfill sim.BackfillKind) (float
 // training trace. It returns the best policy found and the per-iteration
 // best-fitness history (as avg bsld, lower is better).
 func Train(tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
+	return TrainContext(context.Background(), tr, cfg)
+}
+
+// TrainContext is Train with cancellation. The context is checked once
+// per ES iteration and inside every fitness simulation, so a canceled
+// training run returns promptly with a wrapped context error instead of
+// finishing the generation.
+func TrainContext(ctx context.Context, tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
 	if tr.Len() < 10 {
 		return nil, nil, errors.New("rl: training trace too small")
 	}
@@ -123,7 +139,7 @@ func Train(tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
 
 	w := [FeatureDim]float64{} // zero weights = FCFS (tie-break) start
 	best := w
-	bestFit, err := Fitness(&LinearPolicy{W: w}, tr, cfg.Backfill)
+	bestFit, err := FitnessContext(ctx, &LinearPolicy{W: w}, tr, cfg.Backfill)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -137,6 +153,9 @@ func Train(tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("rl: training canceled at iteration %d: %w", iter, err)
+		}
 		// Draw all perturbations up front (single RNG stream keeps the
 		// run deterministic), then evaluate the population in parallel —
 		// ES is embarrassingly parallel and each evaluation is a full
@@ -165,7 +184,7 @@ func Train(tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				cand := LinearPolicy{W: samples[k].w}
-				samples[k].fit, samples[k].err = Fitness(&cand, tr, cfg.Backfill)
+				samples[k].fit, samples[k].err = FitnessContext(ctx, &cand, tr, cfg.Backfill)
 			}(k)
 		}
 		wg.Wait()
@@ -198,7 +217,7 @@ func Train(tr *trace.Trace, cfg TrainConfig) (*LinearPolicy, []float64, error) {
 			}
 			w[i] += cfg.LR * g / (float64(len(samples)) * cfg.Sigma)
 		}
-		if fit, err := Fitness(&LinearPolicy{W: w}, tr, cfg.Backfill); err == nil && fit > bestFit {
+		if fit, err := FitnessContext(ctx, &LinearPolicy{W: w}, tr, cfg.Backfill); err == nil && fit > bestFit {
 			bestFit = fit
 			best = w
 		}

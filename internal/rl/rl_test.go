@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -156,5 +158,19 @@ func TestTrainGeneralizes(t *testing.T) {
 	if learned.AvgBsld > fcfs.AvgBsld*1.1 {
 		t.Fatalf("trained policy bsld %v much worse than FCFS %v on held-out workload",
 			learned.AvgBsld, fcfs.AvgBsld)
+	}
+}
+
+// TestTrainCancellation: a pre-canceled context aborts training before
+// the first fitness evaluation with a wrapped context.Canceled.
+func TestTrainCancellation(t *testing.T) {
+	tr := trainTrace(t, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := TrainContext(ctx, tr, TrainConfig{Iterations: 2, Population: 2, Seed: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext: want context.Canceled, got %v", err)
+	}
+	if _, err := FitnessContext(ctx, &LinearPolicy{}, tr, sim.EASY); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitnessContext: want context.Canceled, got %v", err)
 	}
 }

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"crosssched/internal/obs"
+)
+
+// sameResult compares two results field-for-field with exact float
+// equality: an attached observer must not perturb the schedule at all.
+func sameResult(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.AvgWait != b.AvgWait || a.AvgBsld != b.AvgBsld || a.Utilization != b.Utilization ||
+		a.Makespan != b.Makespan || a.Violations != b.Violations ||
+		a.ViolationDelay != b.ViolationDelay || a.Backfilled != b.Backfilled ||
+		a.MaxQueueLen != b.MaxQueueLen {
+		t.Fatalf("aggregate metrics diverge:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Wait != b.Jobs[i].Wait {
+			t.Fatalf("job %d wait %v vs %v", i, a.Jobs[i].Wait, b.Jobs[i].Wait)
+		}
+		if a.PromisedStart[i] != b.PromisedStart[i] {
+			t.Fatalf("job %d promise %v vs %v", i, a.PromisedStart[i], b.PromisedStart[i])
+		}
+	}
+}
+
+// TestObserverDoesNotPerturb runs the same workload with and without an
+// observer attached across policy/backfill shapes; the schedules must be
+// float-for-float identical.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	tr := randomTrace(7, 250, 64)
+	for _, opt := range []Options{
+		{Policy: FCFS, Backfill: EASY},
+		{Policy: SJF, Backfill: Relaxed, RelaxFactor: 0.1},
+		{Policy: FCFS, Backfill: AdaptiveRelaxed, RelaxFactor: 0.2},
+		{Policy: Fair, Backfill: Conservative},
+		{Policy: F1, Backfill: NoBackfill},
+	} {
+		plain, err := Run(tr, opt)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", opt.Policy, opt.Backfill, err)
+		}
+		rec := &obs.Recorder{}
+		opt.Observer = rec
+		opt.Metrics = &obs.Metrics{}
+		observed, err := Run(tr, opt)
+		if err != nil {
+			t.Fatalf("%v/%v observed: %v", opt.Policy, opt.Backfill, err)
+		}
+		sameResult(t, plain, observed)
+		if len(rec.Events) == 0 {
+			t.Fatalf("%v/%v: no events recorded", opt.Policy, opt.Backfill)
+		}
+	}
+}
+
+// TestObserverEventStream checks the shape of the emitted decision stream
+// against the run's result on a backfilling-heavy workload.
+func TestObserverEventStream(t *testing.T) {
+	tr := randomTrace(21, 300, 48)
+	rec := &obs.Recorder{}
+	res, err := Run(tr, Options{
+		Policy: FCFS, Backfill: Relaxed, RelaxFactor: 0.3, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnt obs.Counter
+	lastStart := -1.0
+	for _, e := range rec.Events {
+		cnt.Observe(e)
+		if e.Kind == obs.JobStart {
+			if e.Time < lastStart {
+				t.Fatalf("start times regress: %v after %v", e.Time, lastStart)
+			}
+			lastStart = e.Time
+		}
+	}
+	n := int64(tr.Len())
+	if cnt.Count(obs.JobSubmit) != n || cnt.Count(obs.JobStart) != n || cnt.Count(obs.JobComplete) != n {
+		t.Fatalf("lifecycle counts %d/%d/%d, want %d each",
+			cnt.Count(obs.JobSubmit), cnt.Count(obs.JobStart), cnt.Count(obs.JobComplete), n)
+	}
+	if got := cnt.Count(obs.Backfill); got != int64(res.Backfilled) {
+		t.Fatalf("backfill events %d, result says %d", got, res.Backfilled)
+	}
+	if got := cnt.Count(obs.PromiseViolation); got != int64(res.Violations) {
+		t.Fatalf("violation events %d, result says %d", got, res.Violations)
+	}
+	delay := 0.0
+	promises := 0
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case obs.PromiseViolation:
+			delay += e.Detail
+		case obs.ReservationMade:
+			promises++
+			if want := res.PromisedStart[e.Job]; want != e.Detail {
+				t.Fatalf("job %d reservation event %v, result promise %v", e.Job, e.Detail, want)
+			}
+		}
+	}
+	if delay != res.ViolationDelay {
+		t.Fatalf("violation delay from events %v, result %v", delay, res.ViolationDelay)
+	}
+	wantPromises := 0
+	for _, p := range res.PromisedStart {
+		if p >= 0 {
+			wantPromises++
+		}
+	}
+	if promises != wantPromises {
+		t.Fatalf("%d reservation events, result has %d promised jobs", promises, wantPromises)
+	}
+}
+
+// TestRunContextPreCanceled: an already-canceled context aborts before any
+// work, with a wrapped context.Canceled and metrics marking the run.
+func TestRunContextPreCanceled(t *testing.T) {
+	tr := randomTrace(3, 50, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	met := &obs.Metrics{}
+	_, err := RunContext(ctx, tr, Options{Policy: FCFS, Backfill: EASY, Metrics: met})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if !met.Canceled {
+		t.Fatal("metrics should mark the run canceled")
+	}
+	if met.JobsStarted != 0 {
+		t.Fatalf("pre-canceled run started %d jobs", met.JobsStarted)
+	}
+}
+
+// cancelAfter cancels its context once n events have been observed —
+// a deterministic mid-run cancellation, no wall-clock timing involved.
+type cancelAfter struct {
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Observe(obs.Event) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}
+
+// TestRunContextMidRunCancel cancels deterministically mid-run and checks
+// the loop aborts with a wrapped context.Canceled and partial metrics.
+func TestRunContextMidRunCancel(t *testing.T) {
+	tr := randomTrace(5, 400, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	met := &obs.Metrics{}
+	_, err := RunContext(ctx, tr, Options{
+		Policy: FCFS, Backfill: EASY,
+		Observer: &cancelAfter{n: 100, cancel: cancel},
+		Metrics:  met,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if !met.Canceled || met.Events == 0 {
+		t.Fatalf("metrics should show a canceled run with partial progress: %+v", met)
+	}
+	if met.JobsStarted >= int64(tr.Len()) {
+		t.Fatalf("run finished despite cancellation (%d jobs)", met.JobsStarted)
+	}
+}
+
+// TestMetricsCounters checks the per-run counters against known ground
+// truth on static and dynamic policies.
+func TestMetricsCounters(t *testing.T) {
+	tr := randomTrace(11, 200, 64)
+	met := &obs.Metrics{}
+	res, err := Run(tr, Options{Policy: WFP3, Backfill: EASY, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(tr.Len())
+	if met.Arrivals != n || met.Completions != n || met.JobsStarted != n {
+		t.Fatalf("lifecycle counters %d/%d/%d, want %d each", met.Arrivals, met.Completions, met.JobsStarted, n)
+	}
+	if met.Events == 0 || met.Events > 2*n {
+		t.Fatalf("event-loop iterations %d outside (0, %d]", met.Events, 2*n)
+	}
+	if met.SchedulePasses == 0 {
+		t.Fatal("no schedule passes counted")
+	}
+	if met.ScoreSorts == 0 {
+		t.Fatal("dynamic policy should count score sorts")
+	}
+	if met.Backfilled != int64(res.Backfilled) || met.Violations != int64(res.Violations) {
+		t.Fatalf("counter/result mismatch: %+v vs %+v", met, res)
+	}
+	if met.WallSeconds < 0 || met.Canceled {
+		t.Fatalf("bad wall time or cancel flag: %+v", met)
+	}
+
+	// Static policies never sort, so both score counters stay zero.
+	met2 := &obs.Metrics{}
+	if _, err := Run(tr, Options{Policy: FCFS, Backfill: EASY, Metrics: met2}); err != nil {
+		t.Fatal(err)
+	}
+	if met2.ScoreSorts != 0 || met2.ScoreCacheHits != 0 {
+		t.Fatalf("static policy counted score work: %+v", met2)
+	}
+}
+
+// TestConcurrentRunsSharedObserver exercises the documented sharing rule
+// under the race detector: concurrent runs may share one observer when it
+// is wrapped in obs.Synced. (CI's race job relies on this test covering
+// the observer-attached hot path.)
+func TestConcurrentRunsSharedObserver(t *testing.T) {
+	tr := randomTrace(31, 150, 48)
+	shared := &obs.Counter{}
+	o := obs.Synced(shared)
+	const workers = 4
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			_, err := Run(tr, Options{Policy: FCFS, Backfill: EASY, Observer: o})
+			errc <- err
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := int64(workers * tr.Len())
+	if shared.Count(obs.JobStart) != want {
+		t.Fatalf("shared observer saw %d starts, want %d", shared.Count(obs.JobStart), want)
+	}
+}

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"crosssched/internal/cluster"
+	"crosssched/internal/obs"
 	"crosssched/internal/trace"
 )
 
@@ -43,6 +46,18 @@ type Options struct {
 	// be a pure function of its arguments: the simulator caches scores
 	// per scheduling pass instead of recomputing them per comparison.
 	CustomScore func(reqTime float64, procs int, submit, now float64) float64
+	// Observer, when non-nil, receives a structured obs.Event for every
+	// scheduling decision (submit, start, complete, backfill, reservation
+	// made/relaxed, promise violation), synchronously and in decision
+	// order. Observers are passive: they cannot change the schedule, and
+	// with Observer nil the emission sites cost one branch each and
+	// allocate nothing. A non-nil observer is used from the calling
+	// goroutine only; share one across concurrent runs via obs.Synced.
+	Observer obs.Observer
+	// Metrics, when non-nil, receives the run's counters and wall time
+	// when the run finishes — including a canceled run, so partial
+	// progress stays visible.
+	Metrics *obs.Metrics
 }
 
 // Result holds the outcome of a simulation.
@@ -246,6 +261,13 @@ type simulator struct {
 	compl    completionHeap
 	now      float64
 
+	// ctx/done carry cancellation; done is nil for background contexts,
+	// which keeps the per-iteration check a single nil compare.
+	ctx  context.Context
+	done <-chan struct{}
+	obsv obs.Observer
+	met  obs.Metrics
+
 	fair    *FairshareState // non-nil when Policy == Fair
 	fairVer int             // bumped on every Charge; invalidates score caches
 
@@ -279,6 +301,18 @@ func (s *simulator) sampleQueue(t float64) {
 // The input trace is not modified. Run is safe to call concurrently
 // (including on the same trace): all mutable state is per-call.
 func Run(tr *trace.Trace, opt Options) (*Result, error) {
+	return RunContext(context.Background(), tr, opt)
+}
+
+// RunContext is Run with cancellation: the event loop checks ctx once per
+// iteration and aborts with an error wrapping ctx.Err() (context.Canceled
+// or context.DeadlineExceeded) as soon as the context ends. A canceled
+// run still fills opt.Metrics with the progress made. Background-like
+// contexts (Done() == nil) cost nothing in the loop.
+func RunContext(ctx context.Context, tr *trace.Trace, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.BsldTau <= 0 {
 		opt.BsldTau = 10
 	}
@@ -309,6 +343,9 @@ func Run(tr *trace.Trace, opt Options) (*Result, error) {
 		touched:  make([]bool, nParts),
 		waits:    make([]float64, len(tr.Jobs)),
 		promised: make([]float64, len(tr.Jobs)),
+		ctx:      ctx,
+		done:     ctx.Done(),
+		obsv:     opt.Observer,
 	}
 	for i := range s.promised {
 		s.promised[i] = -1
@@ -335,8 +372,21 @@ func Run(tr *trace.Trace, opt Options) (*Result, error) {
 		}
 	}
 
-	if err := s.run(); err != nil {
-		return nil, err
+	var began time.Time
+	if opt.Metrics != nil {
+		began = time.Now()
+	}
+	runErr := s.run()
+	if opt.Metrics != nil {
+		s.met.JobsStarted = int64(s.started)
+		s.met.Backfilled = int64(s.backfilled)
+		s.met.Violations = int64(s.violations)
+		s.met.WallSeconds = time.Since(began).Seconds()
+		s.met.Canceled = runErr != nil && ctx.Err() != nil
+		*opt.Metrics = s.met
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return s.result(tr)
 }
@@ -356,6 +406,13 @@ func (s *simulator) partition(j *trace.Job) int {
 func (s *simulator) run() error {
 	next := 0 // next arrival index
 	for next < len(s.jobs) || s.compl.len() > 0 {
+		if s.done != nil {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at t=%v after %d events (%d/%d jobs started): %w",
+					s.now, s.met.Events, s.started, len(s.jobs), err)
+			}
+		}
+		s.met.Events++
 		// choose the next event time
 		t := math.Inf(1)
 		if next < len(s.jobs) {
@@ -381,6 +438,13 @@ func (s *simulator) run() error {
 				s.makespan = r.real
 			}
 			touched[r.part] = true
+			s.met.Completions++
+			if s.obsv != nil {
+				s.obsv.Observe(obs.Event{
+					Kind: obs.JobComplete, Time: r.real, Job: s.jobs[r.idx].ID,
+					Part: r.part, Procs: r.procs, Detail: r.end,
+				})
+			}
 		}
 		// arrivals at t join their queue
 		for next < len(s.jobs) && s.jobs[next].Submit <= t {
@@ -412,6 +476,13 @@ func (s *simulator) run() error {
 			}
 			s.queued++
 			touched[p] = true
+			s.met.Arrivals++
+			if s.obsv != nil {
+				s.obsv.Observe(obs.Event{
+					Kind: obs.JobSubmit, Time: j.Submit, Job: j.ID,
+					Part: p, Procs: j.Procs, Detail: reqTime,
+				})
+			}
 			next++
 		}
 		if s.queued > s.maxQueueSeen {
@@ -487,8 +558,10 @@ func (s *simulator) sortQueue(p int) {
 	}
 	ps := &s.parts[p]
 	if ps.sorted && ps.sortTime == s.now && (s.fair == nil || ps.sortFair == s.fairVer) {
+		s.met.ScoreCacheHits++
 		return
 	}
+	s.met.ScoreSorts++
 	live := ps.q.live()
 	now := s.now
 	switch {
@@ -531,6 +604,24 @@ func (s *simulator) start(p, pos int) {
 		panic(fmt.Sprintf("sim: allocation invariant broken: %v", err))
 	}
 	s.waits[j.idx] = s.now - j.submit
+	if s.obsv != nil {
+		s.obsv.Observe(obs.Event{
+			Kind: obs.JobStart, Time: s.now, Job: s.jobs[j.idx].ID,
+			Part: p, Procs: j.procs, Detail: s.waits[j.idx],
+		})
+		if pos > 0 {
+			s.obsv.Observe(obs.Event{
+				Kind: obs.Backfill, Time: s.now, Job: s.jobs[j.idx].ID,
+				Part: p, Procs: j.procs, Detail: float64(pos),
+			})
+		}
+		if j.promised >= 0 && s.now > j.promised+1e-9 {
+			s.obsv.Observe(obs.Event{
+				Kind: obs.PromiseViolation, Time: s.now, Job: s.jobs[j.idx].ID,
+				Part: p, Procs: j.procs, Detail: s.now - j.promised,
+			})
+		}
+	}
 	if j.promised >= 0 && s.now > j.promised+1e-9 {
 		s.violations++
 		s.violationDelay += s.now - j.promised
@@ -556,6 +647,7 @@ func (s *simulator) start(p, pos int) {
 
 // schedule runs one scheduling pass for partition p at the current time.
 func (s *simulator) schedule(p int) error {
+	s.met.SchedulePasses++
 	ps := &s.parts[p]
 	for {
 		if ps.q.len() == 0 {
@@ -577,6 +669,12 @@ func (s *simulator) schedule(p int) error {
 		if head.promised < 0 {
 			head.promised = shadow
 			s.promised[head.idx] = shadow
+			if s.obsv != nil {
+				s.obsv.Observe(obs.Event{
+					Kind: obs.ReservationMade, Time: s.now, Job: s.jobs[head.idx].ID,
+					Part: p, Procs: head.procs, Detail: shadow,
+				})
+			}
 		}
 		if s.opt.Backfill == Conservative {
 			s.conservativePass(p, prof, shadow)
@@ -587,11 +685,26 @@ func (s *simulator) schedule(p int) error {
 		// so repeated backfill passes cannot compound the slip: total
 		// delay stays within allowance of the original promise (Ward et
 		// al.). Anything finishing before the current shadow is free.
-		deadline := head.promised + s.allowance(p, head)
-		if shadow > deadline {
-			deadline = shadow
+		// base is the deadline a zero-allowance kind (EASY) would use;
+		// only a backfill intruding beyond it counts as a relaxation.
+		base := head.promised
+		if shadow > base {
+			base = shadow
 		}
-		if s.backfillPass(p, deadline, extra) {
+		deadline := head.promised + s.allowance(p, head)
+		if deadline < base {
+			deadline = base
+		}
+		started, relaxed := s.backfillPass(p, deadline, base, extra)
+		if started {
+			if relaxed && s.obsv != nil {
+				// The admitted backfill intrudes past the head's current
+				// shadow start: the promise was relaxed to let it in.
+				s.obsv.Observe(obs.Event{
+					Kind: obs.ReservationRelaxed, Time: s.now, Job: s.jobs[head.idx].ID,
+					Part: p, Procs: head.procs, Detail: deadline,
+				})
+			}
 			continue // resources changed; re-evaluate the head
 		}
 		return nil
@@ -639,8 +752,12 @@ func (s *simulator) buildProfile(p int) *profile {
 
 // backfillPass tries to start one queued job (after the head) that fits now
 // and either finishes before the deadline or fits inside the extra cores
-// not needed by the head's reservation. Returns true if a job started.
-func (s *simulator) backfillPass(p int, deadline float64, extra int) bool {
+// not needed by the head's reservation. started reports whether a job was
+// dispatched; relaxed reports whether that job needed the relaxation
+// window to be admitted (it neither fit the extra cores nor finished by
+// base, the zero-allowance deadline, so only the relaxed deadline let it
+// in — always false for EASY, where deadline == base).
+func (s *simulator) backfillPass(p int, deadline, base float64, extra int) (started, relaxed bool) {
 	q := &s.parts[p].q
 	for pos := 1; pos < q.len(); pos++ {
 		c := q.at(pos)
@@ -648,11 +765,12 @@ func (s *simulator) backfillPass(p int, deadline float64, extra int) bool {
 			continue
 		}
 		if s.now+c.reqTime <= deadline+1e-9 || c.procs <= extra {
+			relaxed = c.procs > extra && s.now+c.reqTime > base+1e-9
 			s.start(p, pos)
-			return true
+			return true, relaxed
 		}
 	}
-	return false
+	return false, false
 }
 
 // conservativePass plans a reservation for every queued job in priority

@@ -37,8 +37,12 @@ func TestSWFRoundTripPropertyQuick(t *testing.T) {
 		}
 		tr := New(System{Name: "Q", Kind: Hybrid, TotalCores: 8192, CoresPerNode: 8, StartHour: 3})
 		for i := 0; i < n; i++ {
-			tr.Jobs = append(tr.Jobs, quickJob(i, users[i], submits[i], submits[i]/2,
-				runs[i], runs[i]/3, procs[i], users[i]))
+			j := quickJob(i, users[i], submits[i], submits[i]/2,
+				runs[i], runs[i]/3, procs[i], users[i])
+			if users[i]%4 == 0 {
+				j.Wait = -1 // unknown-wait sentinel must survive the trip
+			}
+			tr.Jobs = append(tr.Jobs, j)
 		}
 		tr.SortBySubmit()
 		var buf bytes.Buffer

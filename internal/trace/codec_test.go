@@ -152,3 +152,63 @@ func TestCSVInfersCapacity(t *testing.T) {
 		t.Fatalf("inferred capacity %d want 128", tr.System.TotalCores)
 	}
 }
+
+// TestSWFRejectsInvalidFields pins the parse-time validation added for
+// malformed archive files: every rejection names the offending line.
+func TestSWFRejectsInvalidFields(t *testing.T) {
+	const header = "; MaxProcs: 64\n"
+	cases := []struct {
+		name, line, want string
+	}{
+		{"negative submit", "1 -5.0 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "line 2"},
+		{"negative run", "1 0.0 0.0 -2.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "line 2"},
+		{"zero procs", "1 0.0 0.0 1.0 0 -1 -1 0 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "procs"},
+		{"negative procs", "1 0.0 0.0 1.0 -3 -1 -1 -3 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "procs"},
+		{"wider than machine", "1 0.0 0.0 1.0 128 -1 -1 128 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "line 2"},
+	}
+	for _, tc := range cases {
+		_, err := ReadSWF(strings.NewReader(header + tc.line))
+		if err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSWFProcsFallback: an unusable requested-procs field falls back to
+// used procs; only when BOTH are unusable is the line rejected.
+func TestSWFProcsFallback(t *testing.T) {
+	// reqProcs (field 8) is -1, usedProcs (field 5) is 4.
+	in := "; MaxProcs: 64\n1 0.0 0.0 1.0 4 -1 -1 -1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ReadSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Procs != 4 {
+		t.Fatalf("fallback procs %d want 4", tr.Jobs[0].Procs)
+	}
+}
+
+// TestSWFUnknownKindHeader: an unrecognized Kind header falls back to the
+// zero value instead of failing the parse.
+func TestSWFUnknownKindHeader(t *testing.T) {
+	in := "; Kind: Quantum\n; MaxProcs: 8\n1 0.0 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ReadSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.System.Kind != HPC || tr.Len() != 1 {
+		t.Fatalf("unknown kind handled wrong: %+v", tr.System)
+	}
+}
+
+// TestSWFTrailingHeaderCapacityCheck: the capacity validation must also
+// catch a too-wide job when MaxProcs is declared AFTER the job lines.
+func TestSWFTrailingHeaderCapacityCheck(t *testing.T) {
+	in := "1 0.0 0.0 1.0 128 -1 -1 128 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n; MaxProcs: 64\n"
+	if _, err := ReadSWF(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("trailing-header capacity violation not caught: %v", err)
+	}
+}

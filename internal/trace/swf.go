@@ -62,6 +62,7 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	t := New(System{})
 	lineNo := 0
+	var jobLines []int // source line of each job, for post-parse validation
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -81,6 +82,7 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: swf line %d: %w", lineNo, err)
 		}
 		t.Jobs = append(t.Jobs, j)
+		jobLines = append(jobLines, lineNo)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -89,6 +91,17 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 		for i := range t.Jobs {
 			if t.Jobs[i].Procs > t.System.TotalCores {
 				t.System.TotalCores = t.Jobs[i].Procs
+			}
+		}
+	}
+	// With a declared capacity, a job wider than the machine can never be
+	// scheduled; catch it at parse time (headers may trail the job lines,
+	// so this must wait for the whole file).
+	if t.System.TotalCores > 0 {
+		for i := range t.Jobs {
+			if t.Jobs[i].Procs > t.System.TotalCores {
+				return nil, fmt.Errorf("trace: swf line %d: job %d requests %d procs, system has %d",
+					jobLines[i], t.Jobs[i].ID+1, t.Jobs[i].Procs, t.System.TotalCores)
 			}
 		}
 	}
@@ -147,11 +160,17 @@ func parseSWFLine(f []string) (Job, error) {
 	if j.Submit, err = get(1); err != nil {
 		return j, fmt.Errorf("submit: %w", err)
 	}
+	if j.Submit < 0 {
+		return j, fmt.Errorf("submit: negative time %v", j.Submit)
+	}
 	if j.Wait, err = get(2); err != nil {
 		return j, fmt.Errorf("wait: %w", err)
 	}
 	if j.Run, err = get(3); err != nil {
 		return j, fmt.Errorf("run: %w", err)
+	}
+	if j.Run < 0 {
+		return j, fmt.Errorf("run: negative runtime %v", j.Run)
 	}
 	procs, err := get(7)
 	if err != nil || procs <= 0 {
@@ -160,6 +179,11 @@ func parseSWFLine(f []string) (Job, error) {
 		if err != nil {
 			return j, fmt.Errorf("procs: %w", err)
 		}
+	}
+	if procs <= 0 {
+		// Neither the requested nor the used processor count is usable —
+		// a zero-width job cannot be scheduled.
+		return j, fmt.Errorf("procs: non-positive count %v", procs)
 	}
 	j.Procs = int(procs)
 	if j.Walltime, err = get(8); err != nil {
