@@ -9,11 +9,10 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"crosssched/internal/ml"
+	"crosssched/internal/par"
 	"crosssched/internal/sim"
 	"crosssched/internal/trace"
 )
@@ -37,7 +36,7 @@ func PolicyMatrix(tr *trace.Trace, policies []sim.Policy, backfills []sim.Backfi
 
 // PolicyMatrixContext is PolicyMatrix with cancellation: when ctx is
 // canceled the in-flight simulations abort at their next event and the
-// first cancellation error is returned.
+// lowest-index cancellation error is returned.
 func PolicyMatrixContext(ctx context.Context, tr *trace.Trace, policies []sim.Policy, backfills []sim.BackfillKind) ([]Cell, error) {
 	type task struct {
 		pol sim.Policy
@@ -50,32 +49,21 @@ func PolicyMatrixContext(ctx context.Context, tr *trace.Trace, policies []sim.Po
 		}
 	}
 	out := make([]Cell, len(tasks))
-	errs := make([]error, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, tk := range tasks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, tk task) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := sim.RunContext(ctx, tr, sim.Options{Policy: tk.pol, Backfill: tk.bf, RelaxFactor: 0.10})
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: %v/%v: %w", tk.pol, tk.bf, err)
-				return
-			}
-			out[i] = Cell{
-				Policy: tk.pol, Backfill: tk.bf,
-				AvgWait: res.AvgWait, AvgBsld: res.AvgBsld,
-				Util: res.Utilization, Backfill2: res.Backfilled,
-			}
-		}(i, tk)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := par.ForEach(ctx, len(tasks), func(ctx context.Context, i int) error {
+		tk := tasks[i]
+		res, err := sim.RunContext(ctx, tr, sim.Options{Policy: tk.pol, Backfill: tk.bf, RelaxFactor: 0.10})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("experiments: %v/%v: %w", tk.pol, tk.bf, err)
 		}
+		out[i] = Cell{
+			Policy: tk.pol, Backfill: tk.bf,
+			AvgWait: res.AvgWait, AvgBsld: res.AvgBsld,
+			Util: res.Utilization, Backfill2: res.Backfilled,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,43 +104,31 @@ func RelaxFactorSweep(tr *trace.Trace, factors []float64) ([]SweepPoint, error) 
 // RelaxFactorSweepContext is RelaxFactorSweep with cancellation.
 func RelaxFactorSweepContext(ctx context.Context, tr *trace.Trace, factors []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(factors))
-	errs := make([]error, len(factors))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, f := range factors {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, f float64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rel, err := sim.RunContext(ctx, tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ad, err := sim.RunContext(ctx, tr, sim.Options{
-				Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed,
-				RelaxFactor: f, MaxQueueLen: rel.MaxQueueLen,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i] = SweepPoint{
-				Factor:      f,
-				RelaxedWait: rel.AvgWait, AdaptiveWait: ad.AvgWait,
-				RelaxedViol: rel.Violations, AdaptiveViol: ad.Violations,
-				RelaxedBsld: rel.AvgBsld, AdaptiveBsld: ad.AvgBsld,
-				RelaxedUtil: rel.Utilization, AdaptiveUtil: ad.Utilization,
-				RelaxedDelay: rel.ViolationDelay, AdaptiveDelay: ad.ViolationDelay,
-			}
-		}(i, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := par.ForEach(ctx, len(factors), func(ctx context.Context, i int) error {
+		f := factors[i]
+		rel, err := sim.RunContext(ctx, tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Relaxed, RelaxFactor: f})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ad, err := sim.RunContext(ctx, tr, sim.Options{
+			Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed,
+			RelaxFactor: f, MaxQueueLen: rel.MaxQueueLen,
+		})
+		if err != nil {
+			return err
+		}
+		out[i] = SweepPoint{
+			Factor:      f,
+			RelaxedWait: rel.AvgWait, AdaptiveWait: ad.AvgWait,
+			RelaxedViol: rel.Violations, AdaptiveViol: ad.Violations,
+			RelaxedBsld: rel.AvgBsld, AdaptiveBsld: ad.AvgBsld,
+			RelaxedUtil: rel.Utilization, AdaptiveUtil: ad.Utilization,
+			RelaxedDelay: rel.ViolationDelay, AdaptiveDelay: ad.ViolationDelay,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,9 +7,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"crosssched/internal/par"
 	"crosssched/internal/predict"
 	"crosssched/internal/sim"
 	"crosssched/internal/synth"
@@ -124,26 +126,14 @@ func (s *Suite) SimTrace(name string) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// Prewarm generates all configured system traces concurrently (generation
-// is the dominant cost when a suite is first used; each system's generator
-// is independent).
+// Prewarm generates all configured system traces concurrently on the
+// shared worker pool (generation is the dominant cost when a suite is first
+// used; each system's generator is independent).
 func (s *Suite) Prewarm() error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(s.cfg.Systems))
-	for i, name := range s.cfg.Systems {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			_, errs[i] = s.Trace(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return par.ForEach(context.Background(), len(s.cfg.Systems), func(_ context.Context, i int) error {
+		_, err := s.Trace(s.cfg.Systems[i])
+		return err
+	})
 }
 
 // eachTrace applies fn over the configured systems in order.

@@ -13,13 +13,14 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"crosssched/internal/dist"
 	"crosssched/internal/ml"
+	"crosssched/internal/par"
 	"crosssched/internal/stats"
 	"crosssched/internal/trace"
 )
@@ -101,28 +102,22 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		Fractions:   cfg.ElapsedFractions,
 		TestJobs:    len(test),
 	}
-	// Model families train independently; run them in parallel with
-	// results kept in the configured order.
+	// Model families train independently; run them on the shared worker
+	// pool with results kept in the configured order.
 	results := make([]*ModelResult, len(cfg.Models))
-	errs := make([]error, len(cfg.Models))
-	var wg sync.WaitGroup
-	for i, name := range cfg.Models {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			mr, err := runModel(name, tr, train, test, meanRun, cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("predict: %s: %w", name, err)
-				return
-			}
-			results[i] = mr
-		}(i, name)
-	}
-	wg.Wait()
-	for i := range cfg.Models {
-		if errs[i] != nil {
-			return nil, errs[i]
+	err := par.ForEach(context.Background(), len(cfg.Models), func(_ context.Context, i int) error {
+		name := cfg.Models[i]
+		mr, err := runModel(name, tr, train, test, meanRun, cfg)
+		if err != nil {
+			return fmt.Errorf("predict: %s: %w", name, err)
 		}
+		results[i] = mr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cfg.Models {
 		res.Models = append(res.Models, *results[i])
 	}
 	return res, nil

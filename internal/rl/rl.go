@@ -12,11 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"crosssched/internal/dist"
+	"crosssched/internal/par"
 	"crosssched/internal/sim"
 	"crosssched/internal/trace"
 )
@@ -119,6 +118,25 @@ func FitnessContext(ctx context.Context, p *LinearPolicy, tr *trace.Trace, backf
 	return -res.AvgBsld, nil
 }
 
+// EvaluatePopulation computes the fitness of every candidate policy on the
+// trace, in parallel on the shared worker pool (ES generations are
+// embarrassingly parallel and each evaluation is a full simulation).
+// Results align with the input; on error the lowest-index failure is
+// returned. This is the batch-execution hot loop of ES training, and the
+// sweep benchmark BenchmarkRLFitness measures exactly this call.
+func EvaluatePopulation(ctx context.Context, policies []LinearPolicy, tr *trace.Trace, backfill sim.BackfillKind) ([]float64, error) {
+	fits := make([]float64, len(policies))
+	err := par.ForEach(ctx, len(policies), func(ctx context.Context, i int) error {
+		var err error
+		fits[i], err = FitnessContext(ctx, &policies[i], tr, backfill)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fits, nil
+}
+
 // Train searches for a policy minimizing average bounded slowdown on the
 // training trace. It returns the best policy found and the per-iteration
 // best-fitness history (as avg bsld, lower is better).
@@ -149,9 +167,7 @@ func TrainContext(ctx context.Context, tr *trace.Trace, cfg TrainConfig) (*Linea
 		eps [FeatureDim]float64
 		w   [FeatureDim]float64
 		fit float64
-		err error
 	}
-	workers := runtime.GOMAXPROCS(0)
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("rl: training canceled at iteration %d: %w", iter, err)
@@ -175,23 +191,16 @@ func TrainContext(ctx context.Context, tr *trace.Trace, cfg TrainConfig) (*Linea
 				samples = append(samples, s)
 			}
 		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
+		cands := make([]LinearPolicy, len(samples))
 		for k := range samples {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(k int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				cand := LinearPolicy{W: samples[k].w}
-				samples[k].fit, samples[k].err = FitnessContext(ctx, &cand, tr, cfg.Backfill)
-			}(k)
+			cands[k] = LinearPolicy{W: samples[k].w}
 		}
-		wg.Wait()
+		fits, err := EvaluatePopulation(ctx, cands, tr, cfg.Backfill)
+		if err != nil {
+			return nil, nil, err
+		}
 		for k := range samples {
-			if samples[k].err != nil {
-				return nil, nil, samples[k].err
-			}
+			samples[k].fit = fits[k]
 			if samples[k].fit > bestFit {
 				bestFit = samples[k].fit
 				best = samples[k].w
