@@ -22,6 +22,7 @@ import (
 	"crosssched/internal/experiments"
 	"crosssched/internal/figures"
 	"crosssched/internal/obs"
+	"crosssched/internal/par"
 	"crosssched/internal/rl"
 	"crosssched/internal/sim"
 	"crosssched/internal/synth"
@@ -53,6 +54,7 @@ type runConfig struct {
 	metricsOut string        // per-run counters as JSON
 	timeout    time.Duration // whole-run deadline (0 = none)
 	progress   bool          // live progress line on stderr
+	parallel   int           // worker cap for batch modes (0 = GOMAXPROCS)
 }
 
 func main() {
@@ -76,6 +78,7 @@ func main() {
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write per-run counters as JSON to this file")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this wall-clock duration (e.g. 30s)")
 	flag.BoolVar(&cfg.progress, "progress", false, "print a live progress line to stderr during the simulation")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "max concurrent simulations in batch modes (-matrix, -sweep, -estimates, -learned); 0 = GOMAXPROCS")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the simulation) to this file")
 	flag.Parse()
@@ -120,6 +123,11 @@ func run(cfg runConfig) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+	if cfg.parallel > 0 {
+		// Every batch entry point fans out through internal/par, which reads
+		// this cap from the context — one flag covers them all.
+		ctx = par.WithLimit(ctx, cfg.parallel)
 	}
 	tr, err := loadTrace(cfg.system, cfg.input, cfg.days, cfg.seed)
 	if err != nil {

@@ -66,6 +66,15 @@ func EvenPartitions(totalCores, n int) []int {
 	return out
 }
 
+// Reset restores the cluster to its initial state — every core free and the
+// utilization integral cleared — so a cached cluster can serve repeated
+// simulation runs (sim.Runner) without reallocation.
+func (c *Cluster) Reset() {
+	copy(c.free, c.caps)
+	c.lastTime = 0
+	c.busyCoreSeconds = 0
+}
+
 // Total returns the total core count.
 func (c *Cluster) Total() int { return c.total }
 
@@ -94,14 +103,22 @@ func (c *Cluster) FreeTotal() int {
 // Busy returns the busy core count across all partitions.
 func (c *Cluster) Busy() int { return c.total - c.FreeTotal() }
 
+// norm maps the -1 alias to partition 0 and bounds-checks p. The panic
+// formatting lives in badPartition so norm stays within the inlining budget:
+// Free and CanAllocate sit on the simulator's per-event hot path, and an
+// out-of-line norm call per query is measurable there.
 func (c *Cluster) norm(p int) int {
 	if p < 0 {
 		return 0
 	}
 	if p >= len(c.caps) {
-		panic(fmt.Sprintf("cluster: partition %d out of range (%d partitions)", p, len(c.caps)))
+		c.badPartition(p)
 	}
 	return p
+}
+
+func (c *Cluster) badPartition(p int) {
+	panic(fmt.Sprintf("cluster: partition %d out of range (%d partitions)", p, len(c.caps)))
 }
 
 // CanAllocate reports whether n cores are currently free in partition p.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"crosssched/internal/ml"
+	"crosssched/internal/par"
 	"crosssched/internal/trace"
 )
 
@@ -61,6 +63,14 @@ type FaultAwareResult struct {
 // FaultAware runs the proactive-termination sweep. Checkpoints occur every
 // checkEvery seconds of job elapsed time (default 300s).
 func FaultAware(tr *trace.Trace, thresholds []float64, checkEvery float64) (*FaultAwareResult, error) {
+	return FaultAwareContext(context.Background(), tr, thresholds, checkEvery)
+}
+
+// FaultAwareContext is FaultAware with cancellation. The predictor is
+// trained once; the thresholds are evaluated in parallel (each threshold
+// replays the evaluation suffix independently against the frozen
+// predictor). The result order follows the input thresholds.
+func FaultAwareContext(ctx context.Context, tr *trace.Trace, thresholds []float64, checkEvery float64) (*FaultAwareResult, error) {
 	if tr.Len() < 100 {
 		return nil, fmt.Errorf("experiments: trace too small (%d jobs)", tr.Len())
 	}
@@ -89,7 +99,9 @@ func FaultAware(tr *trace.Trace, thresholds []float64, checkEvery float64) (*Fau
 		}
 	}
 
-	for _, th := range thresholds {
+	res.Points = make([]FaultAwarePoint, len(thresholds))
+	err := par.ForEach(ctx, len(thresholds), func(ctx context.Context, k int) error {
+		th := thresholds[k]
 		pt := FaultAwarePoint{Threshold: th, WastedBaseline: wasted}
 		for i := cut; i < tr.Len(); i++ {
 			j := &tr.Jobs[i]
@@ -114,7 +126,11 @@ func FaultAware(tr *trace.Trace, thresholds []float64, checkEvery float64) (*Fau
 			}
 		}
 		pt.NetCoreHours = pt.SavedCoreHours - pt.LostCoreHours
-		res.Points = append(res.Points, pt)
+		res.Points[k] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"crosssched/internal/par"
 	"crosssched/internal/sim"
 	"crosssched/internal/stats"
 	"crosssched/internal/synth"
@@ -38,6 +40,14 @@ type HybridPoint struct {
 // HybridSweep generates the base HPC workload once and one DL overlay per
 // share, merging and re-scheduling each combination.
 func HybridSweep(days float64, seed uint64, shares []float64) ([]HybridPoint, error) {
+	return HybridSweepContext(context.Background(), days, seed, shares)
+}
+
+// HybridSweepContext is HybridSweep with cancellation. The base HPC trace
+// is generated once; the shares are simulated in parallel (each share
+// builds its own overlay and merged copy, so workers never touch shared
+// mutable state). The result order follows the input shares.
+func HybridSweepContext(ctx context.Context, days float64, seed uint64, shares []float64) ([]HybridPoint, error) {
 	if len(shares) == 0 {
 		shares = []float64{0, 0.25, 0.5, 0.75}
 	}
@@ -46,18 +56,22 @@ func HybridSweep(days float64, seed uint64, shares []float64) ([]HybridPoint, er
 	if err != nil {
 		return nil, err
 	}
-	var out []HybridPoint
-	for _, share := range shares {
-		pt, err := hybridPoint(base, days, seed, share)
+	out := make([]HybridPoint, len(shares))
+	err = par.ForEach(ctx, len(shares), func(ctx context.Context, i int) error {
+		pt, err := hybridPoint(ctx, base, days, seed, shares[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: hybrid share %v: %w", share, err)
+			return fmt.Errorf("experiments: hybrid share %v: %w", shares[i], err)
 		}
-		out = append(out, *pt)
+		out[i] = *pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func hybridPoint(base *trace.Trace, days float64, seed uint64, share float64) (*HybridPoint, error) {
+func hybridPoint(ctx context.Context, base *trace.Trace, days float64, seed uint64, share float64) (*HybridPoint, error) {
 	combined := base
 	offset := -1
 	if share > 0 {
@@ -96,7 +110,7 @@ func hybridPoint(base *trace.Trace, days float64, seed uint64, share float64) (*
 		combined, offset = base.Merge(overlay)
 	}
 
-	res, err := sim.Run(combined, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY})
+	res, err := sim.RunContext(ctx, combined, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY})
 	if err != nil {
 		return nil, err
 	}

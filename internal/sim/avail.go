@@ -1,6 +1,6 @@
 package sim
 
-import "sort"
+import "math"
 
 // JobEnd is one running job's planned completion: the time its cores come
 // back at the scheduler's planning horizon (start + walltime estimate) and
@@ -29,31 +29,64 @@ type JobEnd struct {
 // The type is exported (with a read-only verification surface) so that
 // internal/check can drive it directly; the simulator itself embeds one
 // AvailSet per partition.
+// The set is stored as parallel arrays rather than []JobEnd: the binary
+// search on the dispatch/release path probes only end times, and the dense
+// float64 array halves the cache lines each probe touches.
 type AvailSet struct {
-	ends []JobEnd // ascending by End; one entry per distinct End, Procs summed
+	ends  []float64 // ascending; one entry per distinct end time
+	procs []int     // cores held at ends[i], summed over aggregated jobs
+	ver   uint64    // bumped on every mutation; keys the simulator's profile cache
 }
 
 // Len returns the number of distinct planned end times in the set.
 func (a *AvailSet) Len() int { return len(a.ends) }
 
+// reset empties the set (keeping storage) for simulator reuse.
+func (a *AvailSet) reset() {
+	a.ends = a.ends[:0]
+	a.procs = a.procs[:0]
+	a.ver++
+}
+
 // search returns the position of end in the aggregated slice, or the
-// insertion point when absent.
+// insertion point when absent. Hand-rolled sort.Search: the closure call per
+// probe is measurable on the simulator's dispatch/release path.
 func (a *AvailSet) search(end float64) int {
-	return sort.Search(len(a.ends), func(i int) bool { return a.ends[i].End >= end })
+	lo, hi := 0, len(a.ends)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.ends[mid] < end {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Add records a started job's planned end. O(log n) search plus an O(n)
 // memmove in the worst case; ends aggregate, so n is the number of distinct
 // end times among running jobs, not the number of running jobs.
 func (a *AvailSet) Add(end float64, procs int) {
-	i := a.search(end)
-	if i < len(a.ends) && a.ends[i].End == end {
-		a.ends[i].Procs += procs
+	a.ver++
+	// Dispatches trend toward the planning horizon, so the new end is very
+	// often the latest; append without searching when it is.
+	if n := len(a.ends); n == 0 || end > a.ends[n-1] {
+		a.ends = append(a.ends, end)
+		a.procs = append(a.procs, procs)
 		return
 	}
-	a.ends = append(a.ends, JobEnd{})
+	i := a.search(end)
+	if i < len(a.ends) && a.ends[i] == end {
+		a.procs[i] += procs
+		return
+	}
+	a.ends = append(a.ends, 0)
 	copy(a.ends[i+1:], a.ends[i:])
-	a.ends[i] = JobEnd{End: end, Procs: procs}
+	a.ends[i] = end
+	a.procs = append(a.procs, 0)
+	copy(a.procs[i+1:], a.procs[i:])
+	a.procs[i] = procs
 }
 
 // Remove retracts a previously-added planned end (on job release). The
@@ -61,13 +94,20 @@ func (a *AvailSet) Add(end float64, procs int) {
 // this by storing the exact planned end on the running record, so the float
 // equality match is exact by construction.
 func (a *AvailSet) Remove(end float64, procs int) {
-	i := a.search(end)
-	if i >= len(a.ends) || a.ends[i].End != end || a.ends[i].Procs < procs {
+	a.ver++
+	// Completions trend toward the earliest planned end; check the front
+	// before searching.
+	i := 0
+	if len(a.ends) == 0 || a.ends[0] != end {
+		i = a.search(end)
+	}
+	if i >= len(a.ends) || a.ends[i] != end || a.procs[i] < procs {
 		panic("sim: AvailSet.Remove of an end that was never added")
 	}
-	a.ends[i].Procs -= procs
-	if a.ends[i].Procs == 0 {
+	a.procs[i] -= procs
+	if a.procs[i] == 0 {
 		a.ends = append(a.ends[:i], a.ends[i+1:]...)
+		a.procs = append(a.procs[:i], a.procs[i+1:]...)
 	}
 }
 
@@ -75,21 +115,41 @@ func (a *AvailSet) Remove(end float64, procs int) {
 // caller's scratch profile, reusing its slices. freeNow is the partition's
 // currently free core count. Planned ends at or before now (jobs running
 // past their estimate, e.g. under advisory walltime predictions) fold into
-// the base entry, mirroring newProfile's clamping.
-func (a *AvailSet) buildInto(p *profile, now float64, freeNow int) {
-	p.times = append(p.times[:0], now)
-	p.free = append(p.free[:0], freeNow)
+// the base entry, mirroring newProfile's clamping. It returns the first
+// planned end strictly after now (+Inf when none): the build stays valid
+// until the clock reaches it, which is what the simulator's profile cache
+// keys on.
+func (a *AvailSet) buildInto(p *profile, now float64, freeNow int) (nextEnd float64) {
 	cur := freeNow
 	i := 0
-	for ; i < len(a.ends) && a.ends[i].End <= now; i++ {
-		cur += a.ends[i].Procs
+	for ; i < len(a.ends) && a.ends[i] <= now; i++ {
+		cur += a.procs[i]
 	}
+	// The output length is known up front, so the fold writes by index into
+	// pre-sized slices instead of paying append's capacity check per entry —
+	// this runs on every blocked-head scheduling pass.
+	tail, tailProcs := a.ends[i:], a.procs[i:]
+	m := len(tail) + 1
+	if cap(p.times) < m {
+		// Grow with headroom so repeated builds amortize like append did.
+		p.times = make([]float64, m, m+m/2)
+		p.free = make([]int, m, m+m/2)
+	} else {
+		p.times = p.times[:m]
+		p.free = p.free[:m]
+	}
+	p.times[0] = now
 	p.free[0] = cur
-	for ; i < len(a.ends); i++ {
-		cur += a.ends[i].Procs
-		p.times = append(p.times, a.ends[i].End)
-		p.free = append(p.free, cur)
+	nextEnd = math.Inf(1)
+	if len(tail) > 0 {
+		nextEnd = tail[0]
 	}
+	for k, e := range tail {
+		cur += tailProcs[k]
+		p.times[k+1] = e
+		p.free[k+1] = cur
+	}
+	return nextEnd
 }
 
 // Snapshot returns the availability profile (breakpoints and free counts)

@@ -37,6 +37,17 @@ func NewFairshareState(halfLife float64) *FairshareState {
 	}
 }
 
+// Reset clears every usage account and re-arms the half-life, keeping the
+// map storage so simulator reuse (sim.Runner) does not reallocate.
+func (f *FairshareState) Reset(halfLife float64) {
+	if halfLife <= 0 {
+		halfLife = 86400
+	}
+	f.HalfLife = halfLife
+	clear(f.usage)
+	clear(f.last)
+}
+
 // Usage returns user's decayed usage as of time now.
 func (f *FairshareState) Usage(user int, now float64) float64 {
 	u, ok := f.usage[user]

@@ -50,9 +50,26 @@ func newProfile(now float64, freeNow int, ends []JobEnd) *profile {
 	return p
 }
 
+// searchF64 is sort.SearchFloat64s without the sort.Search closure: the
+// smallest i with a[i] >= x. The profile queries below binary-search on
+// every planning step, where the monomorphic loop both inlines and avoids
+// the per-probe indirect call.
+func searchF64(a []float64, x float64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // freeAt returns the free cores at time t (t >= times[0]).
 func (p *profile) freeAt(t float64) int {
-	i := sort.SearchFloat64s(p.times, t)
+	i := searchF64(p.times, t)
 	if i < len(p.times) && p.times[i] == t {
 		return p.free[i]
 	}
@@ -80,11 +97,17 @@ func (p *profile) earliestStart(from float64, procs int, dur float64) (start flo
 	n := len(times)
 	// Locate the segment containing from once; every later candidate is a
 	// breakpoint whose index the sweep already knows, so the per-candidate
-	// binary search a window()-based loop would pay is gone.
-	i := sort.SearchFloat64s(times, from)
-	if i >= n || times[i] != from {
-		if i > 0 {
-			i--
+	// binary search a window()-based loop would pay is gone. Queries almost
+	// always come in at the profile's base time (the simulator builds the
+	// profile at now and asks from now), so the search itself is skipped
+	// when from lands at or before the first breakpoint.
+	i := 0
+	if n > 0 && from > times[0] {
+		i = searchF64(times, from)
+		if i >= n || times[i] != from {
+			if i > 0 {
+				i--
+			}
 		}
 	}
 	cand, candIdx := from, i
@@ -92,6 +115,7 @@ func (p *profile) earliestStart(from float64, procs int, dur float64) (start flo
 		end := cand + dur
 		j := candIdx
 		ok := true
+		mf := math.MaxInt64
 		for ; j < n; j++ {
 			if times[j] >= end {
 				break
@@ -100,14 +124,11 @@ func (p *profile) earliestStart(from float64, procs int, dur float64) (start flo
 				ok = false
 				break
 			}
+			if free[j] < mf {
+				mf = free[j]
+			}
 		}
 		if ok {
-			mf := math.MaxInt64
-			for k := candIdx; k < j; k++ {
-				if free[k] < mf {
-					mf = free[k]
-				}
-			}
 			if mf == math.MaxInt64 {
 				mf = free[n-1]
 			}
@@ -150,7 +171,7 @@ func (p *profile) windowIdx(t, dur float64, procs int) (bool, int, int) {
 	end := t + dur
 	minFree := math.MaxInt64
 	// examine the segment containing t and all breakpoints within (t, end)
-	i := sort.SearchFloat64s(p.times, t)
+	i := searchF64(p.times, t)
 	if i >= len(p.times) || p.times[i] != t {
 		if i > 0 {
 			i--
@@ -183,7 +204,7 @@ func (p *profile) reserve(t, dur float64, procs int) {
 	p.split(end)
 	// Only segments in [t, end) change; start at the first breakpoint >= t
 	// instead of scanning the whole profile.
-	for i := sort.SearchFloat64s(p.times, t); i < len(p.times) && p.times[i] < end; i++ {
+	for i := searchF64(p.times, t); i < len(p.times) && p.times[i] < end; i++ {
 		p.free[i] -= procs
 	}
 }
@@ -196,7 +217,7 @@ func (p *profile) split(t float64) {
 	if t <= p.times[0] {
 		return
 	}
-	i := sort.SearchFloat64s(p.times, t)
+	i := searchF64(p.times, t)
 	if i < len(p.times) && p.times[i] == t {
 		return
 	}

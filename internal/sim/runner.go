@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/obs"
+	"crosssched/internal/trace"
+)
+
+// Runner is a reusable simulator instance: the batch execution primitive
+// behind every many-run workload (policy x backfill matrices, relaxation
+// sweeps, ES fitness populations, figure regeneration). A fresh simulation
+// allocates its completion heap, waiting queues, AvailSets, scratch
+// profiles, per-job pending arena, and cluster model from scratch; a Runner
+// keeps all of that scratch state between runs and resets it instead, so a
+// sweep of N runs over the same trace pays the simulator's working-set
+// allocation once instead of N times.
+//
+// Correctness model: every piece of retained state is either reset on
+// acquire (truncated slices, zeroed counters, cleared caches) or rebuilt
+// when its shape no longer matches the trace, and nothing that escapes into
+// a Result is ever reused — Result.Jobs, PromisedStart, and QueueTimeline
+// are freshly allocated per run. Runner results are therefore
+// float-for-float identical to a fresh run's; TestRunnerReuseMatchesFresh
+// and the internal/check oracle sweep pin that invariant. Because the reset
+// happens at the START of each run, a Runner abandoned mid-run (context
+// cancellation, even a panic) is safe to reuse: no poisoned scratch state
+// can leak into the next run.
+//
+// A Runner is not safe for concurrent use; concurrent callers should let
+// the package-level Run/RunContext check warm Runners out of the shared
+// sync.Pool, which gives each goroutine its own.
+type Runner struct {
+	s simulator
+
+	// Cluster model, reused while the trace shape (total cores, partition
+	// count) stays the same — the common case for sweeps over one trace.
+	cl      *cluster.Cluster
+	clTotal int
+	clParts int
+}
+
+// NewRunner returns an empty Runner. The first run allocates the working
+// set; later runs reuse it.
+func NewRunner() *Runner { return &Runner{} }
+
+// runnerPool recycles warm Runners across Run/RunContext calls. Concurrent
+// sweeps (internal/par workers) each check out their own Runner; between
+// sweeps the pool keeps the scratch state alive so back-to-back experiment
+// batches stay warm.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// Run simulates scheduling of tr under opt; see the package-level Run.
+func (r *Runner) Run(tr *trace.Trace, opt Options) (*Result, error) {
+	return r.RunContext(context.Background(), tr, opt)
+}
+
+// RunContext simulates scheduling of tr under opt with cancellation; see
+// the package-level RunContext for the cancellation contract. The input
+// trace is treated as immutable and is not retained past the call.
+func (r *Runner) RunContext(ctx context.Context, tr *trace.Trace, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.BsldTau <= 0 {
+		opt.BsldTau = 10
+	}
+	if opt.RelaxFactor == 0 && (opt.Backfill == Relaxed || opt.Backfill == AdaptiveRelaxed) {
+		opt.RelaxFactor = 0.10
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	cl := r.cluster(tr.System.TotalCores, nParts)
+
+	s := &r.s
+	s.reset(ctx, tr, opt, cl, nParts)
+	// Scratch state may live on in the pool, but references to the caller's
+	// trace, context, and callbacks must not outlive the run.
+	defer func() {
+		s.jobs = nil
+		s.ctx = nil
+		s.done = nil
+		s.obsv = nil
+		s.opt = Options{}
+	}()
+
+	// Validate partition fit up front so we fail fast, not mid-run.
+	for i := range s.jobs {
+		p := s.partition(&s.jobs[i])
+		if s.jobs[i].Procs > cl.Capacity(p) {
+			return nil, fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
+				s.jobs[i].ID, s.jobs[i].Procs, p, cl.Capacity(p))
+		}
+	}
+
+	var began time.Time
+	if opt.Metrics != nil {
+		began = time.Now()
+	}
+	runErr := s.run()
+	if opt.Metrics != nil {
+		s.met.JobsStarted = int64(s.started)
+		s.met.Backfilled = int64(s.backfilled)
+		s.met.Violations = int64(s.violations)
+		s.met.WallSeconds = time.Since(began).Seconds()
+		s.met.Canceled = runErr != nil && ctx.Err() != nil
+		*opt.Metrics = s.met
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return s.result(tr)
+}
+
+// cluster returns a cluster model for the trace shape, reusing the cached
+// one when the shape matches (EvenPartitions is deterministic in
+// (totalCores, nParts), so matching those two means matching capacities).
+func (r *Runner) cluster(totalCores, nParts int) *cluster.Cluster {
+	if r.cl != nil && r.clTotal == totalCores && r.clParts == nParts {
+		r.cl.Reset()
+		return r.cl
+	}
+	if nParts > 1 {
+		r.cl = cluster.NewPartitioned(cluster.EvenPartitions(totalCores, nParts))
+	} else {
+		r.cl = cluster.New(totalCores)
+	}
+	r.clTotal, r.clParts = totalCores, nParts
+	return r.cl
+}
+
+// reset prepares the simulator for a new run, reusing retained scratch
+// capacity wherever the previous run left any. Everything the run mutates
+// is reinitialized here — reset-on-acquire is what makes an abandoned
+// (canceled) Runner safe to reuse.
+func (s *simulator) reset(ctx context.Context, tr *trace.Trace, opt Options, cl *cluster.Cluster, nParts int) {
+	n := len(tr.Jobs)
+	s.opt = opt
+	// The simulator never writes job records (waits live in a separate
+	// array), so the run can schedule straight off the caller's slice; only
+	// result() copies jobs, into the escaping Result.
+	s.jobs = tr.Jobs
+	s.cl = cl
+	if cap(s.parts) >= nParts {
+		s.parts = s.parts[:nParts]
+	} else {
+		s.parts = make([]partState, nParts)
+	}
+	for i := range s.parts {
+		s.parts[i].reset()
+	}
+	if cap(s.pendings) >= n {
+		// Entries are fully overwritten at arrival; no zeroing needed.
+		s.pendings = s.pendings[:n]
+	} else {
+		s.pendings = make([]pending, n)
+	}
+	if cap(s.touched) >= nParts {
+		s.touched = s.touched[:nParts]
+	} else {
+		s.touched = make([]bool, nParts)
+	}
+	if cap(s.waits) >= n {
+		// Every started job overwrites its wait, and a Result is only
+		// assembled once all jobs started.
+		s.waits = s.waits[:n]
+	} else {
+		s.waits = make([]float64, n)
+	}
+	s.compl.items = s.compl.items[:0]
+	s.now = 0
+	s.ctx = ctx
+	s.done = ctx.Done()
+	s.obsv = opt.Observer
+	s.met = obs.Metrics{}
+	if opt.Policy == Fair {
+		if s.fair == nil {
+			s.fair = NewFairshareState(opt.FairshareHalfLife)
+		} else {
+			s.fair.Reset(opt.FairshareHalfLife)
+		}
+	} else {
+		s.fair = nil
+	}
+	s.fairVer = 0
+	s.queued = 0
+	// promised and timeline escape into the Result (PromisedStart,
+	// QueueTimeline), so they are the two per-run allocations that reuse
+	// cannot amortize.
+	s.promised = make([]float64, n)
+	for i := range s.promised {
+		s.promised[i] = -1
+	}
+	s.violations = 0
+	s.violationDelay = 0
+	s.backfilled = 0
+	s.maxQueueSeen = 0
+	s.started = 0
+	s.makespan = 0
+	timelineCap := 2 * n
+	if timelineCap > 2*maxTimelineSamples {
+		timelineCap = 2 * maxTimelineSamples
+	}
+	s.timeline = make([]QueueSample, 0, timelineCap)
+}
+
+// reset clears one partition's scheduling state while keeping every slice's
+// capacity for the next run.
+func (ps *partState) reset() {
+	ps.q.buf = ps.q.buf[:0]
+	ps.q.stamps = ps.q.stamps[:0]
+	ps.q.procs = ps.q.procs[:0]
+	ps.q.head = 0
+	ps.avail.reset()
+	ps.planned = ps.planned[:0]
+	ps.sorted = false
+	ps.sortTime = 0
+	ps.sortFair = 0
+	ps.profValid = false
+	ps.failScan = failScan{}
+	ps.shadowValid = false
+	ps.shadowSeedOK = false
+	ps.shadowNow = 0
+	ps.fitBound = maxFitBound
+}

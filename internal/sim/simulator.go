@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
-	"time"
 
 	"crosssched/internal/cluster"
 	"crosssched/internal/obs"
@@ -100,26 +100,39 @@ type QueueSample struct {
 // maxTimelineSamples caps the timeline size for very long simulations.
 const maxTimelineSamples = 4096
 
-// pending is a job sitting in the waiting queue.
+// maxFitBound is partState.fitBound before any queued job is counted.
+const maxFitBound = math.MaxInt
+
+// pending is a job sitting in the waiting queue. Field order is deliberate:
+// the backfill scan reads (procs, reqTime, scanStamp) for every queued job
+// on every pass and the queue sort reads (score, submit, idx), so each
+// group sits contiguously at the front of the record to minimize cache
+// lines touched per entry.
 type pending struct {
-	idx      int // index into the jobs slice
-	user     int
-	submit   float64
-	procs    int
-	part     int     // partition the job is confined to
-	reqTime  float64 // planning estimate (walltime, or runtime fallback)
-	run      float64 // effective runtime once started
-	promised float64 // first promised start time; <0 when never reserved
-	score    float64 // cached policy score (dynamic policies; see sortQueue)
+	procs   int
+	reqTime float64 // planning estimate (walltime, or runtime fallback)
+	// scanStamp marks the backfill-scan generation that rejected this job;
+	// scans of the same generation skip it (see backfillPass).
+	scanStamp uint64
+	score     float64 // cached policy score (dynamic policies; see sortQueue)
+	submit    float64
+	idx       int // index into the jobs slice
+	user      int
+	part      int     // partition the job is confined to
+	run       float64 // effective runtime once started
+	promised  float64 // first promised start time; <0 when never reserved
 }
 
-// running is a dispatched job occupying cores until end.
+// running is a dispatched job occupying cores until end. The integer fields
+// are int32 to keep the record at 32 bytes: the completion heap swaps these
+// by value on every sift, and the narrower record keeps more of the heap in
+// cache. The values fit comfortably (job index, core count, partition).
 type running struct {
-	idx   int
 	end   float64 // expected end used for planning (start + reqTime)
 	real  float64 // actual completion time (start + run)
-	procs int
-	part  int
+	idx   int32
+	procs int32
+	part  int32
 }
 
 // completionHeap is a typed binary min-heap of running jobs ordered by
@@ -135,40 +148,50 @@ func (h *completionHeap) len() int { return len(h.items) }
 // min returns the earliest completion without removing it.
 func (h *completionHeap) min() *running { return &h.items[0] }
 
+// push and pop sift with a moving hole rather than pairwise swaps: the
+// element being sifted is written once at its final slot instead of twice
+// per level. The comparison sequence — and therefore the array arrangement,
+// which is observable through completion tie order — is identical to the
+// classic swap formulation.
 func (h *completionHeap) push(r running) {
 	h.items = append(h.items, r)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].real <= h.items[i].real {
+		if h.items[parent].real <= r.real {
 			break
 		}
-		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		h.items[i] = h.items[parent]
 		i = parent
 	}
+	h.items[i] = r
 }
 
 func (h *completionHeap) pop() running {
 	top := h.items[0]
 	n := len(h.items) - 1
-	h.items[0] = h.items[n]
+	moved := h.items[n]
 	h.items = h.items[:n]
+	if n == 0 {
+		return top
+	}
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h.items[l].real < h.items[small].real {
-			small = l
-		}
-		if r < n && h.items[r].real < h.items[small].real {
-			small = r
-		}
-		if small == i {
+		if l >= n {
 			break
 		}
-		h.items[i], h.items[small] = h.items[small], h.items[i]
-		i = small
+		c := l
+		if r < n && h.items[r].real < h.items[l].real {
+			c = r
+		}
+		if h.items[c].real >= moved.real {
+			break
+		}
+		h.items[i] = h.items[c]
+		i = c
 	}
+	h.items[i] = moved
 	return top
 }
 
@@ -177,9 +200,21 @@ func (h *completionHeap) pop() running {
 // removal under every policy — advances an index instead of copying the
 // tail. Middle removals (backfills) shift whichever side of the removal
 // point is shorter, and the dead prefix is compacted amortized-O(1) on push.
+//
+// stamps and procs mirror each entry's scanStamp and procs fields in queue
+// order. The backfill scan visits every queued job on every pass, and with
+// only the pointer slice each visit is a dependent cache miss into the
+// pending arena; the mirrors turn the common skip decisions (already
+// stamped, too big for the free cores) into sequential array reads, leaving
+// a pointer dereference only for jobs that might actually be admitted. The
+// pending fields stay authoritative: queue mutations copy the mirror
+// entries alongside the pointers, stamping writes both, and the dynamic-
+// policy sort refills the mirrors after reordering.
 type jobQueue struct {
-	buf  []*pending
-	head int
+	buf    []*pending
+	stamps []uint64
+	procs  []int32
+	head   int
 }
 
 func (q *jobQueue) len() int { return len(q.buf) - q.head }
@@ -189,19 +224,33 @@ func (q *jobQueue) at(i int) *pending { return q.buf[q.head+i] }
 // live returns the active queue region, in queue order.
 func (q *jobQueue) live() []*pending { return q.buf[q.head:] }
 
+// liveMirrors returns the scan mirrors for the live region, parallel to
+// live().
+func (q *jobQueue) liveMirrors() (stamps []uint64, procs []int32) {
+	return q.stamps[q.head:], q.procs[q.head:]
+}
+
 func (q *jobQueue) push(j *pending) {
 	if q.head == len(q.buf) {
 		// drained: recycle the whole buffer
 		q.buf = q.buf[:0]
+		q.stamps = q.stamps[:0]
+		q.procs = q.procs[:0]
 		q.head = 0
 	} else if q.head > 64 && q.head*2 > len(q.buf) {
 		// compact the dead prefix (amortized against the head advances
 		// that created it)
 		n := copy(q.buf, q.buf[q.head:])
+		copy(q.stamps, q.stamps[q.head:])
+		copy(q.procs, q.procs[q.head:])
 		q.buf = q.buf[:n]
+		q.stamps = q.stamps[:n]
+		q.procs = q.procs[:n]
 		q.head = 0
 	}
 	q.buf = append(q.buf, j)
+	q.stamps = append(q.stamps, j.scanStamp)
+	q.procs = append(q.procs, int32(j.procs))
 }
 
 // insert places j at live position pos, shifting the cheaper side.
@@ -209,13 +258,23 @@ func (q *jobQueue) insert(pos int, j *pending) {
 	abs := q.head + pos
 	if q.head > 0 && pos < q.len()-pos {
 		copy(q.buf[q.head-1:abs-1], q.buf[q.head:abs])
+		copy(q.stamps[q.head-1:abs-1], q.stamps[q.head:abs])
+		copy(q.procs[q.head-1:abs-1], q.procs[q.head:abs])
 		q.head--
 		q.buf[abs-1] = j
+		q.stamps[abs-1] = j.scanStamp
+		q.procs[abs-1] = int32(j.procs)
 		return
 	}
 	q.buf = append(q.buf, nil)
+	q.stamps = append(q.stamps, 0)
+	q.procs = append(q.procs, 0)
 	copy(q.buf[abs+1:], q.buf[abs:])
+	copy(q.stamps[abs+1:], q.stamps[abs:])
+	copy(q.procs[abs+1:], q.procs[abs:])
 	q.buf[abs] = j
+	q.stamps[abs] = j.scanStamp
+	q.procs[abs] = int32(j.procs)
 }
 
 // remove deletes the live position pos, shifting the cheaper side.
@@ -223,11 +282,17 @@ func (q *jobQueue) remove(pos int) {
 	abs := q.head + pos
 	if pos < q.len()-pos-1 {
 		copy(q.buf[q.head+1:abs+1], q.buf[q.head:abs])
+		copy(q.stamps[q.head+1:abs+1], q.stamps[q.head:abs])
+		copy(q.procs[q.head+1:abs+1], q.procs[q.head:abs])
 		q.head++
 		return
 	}
 	copy(q.buf[abs:], q.buf[abs+1:])
+	copy(q.stamps[abs:], q.stamps[abs+1:])
+	copy(q.procs[abs:], q.procs[abs+1:])
 	q.buf = q.buf[:len(q.buf)-1]
+	q.stamps = q.stamps[:len(q.stamps)-1]
+	q.procs = q.procs[:len(q.procs)-1]
 }
 
 // partState is the per-partition scheduling state.
@@ -243,6 +308,52 @@ type partState struct {
 	sorted   bool
 	sortTime float64
 	sortFair int
+	// Profile cache: the scratch profile stays valid until the end multiset
+	// changes (profVer tracks the AvailSet version), the free count changes,
+	// or time reaches the first planned end past the cached build
+	// (profNextEnd) — see buildProfile.
+	profValid   bool
+	profVer     uint64
+	profFree    int
+	profNextEnd float64
+	// failScan memoizes rejected backfill candidates; see backfillPass.
+	failScan failScan
+	scanGen  uint64 // monotone backfill-scan generation counter
+	// fitBound is a lower bound on the core request of every queued job:
+	// arrivals lower it and failing backfill scans recompute it exactly
+	// (removals can only raise the true minimum, keeping the bound valid).
+	// When free < fitBound no queued job can be dispatched, which lets
+	// schedule skip the entire planning pass — see the fast reject there.
+	fitBound int
+	// Shadow cache: the blocked head's planned (start, minFree), reusable
+	// while the cached profile holds and the head is unchanged — see
+	// schedule. Cleared whenever the profile is rebuilt or mutated.
+	shadowValid   bool
+	shadowIdx     int
+	shadowStart   float64
+	shadowMinFree int
+	// shadowSeedOK marks the cached shadow as a valid search seed even
+	// after the profile changed: as long as only dispatches (avail.Add)
+	// happened since it was computed, the profile has only lost capacity
+	// pointwise, so the head's earliest start cannot move before the old
+	// shadow and the search may resume there. Cleared on every completion
+	// (capacity returning can move the shadow earlier). shadowNow guards
+	// against reusing a seed across clock advances.
+	shadowSeedOK bool
+	shadowNow    float64
+}
+
+// failScan tracks the live backfill-scan memo generation: queued jobs
+// stamped with the generation were examined and rejected under conditions
+// no looser than the recorded (free, extra, deadline), and each
+// admissibility condition is monotone, so scans under conditions at least
+// as tight can skip them. See backfillPass.
+type failScan struct {
+	valid    bool
+	stamp    uint64  // generation whose stamped jobs are provably inadmissible
+	free     int     // free cores recorded by the generation's latest scan
+	extra    int     // spare cores beside the head's reservation, likewise
+	deadline float64 // latest admissible completion for non-extra backfills
 }
 
 // plannedStart is one conservative-backfilling reservation decision.
@@ -299,7 +410,9 @@ func (s *simulator) sampleQueue(t float64) {
 
 // Run simulates scheduling of tr under opt and returns the metrics.
 // The input trace is not modified. Run is safe to call concurrently
-// (including on the same trace): all mutable state is per-call.
+// (including on the same trace): each call checks a warm Runner out of a
+// shared pool, so all mutable state is per-call and repeated runs reuse the
+// simulator's working set instead of reallocating it.
 func Run(tr *trace.Trace, opt Options) (*Result, error) {
 	return RunContext(context.Background(), tr, opt)
 }
@@ -310,85 +423,9 @@ func Run(tr *trace.Trace, opt Options) (*Result, error) {
 // run still fills opt.Metrics with the progress made. Background-like
 // contexts (Done() == nil) cost nothing in the loop.
 func RunContext(ctx context.Context, tr *trace.Trace, opt Options) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if opt.BsldTau <= 0 {
-		opt.BsldTau = 10
-	}
-	if opt.RelaxFactor == 0 && (opt.Backfill == Relaxed || opt.Backfill == AdaptiveRelaxed) {
-		opt.RelaxFactor = 0.10
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-
-	nParts := tr.System.VirtualClusters
-	if nParts < 1 {
-		nParts = 1
-	}
-	var cl *cluster.Cluster
-	if nParts > 1 {
-		cl = cluster.NewPartitioned(cluster.EvenPartitions(tr.System.TotalCores, nParts))
-	} else {
-		cl = cluster.New(tr.System.TotalCores)
-	}
-
-	s := &simulator{
-		opt:      opt,
-		jobs:     append([]trace.Job(nil), tr.Jobs...),
-		cl:       cl,
-		parts:    make([]partState, nParts),
-		pendings: make([]pending, len(tr.Jobs)),
-		touched:  make([]bool, nParts),
-		waits:    make([]float64, len(tr.Jobs)),
-		promised: make([]float64, len(tr.Jobs)),
-		ctx:      ctx,
-		done:     ctx.Done(),
-		obsv:     opt.Observer,
-	}
-	for i := range s.promised {
-		s.promised[i] = -1
-	}
-	// One sample lands per event loop iteration, of which there are at most
-	// two per job (arrival, completion); thinning caps the slice length at
-	// 2*maxTimelineSamples. Reserving the smaller of the two up front keeps
-	// the append loop from re-growing the backing array.
-	timelineCap := 2 * len(tr.Jobs)
-	if timelineCap > 2*maxTimelineSamples {
-		timelineCap = 2 * maxTimelineSamples
-	}
-	s.timeline = make([]QueueSample, 0, timelineCap)
-	if opt.Policy == Fair {
-		s.fair = NewFairshareState(opt.FairshareHalfLife)
-	}
-
-	// Validate partition fit up front so we fail fast, not mid-run.
-	for i := range s.jobs {
-		p := s.partition(&s.jobs[i])
-		if s.jobs[i].Procs > cl.Capacity(p) {
-			return nil, fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
-				s.jobs[i].ID, s.jobs[i].Procs, p, cl.Capacity(p))
-		}
-	}
-
-	var began time.Time
-	if opt.Metrics != nil {
-		began = time.Now()
-	}
-	runErr := s.run()
-	if opt.Metrics != nil {
-		s.met.JobsStarted = int64(s.started)
-		s.met.Backfilled = int64(s.backfilled)
-		s.met.Violations = int64(s.violations)
-		s.met.WallSeconds = time.Since(began).Seconds()
-		s.met.Canceled = runErr != nil && ctx.Err() != nil
-		*opt.Metrics = s.met
-	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	return s.result(tr)
+	r := runnerPool.Get().(*Runner)
+	defer runnerPool.Put(r)
+	return r.RunContext(ctx, tr, opt)
 }
 
 // partition maps a job to its cluster partition index.
@@ -430,19 +467,23 @@ func (s *simulator) run() error {
 		// completions at t release resources first
 		for s.compl.len() > 0 && s.compl.min().real <= t {
 			r := s.compl.pop()
-			if err := s.cl.Release(t, r.part, r.procs); err != nil {
+			part, procs := int(r.part), int(r.procs)
+			if err := s.cl.Release(t, part, procs); err != nil {
 				return err
 			}
-			s.parts[r.part].avail.Remove(r.end, r.procs)
+			s.parts[part].avail.Remove(r.end, procs)
+			// Returning capacity can move the blocked head's shadow
+			// earlier, so the cached shadow is no longer a search seed.
+			s.parts[part].shadowSeedOK = false
 			if r.real > s.makespan {
 				s.makespan = r.real
 			}
-			touched[r.part] = true
+			touched[part] = true
 			s.met.Completions++
 			if s.obsv != nil {
 				s.obsv.Observe(obs.Event{
 					Kind: obs.JobComplete, Time: r.real, Job: s.jobs[r.idx].ID,
-					Part: r.part, Procs: r.procs, Detail: r.end,
+					Part: part, Procs: procs, Detail: r.end,
 				})
 			}
 		}
@@ -473,6 +514,9 @@ func (s *simulator) run() error {
 			} else {
 				s.parts[p].q.push(pj)
 				s.parts[p].sorted = false
+			}
+			if pj.procs < s.parts[p].fitBound {
+				s.parts[p].fitBound = pj.procs
 			}
 			s.queued++
 			touched[p] = true
@@ -538,11 +582,19 @@ func (s *simulator) less(a, b *pending, now float64) bool {
 }
 
 // insertSorted places a pending job at its ordered position (static
-// policies only — the position never changes afterwards).
+// policies only — the position never changes afterwards). Arrivals come in
+// submit order, so under FCFS-like orderings the new job belongs at the
+// tail; checking the last entry first makes the common case one comparison,
+// and when it fails the binary search proceeds over the rest.
 func (s *simulator) insertSorted(p int, j *pending) {
 	q := &s.parts[p].q
 	live := q.live()
-	lo := sort.Search(len(live), func(i int) bool { return s.less(j, live[i], s.now) })
+	n := len(live)
+	if n == 0 || !s.less(j, live[n-1], s.now) {
+		q.push(j)
+		return
+	}
+	lo := sort.Search(n-1, func(i int) bool { return s.less(j, live[i], s.now) })
 	q.insert(lo, j)
 }
 
@@ -579,17 +631,30 @@ func (s *simulator) sortQueue(p int) {
 		}
 	}
 	// The comparator is a total order (score, submit, idx), so the sorted
-	// permutation is unique and stability is irrelevant.
-	sort.Slice(live, func(a, b int) bool {
-		ja, jb := live[a], live[b]
-		if ja.score != jb.score {
-			return ja.score < jb.score
+	// permutation is unique and neither stability nor the sort algorithm can
+	// change the result; slices.SortFunc sorts without the per-call closure
+	// allocations of sort.Slice.
+	slices.SortFunc(live, func(ja, jb *pending) int {
+		switch {
+		case ja.score < jb.score:
+			return -1
+		case ja.score > jb.score:
+			return 1
+		case ja.submit < jb.submit:
+			return -1
+		case ja.submit > jb.submit:
+			return 1
+		default:
+			return ja.idx - jb.idx
 		}
-		if ja.submit != jb.submit {
-			return ja.submit < jb.submit
-		}
-		return ja.idx < jb.idx
 	})
+	// The sort permuted the pointer slice; refill the scan mirrors from the
+	// authoritative pending fields so they stay parallel.
+	stamps, procsArr := ps.q.liveMirrors()
+	for i, j := range live {
+		stamps[i] = j.scanStamp
+		procsArr[i] = int32(j.procs)
+	}
 	ps.sorted = true
 	ps.sortTime = now
 	ps.sortFair = s.fairVer
@@ -635,7 +700,7 @@ func (s *simulator) start(p, pos int) {
 	}
 	end := s.now + j.reqTime
 	real := s.now + j.run
-	s.compl.push(running{idx: j.idx, end: end, real: real, procs: j.procs, part: p})
+	s.compl.push(running{idx: int32(j.idx), end: end, real: real, procs: int32(j.procs), part: int32(p)})
 	ps.avail.Add(end, j.procs)
 	ps.q.remove(pos)
 	s.queued--
@@ -663,9 +728,49 @@ func (s *simulator) schedule(p int) error {
 			// No reservations are made, so no promises to violate.
 			return nil
 		}
-		// Head is blocked: plan its reservation.
+		// Fast reject: when even the smallest queued request exceeds the
+		// free cores, no dispatch of any kind is possible, and with the
+		// head's promise already recorded a planning pass has no other
+		// observable effect (conservative plans are scratch state, and
+		// backfill verdicts only matter on admission) — skip it outright.
+		if head.promised >= 0 && s.cl.Free(p) < ps.fitBound {
+			return nil
+		}
+		// Head is blocked: plan its reservation. The answer is cached
+		// alongside the profile cache: when the profile hasn't changed and
+		// the head's earliest-start scan provably fails at the base segment
+		// (free[0] < procs, with a later breakpoint to resume from), the
+		// scan's result is independent of the query time — the search
+		// immediately resumes at the first breakpoint — so as long as the
+		// same head is blocked on the same build, (shadow, minFree) are
+		// unchanged. Without a resume breakpoint, or when the base segment
+		// admits the head on paper (cores freed by jobs running past their
+		// planned end), the result tracks the clock and is not cached.
 		prof := s.buildProfile(p)
-		shadow, minFree := prof.earliestStart(s.now, head.procs, head.reqTime)
+		var shadow float64
+		var minFree int
+		if ps.shadowValid && ps.shadowIdx == head.idx {
+			shadow, minFree = ps.shadowStart, ps.shadowMinFree
+		} else {
+			// Seed the search at the previous shadow when it is still a
+			// proven lower bound (same head, same clock, only dispatches
+			// since): earliestStart returns the first feasible time >= its
+			// from argument, and none can exist before the seed, so the
+			// result is identical to a scan from now — the infeasible
+			// prefix is just skipped.
+			from := s.now
+			if ps.shadowSeedOK && ps.shadowIdx == head.idx &&
+				ps.shadowNow == s.now && ps.shadowStart > from {
+				from = ps.shadowStart
+			}
+			shadow, minFree = prof.earliestStart(from, head.procs, head.reqTime)
+			ps.shadowValid = len(prof.times) >= 2 && prof.free[0] < head.procs
+			ps.shadowIdx = head.idx
+			ps.shadowStart = shadow
+			ps.shadowMinFree = minFree
+			ps.shadowSeedOK = true
+			ps.shadowNow = s.now
+		}
 		if head.promised < 0 {
 			head.promised = shadow
 			s.promised[head.idx] = shadow
@@ -678,6 +783,9 @@ func (s *simulator) schedule(p int) error {
 		}
 		if s.opt.Backfill == Conservative {
 			s.conservativePass(p, prof, shadow)
+			// conservativePass reserved into the scratch profile in place.
+			ps.profValid = false
+			ps.shadowValid = false
 			return nil
 		}
 		extra := minFree - head.procs
@@ -714,39 +822,65 @@ func (s *simulator) schedule(p int) error {
 // allowance computes how far the head's promised start may slip for the
 // configured backfill kind, relative to its first promise.
 func (s *simulator) allowance(p int, head *pending) float64 {
-	expectedWait := head.promised - head.submit
-	if expectedWait < 0 {
-		expectedWait = 0
-	}
+	// The adaptive arm lives in its own function to keep this one under the
+	// inlining budget; it is called on every blocked scheduling pass.
 	switch s.opt.Backfill {
 	case Relaxed:
+		expectedWait := head.promised - head.submit
+		if expectedWait < 0 {
+			expectedWait = 0
+		}
 		return s.opt.RelaxFactor * expectedWait
 	case AdaptiveRelaxed:
-		maxQ := s.opt.MaxQueueLen
-		if maxQ <= 0 {
-			maxQ = s.maxQueueSeen
-		}
-		if maxQ <= 0 {
-			maxQ = 1
-		}
-		frac := float64(s.parts[p].q.len()) / float64(maxQ)
-		if frac > 1 {
-			frac = 1
-		}
-		return s.opt.RelaxFactor * frac * expectedWait
+		return s.adaptiveAllowance(p, head)
 	default: // EASY
 		return 0
 	}
 }
 
+// adaptiveAllowance scales the relaxation budget by current queue pressure.
+func (s *simulator) adaptiveAllowance(p int, head *pending) float64 {
+	expectedWait := head.promised - head.submit
+	if expectedWait < 0 {
+		expectedWait = 0
+	}
+	maxQ := s.opt.MaxQueueLen
+	if maxQ <= 0 {
+		maxQ = s.maxQueueSeen
+	}
+	if maxQ <= 0 {
+		maxQ = 1
+	}
+	frac := float64(s.parts[p].q.len()) / float64(maxQ)
+	if frac > 1 {
+		frac = 1
+	}
+	return s.opt.RelaxFactor * frac * expectedWait
+}
+
 // buildProfile materializes partition p's availability profile at now into
 // the partition's scratch profile. The planned ends are maintained
-// incrementally by start/release (AvailSet), so this is a linear fold with
-// no sorting and, in the steady state, no allocation — the per-pass runset
-// collection, sort.Ints, and newProfile rebuild this used to do are gone.
+// incrementally by start/release (AvailSet), so a rebuild is a linear fold
+// with no sorting and, in the steady state, no allocation — and rebuilds
+// are themselves cached: the fold's output depends only on the end multiset
+// (tracked by the AvailSet version), the free count, and which ends time
+// has passed. Between builds, advancing the clock without crossing
+// profNextEnd (the first planned end past the cached build) only moves the
+// profile's base breakpoint, which planning queries never distinguish
+// because they always start at the current time — so bursts of arrivals
+// between completions reuse one build. conservativePass mutates the scratch
+// profile in place; its caller invalidates the cache explicitly.
 func (s *simulator) buildProfile(p int) *profile {
 	ps := &s.parts[p]
-	ps.avail.buildInto(&ps.prof, s.now, s.cl.Free(p))
+	free := s.cl.Free(p)
+	if ps.profValid && ps.profVer == ps.avail.ver && ps.profFree == free && s.now < ps.profNextEnd {
+		return &ps.prof
+	}
+	ps.profNextEnd = ps.avail.buildInto(&ps.prof, s.now, free)
+	ps.profValid = true
+	ps.profVer = ps.avail.ver
+	ps.profFree = free
+	ps.shadowValid = false // planning answers from the old build are stale
 	return &ps.prof
 }
 
@@ -757,19 +891,71 @@ func (s *simulator) buildProfile(p int) *profile {
 // window to be admitted (it neither fit the extra cores nor finished by
 // base, the zero-allowance deadline, so only the relaxed deadline let it
 // in — always false for EASY, where deadline == base).
+// Rejections are memoized per job. A rejected candidate either had
+// procs > free, or procs > extra and now+reqTime > deadline+1e-9; both
+// conditions are monotone — free/extra/deadline tightening keeps them true,
+// simulation time only advances, and float addition is monotone in rounding
+// (now' >= now implies now'+reqTime >= now+reqTime) — so the rejection
+// stays proven for as long as the conditions never loosen. The memo tracks
+// that as a generation: each rejected job is stamped with the current
+// generation, whose recorded (free, extra, deadline) ratchet tighter with
+// every scan; a scan under looser conditions (more cores freed, a wider
+// AdaptiveRelaxed allowance, a new head's deadline) opens a fresh
+// generation, orphaning every stamp. Stamping is per job rather than a
+// scanned-prefix summary because queue order follows the policy, not
+// arrival order: an admitting scan examines only a prefix of positions, and
+// nothing relates those positions to the jobs a later scan visits.
+// Skipping provably inadmissible candidates cannot change which queue
+// position holds the first admissible job, so the dispatch — and the
+// relaxed verdict, computed fresh on admission — is identical to the full
+// scan's. The payoff is congested queues: scans revisit each parked job
+// once per generation instead of once per pass.
 func (s *simulator) backfillPass(p int, deadline, base float64, extra int) (started, relaxed bool) {
-	q := &s.parts[p].q
-	for pos := 1; pos < q.len(); pos++ {
-		c := q.at(pos)
-		if !s.cl.CanAllocate(p, c.procs) {
+	ps := &s.parts[p]
+	free := s.cl.Free(p)
+	fs := &ps.failScan
+	if !(fs.valid && free <= fs.free && extra <= fs.extra && deadline <= fs.deadline) {
+		ps.scanGen++
+		fs.valid = true
+		fs.stamp = ps.scanGen
+	}
+	fs.free, fs.extra, fs.deadline = free, extra, deadline
+	stamp := fs.stamp
+	live := ps.q.live()
+	// The scan runs off the queue's sequential mirrors; a pending is only
+	// dereferenced once a job passes the stamp and size screens and its
+	// runtime must be checked. Loop invariants are hoisted by hand (the
+	// stamp stores below could alias the simulator for all the compiler
+	// knows, so s.now would be reloaded every iteration otherwise); the
+	// epsilon sums are per-scan constants, each job's comparison unchanged.
+	stamps, procsArr := ps.q.liveMirrors()
+	now := s.now
+	dl := deadline + 1e-9
+	minProcs := int(procsArr[0]) // queue reorders can rotate the head into the body
+	for pos := 1; pos < len(live); pos++ {
+		pr := int(procsArr[pos])
+		if pr < minProcs {
+			minProcs = pr
+		}
+		if stamps[pos] == stamp {
 			continue
 		}
-		if s.now+c.reqTime <= deadline+1e-9 || c.procs <= extra {
-			relaxed = c.procs > extra && s.now+c.reqTime > base+1e-9
+		if pr > free {
+			stamps[pos] = stamp
+			live[pos].scanStamp = stamp
+			continue
+		}
+		c := live[pos]
+		if now+c.reqTime <= dl || pr <= extra {
+			relaxed = pr > extra && now+c.reqTime > base+1e-9
 			s.start(p, pos)
 			return true, relaxed
 		}
+		stamps[pos] = stamp
+		c.scanStamp = stamp
 	}
+	// The scan visited every queued job, so the bound is exact again.
+	ps.fitBound = minProcs
 	return false, false
 }
 
@@ -815,10 +1001,29 @@ func (s *simulator) result(tr *trace.Trace) (*Result, error) {
 		PromisedStart:  s.promised,
 	}
 	var sumWait, sumBsld float64
+	tau := s.opt.BsldTau
 	for i := range res.Jobs {
-		res.Jobs[i].Wait = s.waits[i]
-		sumWait += s.waits[i]
-		sumBsld += res.Jobs[i].BoundedSlowdown(s.opt.BsldTau)
+		w := s.waits[i]
+		res.Jobs[i].Wait = w
+		sumWait += w
+		// Job.BoundedSlowdown inlined (identical branches and float ops, so
+		// the sum is bit-identical); the method's by-value receiver would
+		// copy the whole Job record per call on this hot summary loop.
+		// Every job has started here, so wait >= 0 and turnaround = wait+run.
+		run := res.Jobs[i].Run
+		r := run
+		if r < tau {
+			r = tau
+		}
+		if r <= 0 {
+			sumBsld++
+			continue
+		}
+		bsld := (w + run) / r
+		if bsld < 1 {
+			bsld = 1
+		}
+		sumBsld += bsld
 	}
 	n := float64(len(res.Jobs))
 	if n > 0 {
