@@ -11,13 +11,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"crosssched/internal/figures"
 )
@@ -107,15 +114,66 @@ func newMux(suite *figures.Suite) *http.ServeMux {
 	return mux
 }
 
+// newServer wraps the mux in an http.Server with sane limits: slow-client
+// reads and idle keep-alives are bounded, while the write timeout stays
+// generous because a cold figure render runs real simulations.
+func newServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serve runs srv on ln until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately (no new connections) and in-flight
+// requests get up to drain to finish before connections are forced closed.
+// A clean shutdown — including one with requests abandoned at the deadline
+// — returns nil; only listener/serve failures are errors.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Drain deadline hit: force the stragglers closed and exit anyway.
+		srv.Close()
+		err = nil
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		days    = flag.Float64("days", 10, "synthetic trace duration in days")
 		simDays = flag.Float64("simdays", 8, "duration for simulator-driven figures")
 		seed    = flag.Uint64("seed", 1, "generator seed")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 	suite := figures.NewSuite(figures.Config{Days: *days, SimDays: *simDays, Seed: *seed})
-	fmt.Printf("lumosweb: serving on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(suite)))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("lumosweb: ", err)
+	}
+	fmt.Printf("lumosweb: serving on %s\n", ln.Addr())
+	if err := serve(ctx, newServer(newMux(suite)), ln, *drain); err != nil {
+		log.Fatal("lumosweb: ", err)
+	}
+	fmt.Println("lumosweb: shut down cleanly")
 }

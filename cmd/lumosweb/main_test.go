@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"crosssched/internal/figures"
 )
@@ -79,5 +82,44 @@ func TestUnknownPath404(t *testing.T) {
 	code, _ := get(t, srv.URL+"/bogus")
 	if code != http.StatusNotFound {
 		t.Fatalf("status %d want 404", code)
+	}
+}
+
+// TestGracefulShutdown: canceling the serve context must close the listener
+// and return nil once in-flight requests drain.
+func TestGracefulShutdown(t *testing.T) {
+	suite := figures.NewSuite(figures.Config{Days: 1, SimDays: 1, Seed: 3})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, newServer(newMux(suite)), ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String() + "/"
+	if code, _ := get(t, url); code != http.StatusOK {
+		t.Fatalf("status %d before shutdown", code)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServerTimeoutsConfigured pins the satellite requirement: the server
+// must carry read/write/idle limits rather than the zero (unbounded) values.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	srv := newServer(http.NotFoundHandler())
+	if srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 || srv.ReadHeaderTimeout <= 0 {
+		t.Fatalf("unbounded server timeouts: %+v", srv)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"crosssched/internal/check"
 	"crosssched/internal/experiments"
+	"crosssched/internal/fault"
 	"crosssched/internal/figures"
 	"crosssched/internal/obs"
 	"crosssched/internal/par"
@@ -46,6 +47,12 @@ type runConfig struct {
 	estimates bool
 	learned   bool
 	audit     bool
+	degraded  bool
+
+	faults       string  // fault-scenario spec (fault.ParseSpec format)
+	faultSeed    uint64  // overrides the spec's seed when nonzero
+	retryCap     int     // overrides the spec's retry cap when >= 0
+	ckptInterval float64 // overrides the spec's checkpoint interval when > 0
 
 	out   string
 	bench int
@@ -72,6 +79,11 @@ func main() {
 	flag.BoolVar(&cfg.estimates, "estimates", false, "compare walltime-estimate sources for EASY backfilling")
 	flag.BoolVar(&cfg.learned, "learned", false, "train a learned linear policy (ES) and compare against the baselines")
 	flag.BoolVar(&cfg.audit, "audit", false, "verify the schedule against the invariant auditor, the decision-stream auditor, and (on small traces) the reference oracle")
+	flag.BoolVar(&cfg.degraded, "degraded", false, "run the degraded-capacity sweep (wait/bsld/util vs outage fraction per policy)")
+	flag.StringVar(&cfg.faults, "faults", "", "fault-injection scenario, e.g. 'mtbf=172800,mttr=7200,frac=0.25,recovery=requeue,retry=2' or 'down=0:3600:7200:512' (off = none)")
+	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault draws (0 = use the -faults spec's seed)")
+	flag.IntVar(&cfg.retryCap, "retry-cap", -1, "max requeues per interrupted job (-1 = use the -faults spec's cap)")
+	flag.Float64Var(&cfg.ckptInterval, "checkpoint-interval", 0, "checkpoint interval in seconds for recovery=checkpoint (0 = use the -faults spec's interval)")
 	flag.StringVar(&cfg.out, "o", "", "write the re-scheduled trace (with simulated waits) as SWF to this file")
 	flag.IntVar(&cfg.bench, "bench", 0, "repeat the simulation N times and report per-run timing (hot-path diagnosis without a Go test)")
 	flag.StringVar(&cfg.eventsOut, "events-out", "", "write the decision-event stream as JSONL to this file")
@@ -129,9 +141,26 @@ func run(cfg runConfig) error {
 		// this cap from the context — one flag covers them all.
 		ctx = par.WithLimit(ctx, cfg.parallel)
 	}
+	fcfg, err := cfg.faultConfig()
+	if err != nil {
+		return err
+	}
 	tr, err := loadTrace(cfg.system, cfg.input, cfg.days, cfg.seed)
 	if err != nil {
 		return err
+	}
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	if fcfg != nil {
+		// Re-validate with the cluster shape known, so a bad partition in a
+		// down=PART:... entry fails here with an actionable message instead
+		// of deep inside the simulator.
+		if err := fcfg.Validate(nParts); err != nil {
+			return fmt.Errorf("%w (the %s system has %d partition(s); down=PART:... needs PART in [0, %d))",
+				err, tr.System.Name, nParts, nParts)
+		}
 	}
 	switch {
 	case cfg.learned:
@@ -165,6 +194,28 @@ func run(cfg runConfig) error {
 		}
 		fmt.Print(res.Render())
 		return nil
+	case cfg.degraded:
+		bf, err := sim.ParseBackfill(cfg.backfill)
+		if err != nil {
+			return err
+		}
+		dopt := experiments.DegradedOptions{
+			Backfill: bf, RelaxFactor: cfg.relax,
+			Recovery: fault.RecoveryRequeue, RetryCap: 2,
+		}
+		if fcfg != nil {
+			// The sweep scripts its own outages; -faults contributes the
+			// recovery semantics applied to interrupted jobs.
+			dopt.Recovery = fcfg.Recovery
+			dopt.RetryCap = fcfg.RetryCap
+			dopt.CheckpointInterval = fcfg.CheckpointInterval
+		}
+		pts, err := experiments.DegradedSweep(ctx, tr, nil, nil, dopt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderDegraded(tr.System.Name, dopt.Recovery, pts))
+		return nil
 	}
 
 	pol, err := sim.ParsePolicy(cfg.policy)
@@ -175,7 +226,7 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: cfg.relax}
+	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: cfg.relax, Faults: fcfg}
 	if cfg.bench > 0 {
 		// Benchmark repeats run bare: no observers, so the timing reflects
 		// the hot path the user is diagnosing.
@@ -256,7 +307,40 @@ func run(cfg runConfig) error {
 	fmt.Printf("  backfilled jobs %d\n", res.Backfilled)
 	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
 	fmt.Printf("  makespan        %.0f s\n", res.Makespan)
+	if fcfg.Enabled() {
+		fmt.Printf("  interrupted     %d attempts (%d requeues, %d jobs lost)\n",
+			res.Interrupted, res.Requeued, res.FaultFailed)
+		fmt.Printf("  goodput         %.1f core-h (wasted %.1f core-h)\n",
+			res.GoodputCoreSeconds/3600, res.WastedCoreSeconds/3600)
+	}
 	return nil
+}
+
+// faultConfig assembles the fault-injection scenario from the CLI flags:
+// the -faults spec parsed first, then the dedicated -fault-seed/-retry-cap/
+// -checkpoint-interval overrides applied on top. Returns nil when the
+// resulting scenario injects nothing (the simulator's zero-fault path).
+func (cfg *runConfig) faultConfig() (*fault.Config, error) {
+	fc, err := fault.ParseSpec(cfg.faults)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.faultSeed != 0 {
+		fc.Seed = cfg.faultSeed
+	}
+	if cfg.retryCap >= 0 {
+		fc.RetryCap = cfg.retryCap
+	}
+	if cfg.ckptInterval > 0 {
+		fc.CheckpointInterval = cfg.ckptInterval
+	}
+	if err := fc.Validate(0); err != nil {
+		return nil, err
+	}
+	if !fc.Enabled() {
+		return nil, nil
+	}
+	return fc, nil
 }
 
 // runBench repeats the simulation n times and prints per-run wall time plus
@@ -291,11 +375,18 @@ const oracleJobLimit = 2000
 // decision-stream auditor always, plus the differential oracle comparison
 // when the trace is small enough for O(n²).
 func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result, events []obs.Event) error {
-	rep := check.Audit(tr, opt, res)
-	if err := rep.Err(); err != nil {
-		return fmt.Errorf("audit: %w", err)
+	if opt.Faults.Enabled() {
+		// The schedule auditor reconstructs one uninterrupted start per job,
+		// which no longer describes a fault run; the stream auditor carries
+		// the conservation invariants instead (see check.Audit's doc).
+		fmt.Println("audit: fault injection active; skipping the fault-free schedule auditor")
+	} else {
+		rep := check.Audit(tr, opt, res)
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+		fmt.Printf("audit: OK (%d jobs, %d events checked)\n", rep.JobsChecked, rep.EventsChecked)
 	}
-	fmt.Printf("audit: OK (%d jobs, %d events checked)\n", rep.JobsChecked, rep.EventsChecked)
 	srep := check.AuditStream(tr, opt, events, res)
 	if err := srep.Err(); err != nil {
 		return fmt.Errorf("stream audit: %w", err)
@@ -305,6 +396,12 @@ func runAudit(tr *trace.Trace, opt sim.Options, res *sim.Result, events []obs.Ev
 		fmt.Printf("audit: trace has %d jobs, skipping O(n²) oracle comparison (limit %d)\n",
 			tr.Len(), oracleJobLimit)
 		return nil
+	}
+	if opt.Faults.Enabled() {
+		// Verify re-runs the simulator; detach the CLI's observer stack so
+		// the verification pass does not double-write -events-out streams.
+		opt.Observer = nil
+		opt.Metrics = nil
 	}
 	if err := check.Verify(tr, opt); err != nil {
 		return fmt.Errorf("differential check: %w", err)

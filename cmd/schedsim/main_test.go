@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -197,5 +198,81 @@ func TestRunEventsAndProgress(t *testing.T) {
 	}
 	if len(events) == 0 {
 		t.Fatal("no events written")
+	}
+}
+
+// TestRunWithFaults drives the -faults path end to end, including the
+// fault-aware -audit pipeline (stream auditor + oracle comparison).
+func TestRunWithFaults(t *testing.T) {
+	quiet(t)
+	err := run(runConfig{
+		system: "Theta", days: 0.3, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1,
+		faults:   "mtbf=20000,mttr=4000,frac=0.3,pint=0.05,recovery=requeue,retry=2",
+		retryCap: -1, audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDegradedSweep drives the -degraded mode with checkpoint recovery
+// taken from the -faults spec.
+func TestRunDegradedSweep(t *testing.T) {
+	quiet(t)
+	err := run(runConfig{
+		system: "Theta", days: 0.25, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1,
+		degraded: true, faults: "pint=0.01,recovery=checkpoint,ckpt=600",
+		retryCap: -1, parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	quiet(t)
+	base := runConfig{system: "Theta", days: 0.25, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, retryCap: -1}
+	bad := base
+	bad.faults = "bogus"
+	if err := run(bad); err == nil {
+		t.Fatal("malformed fault spec accepted")
+	}
+	bad = base
+	bad.faults = "down=7:0:3600:16" // Theta has a single partition
+	if err := run(bad); err == nil {
+		t.Fatal("out-of-range fault partition accepted")
+	} else if !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("partition error not actionable: %v", err)
+	}
+	bad = base
+	bad.faults = "pint=0.1,recovery=checkpoint" // no interval
+	if err := run(bad); err == nil {
+		t.Fatal("checkpoint recovery without an interval accepted")
+	}
+}
+
+// TestFaultConfigOverrides: the dedicated flags win over the -faults spec.
+func TestFaultConfigOverrides(t *testing.T) {
+	cfg := runConfig{
+		faults:    "pint=0.1,recovery=requeue,retry=5,seed=1",
+		faultSeed: 9, retryCap: 2, ckptInterval: 60,
+	}
+	fc, err := cfg.faultConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Seed != 9 || fc.RetryCap != 2 || fc.CheckpointInterval != 60 {
+		t.Fatalf("overrides not applied: %+v", fc)
+	}
+	cfg = runConfig{faults: "pint=0.1,retry=5,seed=1", retryCap: -1}
+	if fc, err = cfg.faultConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Seed != 1 || fc.RetryCap != 5 {
+		t.Fatalf("spec values clobbered without overrides: %+v", fc)
+	}
+	cfg = runConfig{retryCap: -1}
+	if fc, err = cfg.faultConfig(); err != nil || fc != nil {
+		t.Fatalf("empty spec should yield nil config, got %+v, %v", fc, err)
 	}
 }

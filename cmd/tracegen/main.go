@@ -25,15 +25,16 @@ func main() {
 		format = flag.String("format", "swf", "output format: swf or csv")
 		out    = flag.String("o", "", "output file (default stdout)")
 		fit    = flag.String("fit", "", "fit a profile to this SWF trace and generate from it")
+		parts  = flag.Int("partitions", 0, "override the profile's virtual-cluster/partition count (0 = profile default)")
 	)
 	flag.Parse()
-	if err := run(*system, *days, *seed, *format, *out, *fit); err != nil {
+	if err := run(*system, *days, *seed, *format, *out, *fit, *parts); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system string, days float64, seed uint64, format, out, fit string) error {
+func run(system string, days float64, seed uint64, format, out, fit string, parts int) error {
 	var p *synth.Profile
 	var err error
 	if fit != "" {
@@ -56,6 +57,13 @@ func run(system string, days float64, seed uint64, format, out, fit string) erro
 		if err != nil {
 			return err
 		}
+	}
+	if parts != 0 {
+		if parts < 1 || parts > p.Sys.TotalCores {
+			return fmt.Errorf("-partitions %d out of range: the %s system has %d cores, so the partition count must be in [1, %d]",
+				parts, p.Sys.Name, p.Sys.TotalCores, p.Sys.TotalCores)
+		}
+		p.Sys.VirtualClusters = parts
 	}
 	tr, err := p.Generate(seed)
 	if err != nil {

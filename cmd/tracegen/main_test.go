@@ -10,7 +10,7 @@ import (
 
 func TestRunGeneratesSWF(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.swf")
-	if err := run("Helios", 0.5, 1, "swf", out, ""); err != nil {
+	if err := run("Helios", 0.5, 1, "swf", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -29,7 +29,7 @@ func TestRunGeneratesSWF(t *testing.T) {
 
 func TestRunGeneratesCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.csv")
-	if err := run("Theta", 0.5, 1, "csv", out, ""); err != nil {
+	if err := run("Theta", 0.5, 1, "csv", out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -47,13 +47,19 @@ func TestRunGeneratesCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("Nope", 1, 1, "swf", "", ""); err == nil {
+	if err := run("Nope", 1, 1, "swf", "", "", 0); err == nil {
 		t.Fatal("unknown system accepted")
 	}
-	if err := run("Theta", 1, 1, "xml", filepath.Join(t.TempDir(), "x"), ""); err == nil {
+	if err := run("Theta", 1, 1, "xml", filepath.Join(t.TempDir(), "x"), "", 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run("", 1, 1, "swf", "", "/does/not/exist.swf"); err == nil {
+	if err := run("Theta", 1, 1, "swf", "", "", -3); err == nil {
+		t.Fatal("negative partition count accepted")
+	}
+	if err := run("Theta", 1, 1, "swf", "", "", 1<<30); err == nil {
+		t.Fatal("partition count beyond the core count accepted")
+	}
+	if err := run("", 1, 1, "swf", "", "/does/not/exist.swf", 0); err == nil {
 		t.Fatal("missing fit input accepted")
 	}
 }
@@ -61,11 +67,11 @@ func TestRunRejectsBadInputs(t *testing.T) {
 func TestRunFitRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "src.swf")
-	if err := run("Philly", 2, 1, "swf", src, ""); err != nil {
+	if err := run("Philly", 2, 1, "swf", src, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	dst := filepath.Join(dir, "fit.swf")
-	if err := run("", 0, 2, "swf", dst, src); err != nil {
+	if err := run("", 0, 2, "swf", dst, src, 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(dst)
@@ -79,5 +85,31 @@ func TestRunFitRoundTrip(t *testing.T) {
 	}
 	if tr.Len() < 1000 {
 		t.Fatalf("fitted regeneration too small: %d jobs", tr.Len())
+	}
+}
+
+// TestRunPartitionOverride: -partitions reshapes the generated system and
+// assigns jobs across the requested virtual clusters.
+func TestRunPartitionOverride(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.swf")
+	if err := run("Theta", 0.5, 1, "swf", out, "", 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.System.VirtualClusters != 4 {
+		t.Fatalf("got %d virtual clusters, want 4", tr.System.VirtualClusters)
+	}
+	for _, j := range tr.Jobs {
+		if j.VC < 0 || j.VC >= 4 {
+			t.Fatalf("job %d assigned to VC %d, want [0, 4)", j.ID, j.VC)
+		}
 	}
 }

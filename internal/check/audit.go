@@ -75,6 +75,11 @@ func floatEq(a, b float64) bool {
 //
 // opt must be the Options the result was produced with (the promise
 // allowance and bsld threshold depend on them).
+//
+// Audit reconstructs the schedule as one start per job at Submit+Wait with
+// occupancy Run — which is only true on fault-free runs. For runs with
+// opt.Faults enabled (interrupts, requeues, drained capacity), audit the
+// recorded decision stream with AuditStream instead, as Verify does.
 func Audit(tr *trace.Trace, opt sim.Options, res *sim.Result) *AuditReport {
 	r := &AuditReport{}
 	if len(res.Jobs) != len(tr.Jobs) {
@@ -158,7 +163,7 @@ const timeEps = 1e-7
 func auditConservation(r *AuditReport, tr *trace.Trace, caps []int, starts, effRuns []float64) int {
 	type event struct {
 		time  float64
-		delta int  // +procs at start, -procs at end
+		delta int // +procs at start, -procs at end
 		jobID int
 	}
 	byPart := make([][]event, len(caps))

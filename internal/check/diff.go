@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"crosssched/internal/obs"
 	"crosssched/internal/sim"
 	"crosssched/internal/trace"
 )
@@ -77,10 +78,28 @@ func compare(fast, ref *sim.Result) *DiffReport {
 		if fast.PromisedStart[i] != ref.PromisedStart[i] {
 			d.addf("job %d promise %v vs oracle %v", ref.Jobs[i].ID, fast.PromisedStart[i], ref.PromisedStart[i])
 		}
+		if fast.Jobs[i].Status != ref.Jobs[i].Status {
+			d.addf("job %d status %v vs oracle %v", ref.Jobs[i].ID, fast.Jobs[i].Status, ref.Jobs[i].Status)
+		}
 		if len(d.Mismatches) > 20 {
 			d.addf("stopping after 20 per-job mismatches")
 			return d
 		}
+	}
+	if fast.Interrupted != ref.Interrupted {
+		d.addf("interrupted %d vs oracle %d", fast.Interrupted, ref.Interrupted)
+	}
+	if fast.Requeued != ref.Requeued {
+		d.addf("requeued %d vs oracle %d", fast.Requeued, ref.Requeued)
+	}
+	if fast.FaultFailed != ref.FaultFailed {
+		d.addf("fault-failed %d vs oracle %d", fast.FaultFailed, ref.FaultFailed)
+	}
+	if !nearlyEq(fast.GoodputCoreSeconds, ref.GoodputCoreSeconds) {
+		d.addf("goodput %v vs oracle %v", fast.GoodputCoreSeconds, ref.GoodputCoreSeconds)
+	}
+	if !nearlyEq(fast.WastedCoreSeconds, ref.WastedCoreSeconds) {
+		d.addf("wasted %v vs oracle %v", fast.WastedCoreSeconds, ref.WastedCoreSeconds)
 	}
 	if fast.Violations != ref.Violations {
 		d.addf("violations %d vs oracle %d", fast.Violations, ref.Violations)
@@ -111,9 +130,34 @@ func compare(fast, ref *sim.Result) *DiffReport {
 
 // Verify is the full differential gate for one workload and option set: the
 // optimized simulator must match the oracle exactly AND its output must
-// pass the auditor with zero findings. Used by the differential tests, the
+// pass an auditor with zero findings. Used by the differential tests, the
 // fuzz targets, and schedsim -audit's self-check mode.
+//
+// On fault-free runs the schedule auditor (Audit) checks the result alone.
+// Under fault injection, Audit's reconstruction (one start per job at
+// Submit+Wait, occupancy Run) no longer describes the schedule, so Verify
+// records the decision stream and runs the stream auditor instead, which
+// understands interrupts, requeues, and drained capacity.
 func Verify(tr *trace.Trace, opt sim.Options) error {
+	if opt.Faults.Enabled() {
+		rec := &obs.Recorder{}
+		opt.Observer = obs.Tee(opt.Observer, rec)
+		res, err := sim.Run(tr, opt)
+		if err != nil {
+			return fmt.Errorf("check: optimized simulator: %w", err)
+		}
+		if err := AuditStream(tr, opt, rec.Events, res).Err(); err != nil {
+			return fmt.Errorf("%w (under %s + %s with faults)", err, opt.Policy, opt.Backfill)
+		}
+		ref, err := Oracle(tr, opt)
+		if err != nil {
+			return fmt.Errorf("check: oracle: %w", err)
+		}
+		if err := compare(res, ref).Err(); err != nil {
+			return fmt.Errorf("%w (under %s + %s with faults)", err, opt.Policy, opt.Backfill)
+		}
+		return nil
+	}
 	res, err := sim.Run(tr, opt)
 	if err != nil {
 		return fmt.Errorf("check: optimized simulator: %w", err)

@@ -21,6 +21,7 @@ package check
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"crosssched/internal/sim"
@@ -30,7 +31,7 @@ import (
 // ojob is the oracle's view of one job: the immutable request plus the
 // schedule the oracle assigns to it.
 type ojob struct {
-	idx     int     // index into the trace (== dense job ID order)
+	idx     int // index into the trace (== dense job ID order)
 	user    int
 	submit  float64
 	procs   int
@@ -40,16 +41,15 @@ type ojob struct {
 
 	queued   bool
 	started  bool
-	start    float64
+	start    float64 // start of the current (latest) attempt
+	endAt    float64 // when the current attempt ends (completion or interrupt)
+	wait     float64 // first-attempt queue wait (what the Result reports)
 	promised float64 // first promised start; <0 when never reserved
 }
 
 // plannedEnd is the reservation-planning completion (start + estimate),
 // distinct from the real completion (start + run).
 func (j *ojob) plannedEnd() float64 { return j.start + j.reqTime }
-
-// realEnd is the actual completion time once started.
-func (j *ojob) realEnd() float64 { return j.start + j.run }
 
 // oracle is the run state: everything is a flat slice scanned in full.
 type oracle struct {
@@ -63,6 +63,9 @@ type oracle struct {
 
 	now          float64
 	maxQueueSeen int
+
+	// flt is non-nil only when fault injection is enabled; see oracle_fault.go.
+	flt *ofault
 
 	fair *sim.FairshareState
 
@@ -129,39 +132,63 @@ func Oracle(tr *trace.Trace, opt sim.Options) (*sim.Result, error) {
 			part: part, reqTime: reqTime, run: run, promised: -1,
 		}
 	}
+	if opt.Faults.Enabled() {
+		if err := o.setupFaults(tr, opt.Faults); err != nil {
+			return nil, err
+		}
+	}
 	if err := o.run(); err != nil {
 		return nil, err
 	}
 	return o.result(tr), nil
 }
 
-// run is the event loop: advance to the next arrival or completion,
-// release finished jobs, enqueue arrivals, then schedule each affected
-// partition in index order.
+// run is the event loop: advance to the next arrival, completion, or
+// capacity-fault event, release finished jobs, apply due capacity faults,
+// enqueue arrivals, then schedule each affected partition in index order —
+// the same intra-instant phase order as the optimized simulator.
 func (o *oracle) run() error {
 	next := 0
-	for next < len(o.jobs) || o.anyRunning() {
+	for next < len(o.jobs) || o.anyRunning() ||
+		(o.flt != nil && o.flt.next < len(o.flt.sched.Events)) {
 		t := o.nextEventTime(next)
 		o.now = t
 
 		touched := make([]bool, len(o.caps))
-		// Completions first: scan every running job, release those done.
+		// Completions first: scan every running job, release those whose
+		// attempt ends at t — a natural completion, or a drawn interrupt
+		// (willInterrupt) routed to the fault path.
 		for p := range o.running {
 			kept := o.running[p][:0]
 			for _, ji := range o.running[p] {
 				j := &o.jobs[ji]
-				if j.realEnd() <= t {
+				if j.endAt <= t {
 					o.advance(t)
 					o.free[p] += j.procs
-					if o.free[p] > o.caps[p] {
+					if o.free[p] > o.caps[p]-o.downCores(p) {
 						return fmt.Errorf("check: oracle released past capacity in partition %d", p)
 					}
 					touched[p] = true
+					if f := o.flt; f != nil {
+						if f.willInterrupt[ji] {
+							f.willInterrupt[ji] = false
+							o.faultInterrupted(ji, j.endAt)
+						} else {
+							f.goodput += (j.endAt - j.start) * float64(j.procs)
+						}
+					}
 				} else {
 					kept = append(kept, ji)
 				}
 			}
 			o.running[p] = kept
+		}
+		// Capacity faults due at t apply after completions (freed cores
+		// reduce the victim count) and before arrivals.
+		if o.flt != nil {
+			if err := o.applyCapacityFaults(t, touched); err != nil {
+				return err
+			}
 		}
 		// Arrivals join the tail of their partition's queue.
 		for next < len(o.jobs) && o.jobs[next].submit <= t {
@@ -195,7 +222,8 @@ func (o *oracle) anyRunning() bool {
 	return false
 }
 
-// nextEventTime is the earliest of the next arrival and any completion.
+// nextEventTime is the earliest of the next arrival, any attempt end, and
+// the next capacity-fault event.
 func (o *oracle) nextEventTime(next int) float64 {
 	t := 0.0
 	have := false
@@ -204,12 +232,25 @@ func (o *oracle) nextEventTime(next int) float64 {
 	}
 	for _, rs := range o.running {
 		for _, ji := range rs {
-			if e := o.jobs[ji].realEnd(); !have || e < t {
+			if e := o.jobs[ji].endAt; !have || e < t {
 				t, have = e, true
 			}
 		}
 	}
+	if o.flt != nil && o.flt.next < len(o.flt.sched.Events) {
+		if ft := o.flt.sched.Events[o.flt.next].Time; !have || ft < t {
+			t = ft
+		}
+	}
 	return t
+}
+
+// downCores is the partition's currently drained core count.
+func (o *oracle) downCores(p int) int {
+	if o.flt == nil {
+		return 0
+	}
+	return o.flt.down[p]
 }
 
 func (o *oracle) totalQueued() int {
@@ -221,11 +262,12 @@ func (o *oracle) totalQueued() int {
 }
 
 // advance integrates busy core-seconds up to now (mirrors cluster.advance).
+// Drained cores are neither free nor busy, so they count as lost capacity.
 func (o *oracle) advance(now float64) {
 	if now > o.lastTime {
 		busy := 0
 		for p := range o.caps {
-			busy += o.caps[p] - o.free[p]
+			busy += o.caps[p] - o.free[p] - o.downCores(p)
 		}
 		o.busyCoreSeconds += float64(busy) * (now - o.lastTime)
 		o.lastTime = now
@@ -265,7 +307,10 @@ func (o *oracle) sortQueue(p int) {
 	})
 }
 
-// start dispatches the job at queue position pos of partition p.
+// start dispatches the job at queue position pos of partition p. Under
+// fault injection a job may start several times; the recorded wait, the
+// promise-violation accounting, and the unique-start count belong to the
+// first attempt only (mirroring the optimized simulator).
 func (o *oracle) start(p, pos int) {
 	ji := o.queue[p][pos]
 	j := &o.jobs[ji]
@@ -275,9 +320,13 @@ func (o *oracle) start(p, pos int) {
 		panic(fmt.Sprintf("check: oracle overallocated partition %d", p))
 	}
 	j.queued = false
+	first := o.flt == nil || !o.flt.everStarted[ji]
 	j.started = true
 	j.start = o.now
-	if j.promised >= 0 && o.now > j.promised+1e-9 {
+	if first {
+		j.wait = o.now - j.submit
+	}
+	if first && j.promised >= 0 && o.now > j.promised+1e-9 {
 		o.violations++
 		o.violationDelay += o.now - j.promised
 	}
@@ -287,11 +336,21 @@ func (o *oracle) start(p, pos int) {
 	if o.fair != nil {
 		o.fair.Charge(j.user, o.now, float64(j.procs)*j.run)
 	}
+	j.endAt = o.now + j.run
+	if f := o.flt; f != nil {
+		f.everStarted[ji] = true
+		if cut, ok := f.cfg.InterruptCut(ji, f.attempts[ji], j.run); ok {
+			j.endAt = o.now + cut
+			f.willInterrupt[ji] = true
+		}
+	}
 	o.queue[p] = append(o.queue[p][:pos], o.queue[p][pos+1:]...)
 	o.running[p] = append(o.running[p], ji)
-	o.started++
-	if e := j.realEnd(); e > o.makespan {
-		o.makespan = e
+	if first {
+		o.started++
+	}
+	if j.endAt > o.makespan {
+		o.makespan = j.endAt
 	}
 }
 
@@ -309,6 +368,16 @@ func (o *oracle) schedule(p int) {
 		}
 		if o.opt.Backfill == sim.NoBackfill {
 			return // no reservations, no promises
+		}
+		// Outage-blocked head: while a capacity fault holds the partition
+		// below the head's request, no reservation can be planned for it.
+		// Degrade to a pure greedy pass — start any queued job that fits the
+		// free cores — until capacity returns (mirrors sim.schedule).
+		if o.flt != nil && head.procs > o.caps[p]-o.flt.down[p] {
+			if !o.backfillOne(p, math.Inf(1), 0) {
+				return
+			}
+			continue
 		}
 		// Head is blocked: find the earliest window where it fits, given
 		// the planned (estimate-based) ends of the running jobs.
@@ -384,9 +453,20 @@ func (o *oracle) conservative(p int, av *availability) {
 		pos   int
 		start float64
 	}
+	// During a capacity fault, queued jobs larger than the effective
+	// capacity cannot be planned at all; they are skipped until the outage
+	// ends (the head is never skipped: schedule degrades to a greedy pass
+	// before planning when the head itself no longer fits).
+	effCap := math.MaxInt
+	if o.flt != nil {
+		effCap = o.caps[p] - o.flt.down[p]
+	}
 	plans := make([]plan, 0, len(o.queue[p]))
 	for pos, ji := range o.queue[p] {
 		j := &o.jobs[ji]
+		if j.procs > effCap {
+			continue
+		}
 		st, _ := av.earliest(o.now, j.procs, j.reqTime)
 		av.reserve(st, j.reqTime, j.procs)
 		plans = append(plans, plan{pos, st})
@@ -410,10 +490,22 @@ func (o *oracle) result(tr *trace.Trace) *sim.Result {
 		Makespan:       o.makespan,
 		PromisedStart:  make([]float64, len(o.jobs)),
 	}
+	if f := o.flt; f != nil {
+		res.Interrupted = f.interrupts
+		res.Requeued = f.requeues
+		res.FaultFailed = f.failed
+		res.GoodputCoreSeconds = f.goodput
+		res.WastedCoreSeconds = f.wasted
+		for i := range res.Jobs {
+			if f.dead[i] {
+				res.Jobs[i].Status = trace.Failed
+			}
+		}
+	}
 	var sumWait, sumBsld float64
 	for i := range o.jobs {
 		res.PromisedStart[i] = o.jobs[i].promised
-		res.Jobs[i].Wait = o.jobs[i].start - o.jobs[i].submit
+		res.Jobs[i].Wait = o.jobs[i].wait
 		sumWait += res.Jobs[i].Wait
 		sumBsld += res.Jobs[i].BoundedSlowdown(o.opt.BsldTau)
 	}

@@ -1,0 +1,193 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crosssched/internal/fault"
+	"crosssched/internal/trace"
+)
+
+// ofault is the oracle's fault-injection state: the naive mirror of
+// internal/sim's simFault. Because every random draw is a pure function of
+// the fault.Config (counter-based hash streams, never a shared RNG), the
+// oracle reproduces the optimized simulator's fault runs exactly by calling
+// the same Compile/InterruptCut with the same arguments and applying the
+// same float arithmetic — elapsed = t - start, checkpoint banking in
+// multiples of the interval, victims chosen most-recently-started-first.
+type ofault struct {
+	cfg   *fault.Config
+	sched *fault.Schedule
+	next  int // next un-applied capacity event
+
+	attempts      []int     // completed (interrupted) attempts per job
+	everStarted   []bool    // job has started at least once
+	credit        []float64 // banked checkpoint seconds per job
+	dead          []bool    // terminally failed by a fault
+	willInterrupt []bool    // current attempt ends in a drawn interrupt
+
+	drained []int // cores actually taken, per compiled outage ID
+	down    []int // currently drained cores, per partition
+
+	goodput float64
+	wasted  float64
+
+	interrupts int
+	requeues   int
+	failed     int
+}
+
+// setupFaults compiles the run's fault schedule exactly as sim.setupFaults
+// does: same capacities, same default horizon (the trace's submit span).
+func (o *oracle) setupFaults(tr *trace.Trace, cfg *fault.Config) error {
+	horizon := 0.0
+	if n := len(tr.Jobs); n > 0 {
+		horizon = tr.Jobs[n-1].Submit
+	}
+	sched, err := cfg.Compile(o.caps, horizon)
+	if err != nil {
+		return err
+	}
+	n := len(tr.Jobs)
+	o.flt = &ofault{
+		cfg:           cfg,
+		sched:         sched,
+		attempts:      make([]int, n),
+		everStarted:   make([]bool, n),
+		credit:        make([]float64, n),
+		dead:          make([]bool, n),
+		willInterrupt: make([]bool, n),
+		drained:       make([]int, sched.Outages),
+		down:          make([]int, len(o.caps)),
+	}
+	return nil
+}
+
+// canRetry reports whether job ji may be requeued after an interruption.
+func (f *ofault) canRetry(ji int) bool {
+	return f.cfg.Recovery != fault.RecoveryNone && f.attempts[ji] < f.cfg.RetryCap
+}
+
+// applyCapacityFaults applies every compiled capacity event due at or
+// before t: drains interrupt enough running jobs to free the cores being
+// taken, restores return exactly what the paired drain took.
+func (o *oracle) applyCapacityFaults(t float64, touched []bool) error {
+	f := o.flt
+	for f.next < len(f.sched.Events) && f.sched.Events[f.next].Time <= t {
+		ev := f.sched.Events[f.next]
+		f.next++
+		p := ev.Part
+		if ev.Down {
+			// Clamp to the capacity still up (overlapping outages); the
+			// paired restore brings back the clamped amount.
+			n := ev.Cores
+			if up := o.caps[p] - f.down[p]; n > up {
+				n = up
+			}
+			f.drained[ev.ID] = n
+			if n == 0 {
+				continue
+			}
+			if need := n - o.free[p]; need > 0 {
+				o.interruptVictims(p, need, t, touched)
+			}
+			if o.free[p] < n {
+				return fmt.Errorf("check: oracle drain of %d cores exceeds %d free in partition %d",
+					n, o.free[p], p)
+			}
+			o.advance(t)
+			o.free[p] -= n
+			f.down[p] += n
+			touched[p] = true
+		} else {
+			n := f.drained[ev.ID]
+			if n == 0 {
+				continue
+			}
+			f.drained[ev.ID] = 0
+			o.advance(t)
+			o.free[p] += n
+			f.down[p] -= n
+			touched[p] = true
+		}
+	}
+	return nil
+}
+
+// interruptVictims interrupts running jobs in partition p until at least
+// need cores are free, ahead of a capacity drain. Victim order mirrors the
+// simulator: most recently started first, higher job index first on ties.
+func (o *oracle) interruptVictims(p, need int, t float64, touched []bool) {
+	vic := append([]int(nil), o.running[p]...)
+	sort.Slice(vic, func(a, b int) bool {
+		ja, jb := vic[a], vic[b]
+		sa, sb := o.jobs[ja].start, o.jobs[jb].start
+		if sa != sb {
+			return sa > sb
+		}
+		return ja > jb
+	})
+	freed, k := 0, 0
+	for k < len(vic) && freed < need {
+		freed += o.jobs[vic[k]].procs
+		k++
+	}
+	vic = vic[:k]
+	for _, ji := range vic {
+		kept := o.running[p][:0]
+		for _, rj := range o.running[p] {
+			if rj != ji {
+				kept = append(kept, rj)
+			}
+		}
+		o.running[p] = kept
+		o.advance(t)
+		o.free[p] += o.jobs[ji].procs
+		if t > o.makespan {
+			o.makespan = t
+		}
+		touched[p] = true
+		o.flt.willInterrupt[ji] = false // the outage ends the attempt, not the drawn cut
+		o.faultInterrupted(ji, t)
+	}
+}
+
+// faultInterrupted handles the end of an interrupted attempt: classify its
+// occupancy as wasted/goodput, then requeue the job or fail it terminally.
+// The caller has already released the attempt's cores and removed it from
+// the running set. The float arithmetic matches sim.faultInterrupted
+// operation for operation.
+func (o *oracle) faultInterrupted(ji int, t float64) {
+	f := o.flt
+	j := &o.jobs[ji]
+	elapsed := t - j.start
+	pf := float64(j.procs)
+	f.interrupts++
+	if !f.canRetry(ji) {
+		f.wasted += elapsed * pf
+		if c := f.credit[ji]; c > 0 {
+			f.goodput -= c * pf
+			f.wasted += c * pf
+		}
+		f.dead[ji] = true
+		f.failed++
+		return
+	}
+	f.attempts[ji]++
+	if f.cfg.Recovery == fault.RecoveryCheckpoint {
+		banked := math.Floor(elapsed/f.cfg.CheckpointInterval) * f.cfg.CheckpointInterval
+		if banked > elapsed {
+			banked = elapsed
+		}
+		f.goodput += banked * pf
+		f.wasted += (elapsed - banked) * pf
+		f.credit[ji] += banked
+		j.run -= banked // the next attempt resumes from the last checkpoint
+	} else {
+		f.wasted += elapsed * pf // restart from zero
+	}
+	f.requeues++
+	j.queued = true
+	o.queue[j.part] = append(o.queue[j.part], ji)
+}

@@ -1,6 +1,9 @@
 package check
 
 import (
+	"math"
+
+	"crosssched/internal/fault"
 	"crosssched/internal/obs"
 	"crosssched/internal/sim"
 	"crosssched/internal/trace"
@@ -17,19 +20,30 @@ import (
 // float values the simulator computed, all checks here are exact — no
 // epsilon reconstruction like the schedule auditor needs:
 //
-//   - lifecycle: every job has exactly one submit, start, and complete
-//     event, in that stream order, with causally ordered times and the
-//     exact wait the result reports;
-//   - conservation: replaying starts (+procs) and completions (-procs) in
-//     stream order never exceeds any partition's capacity and ends at
-//     zero cores in use;
+//   - lifecycle: every job has exactly one submit event and, absent faults,
+//     exactly one start and complete event, in that stream order, with
+//     causally ordered times and the exact wait the result reports;
+//   - conservation: replaying starts (+procs), completions (-procs), and
+//     capacity faults (drain/restore) in stream order never exceeds any
+//     partition's capacity, never runs a job on drained capacity, and ends
+//     with zero cores in use and zero cores drained;
 //   - promises: reservation events are unique per job, match
 //     Result.PromisedStart, and precede the job's start; violation
-//     events reproduce the result's count and exact summed delay;
+//     events fire only at the job's first start and reproduce the
+//     result's count and exact summed delay;
 //   - backfills: backfill events follow their job's start at the same
 //     instant, come from queue positions >= 1, and match the result's
 //     count; relaxation events appear only under relaxed kinds, name a
-//     promised head, and never relax below the promise.
+//     promised head, and never relax below the promise;
+//   - faults (when opt.Faults is enabled): interrupts carry the exact
+//     elapsed time of the attempt they end, every requeue immediately
+//     follows its interrupt with the exact remaining work (after
+//     checkpoint banking), no job is requeued past the retry cap and none
+//     fails terminally with retries remaining, terminally failed jobs are
+//     marked trace.Failed in the result, the fault counters match, the
+//     goodput/wasted split replayed in stream order reproduces the
+//     result's core-second totals bit-exactly, and goodput + wasted
+//     equals the stream's busy integral (to float tolerance).
 func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.Result) *AuditReport {
 	r := &AuditReport{}
 	if len(res.Jobs) != len(tr.Jobs) || len(res.PromisedStart) != len(tr.Jobs) {
@@ -45,32 +59,130 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 		byID[tr.Jobs[i].ID] = i
 	}
 
+	faulty := opt.Faults.Enabled()
 	const (
 		unseen = iota
 		submitted
 		started
+		interrupted
 		completed
 	)
 	phase := make([]uint8, len(tr.Jobs))
 	startTime := make([]float64, len(tr.Jobs))
+	nstarts := make([]int, len(tr.Jobs))
 	reserved := make([]bool, len(tr.Jobs))
+	// remaining is each job's current-attempt occupancy: the walltime-capped
+	// runtime, reduced by checkpoint banking on every requeue. Completion
+	// instants are checked against it exactly.
+	remaining := make([]float64, len(tr.Jobs))
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		remaining[i] = j.Run
+		if j.Walltime > 0 && remaining[i] > j.Walltime {
+			remaining[i] = j.Walltime
+		}
+	}
+	requeued := make([]int, len(tr.Jobs))
+	credit := make([]float64, len(tr.Jobs))
+	dead := make([]bool, len(tr.Jobs))
 	inUse := make([]int, len(caps))
+	drained := make([]int, len(caps))
+	totalInUse := 0
 	var lastSubmit, lastStart, lastComplete float64 // per-kind monotonicity
 	violations, backfills := 0, 0
 	delay := 0.0
+	interrupts, requeues, failedN := 0, 0, 0
+	var goodput, wasted float64
+	var busyIntegral, lastT float64
 	relaxedKind := opt.Backfill == sim.Relaxed || opt.Backfill == sim.AdaptiveRelaxed
 
+	// canRetry mirrors the simulator's retry gate for the configured
+	// recovery semantics.
+	canRetry := func(i int) bool {
+		return faulty && opt.Faults.Recovery != fault.RecoveryNone &&
+			requeued[i] < opt.Faults.RetryCap
+	}
+	// An interrupt's outcome is decided by the event that follows it: an
+	// immediate FaultJobRequeue continues the job, anything else means the
+	// interrupt was terminal. pendingInt carries the undecided interrupt;
+	// resolveTerminal applies the terminal accounting in the simulator's
+	// exact operation order (so the goodput/wasted comparison stays
+	// bit-exact).
+	pendingInt := -1
+	pendingElapsed := 0.0
+	resolveTerminal := func() {
+		i := pendingInt
+		pendingInt = -1
+		pf := float64(tr.Jobs[i].Procs)
+		wasted += pendingElapsed * pf
+		if c := credit[i]; c > 0 {
+			goodput -= c * pf
+			wasted += c * pf
+		}
+		dead[i] = true
+		failedN++
+		if canRetry(i) {
+			r.addf("fault", "job %d failed terminally with retries remaining (%d of %d used)",
+				tr.Jobs[i].ID, requeued[i], opt.Faults.RetryCap)
+		}
+	}
+
 	for ei, e := range events {
+		if pendingInt >= 0 && !(e.Kind == obs.FaultJobRequeue && byID[e.Job] == pendingInt) {
+			resolveTerminal()
+		}
+		// The busy integral steps on the globally (weakly) monotone event
+		// clock; a regression is caught by the per-kind checks below.
+		if e.Time > lastT {
+			busyIntegral += float64(totalInUse) * (e.Time - lastT)
+			lastT = e.Time
+		}
+		if e.Part < 0 || e.Part >= len(caps) {
+			r.addf("stream", "event %d (%s) names partition %d of %d", ei, e.Kind, e.Part, len(caps))
+			return r
+		}
+		// Capacity-fault events concern a partition, not a job (Job == -1).
+		switch e.Kind {
+		case obs.FaultNodeDown, obs.FaultNodeUp:
+			if !faulty {
+				r.addf("fault", "event %d (%s) in a run with fault injection disabled", ei, e.Kind)
+				return r
+			}
+			if e.Job != -1 {
+				r.addf("fault", "event %d (%s) names job %d, want -1", ei, e.Kind, e.Job)
+			}
+			if e.Procs <= 0 {
+				r.addf("fault", "event %d (%s) drains %d cores", ei, e.Kind, e.Procs)
+			}
+			if e.Kind == obs.FaultNodeDown {
+				drained[e.Part] += e.Procs
+				if inUse[e.Part]+drained[e.Part] > caps[e.Part] {
+					r.addf("conservation",
+						"partition %d holds %d cores with %d drained against capacity %d at t=%v",
+						e.Part, inUse[e.Part], drained[e.Part], caps[e.Part], e.Time)
+					return r
+				}
+				if e.Detail <= e.Time {
+					r.addf("fault", "outage at t=%v promises repair at %v (not after)", e.Time, e.Detail)
+				}
+			} else {
+				drained[e.Part] -= e.Procs
+				if drained[e.Part] < 0 {
+					r.addf("conservation", "partition %d restores cores it never drained at t=%v", e.Part, e.Time)
+					return r
+				}
+				if e.Detail > e.Time {
+					r.addf("fault", "restore at t=%v cites outage start %v in the future", e.Time, e.Detail)
+				}
+			}
+			continue
+		}
 		i, ok := byID[e.Job]
 		if !ok {
 			r.addf("stream", "event %d (%s) names unknown job %d", ei, e.Kind, e.Job)
 			return r
 		}
 		j := &tr.Jobs[i]
-		if e.Part < 0 || e.Part >= len(caps) {
-			r.addf("stream", "event %d (%s) names partition %d of %d", ei, e.Kind, e.Part, len(caps))
-			return r
-		}
 		if e.Procs != j.Procs {
 			r.addf("stream", "event %d (%s): job %d procs %d, trace says %d", ei, e.Kind, e.Job, e.Procs, j.Procs)
 		}
@@ -93,8 +205,13 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			}
 			phase[i] = started
 			startTime[i] = e.Time
-			if e.Detail != res.Jobs[i].Wait {
-				r.addf("lifecycle", "job %d start wait %v, result says %v", e.Job, e.Detail, res.Jobs[i].Wait)
+			nstarts[i]++
+			if nstarts[i] == 1 {
+				if e.Detail != res.Jobs[i].Wait {
+					r.addf("lifecycle", "job %d start wait %v, result says %v", e.Job, e.Detail, res.Jobs[i].Wait)
+				}
+			} else if e.Detail != e.Time-j.Submit {
+				r.addf("lifecycle", "job %d restart wait %v, want t-submit = %v", e.Job, e.Detail, e.Time-j.Submit)
 			}
 			if e.Time < j.Submit {
 				r.addf("lifecycle", "job %d started at %v before submission %v", e.Job, e.Time, j.Submit)
@@ -104,9 +221,16 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			}
 			lastStart = e.Time
 			inUse[e.Part] += e.Procs
+			totalInUse += e.Procs
 			if inUse[e.Part] > caps[e.Part] {
 				r.addf("conservation", "partition %d holds %d/%d cores at t=%v (job %d)",
 					e.Part, inUse[e.Part], caps[e.Part], e.Time, e.Job)
+				return r
+			}
+			if inUse[e.Part]+drained[e.Part] > caps[e.Part] {
+				r.addf("conservation",
+					"job %d runs on drained capacity: partition %d holds %d with %d drained against %d at t=%v",
+					e.Job, e.Part, inUse[e.Part], drained[e.Part], caps[e.Part], e.Time)
 				return r
 			}
 		case obs.JobComplete:
@@ -115,14 +239,11 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 				return r
 			}
 			phase[i] = completed
-			// The effective occupancy is the runtime clipped at the
-			// walltime kill limit; the completion instant must equal the
-			// start plus exactly that.
-			effRun := j.Run
-			if j.Walltime > 0 && effRun > j.Walltime {
-				effRun = j.Walltime
-			}
-			if want := startTime[i] + effRun; e.Time != want {
+			// The effective occupancy is the remaining work of the current
+			// attempt (the walltime-capped runtime, minus any banked
+			// checkpoint credit); the completion instant must equal the
+			// attempt's start plus exactly that.
+			if want := startTime[i] + remaining[i]; e.Time != want {
 				r.addf("lifecycle", "job %d completed at %v, want start+run = %v", e.Job, e.Time, want)
 			}
 			if e.Time < lastComplete {
@@ -130,9 +251,64 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			}
 			lastComplete = e.Time
 			inUse[e.Part] -= e.Procs
+			totalInUse -= e.Procs
 			if inUse[e.Part] < 0 {
 				r.addf("conservation", "partition %d frees cores it never held (job %d)", e.Part, e.Job)
 				return r
+			}
+			goodput += (e.Time - startTime[i]) * float64(e.Procs)
+		case obs.FaultJobInterrupt:
+			if !faulty {
+				r.addf("fault", "event %d (%s) in a run with fault injection disabled", ei, e.Kind)
+				return r
+			}
+			if phase[i] != started {
+				r.addf("lifecycle", "job %d interrupted in phase %d (want started)", e.Job, phase[i])
+				return r
+			}
+			phase[i] = interrupted
+			if e.Detail != e.Time-startTime[i] {
+				r.addf("fault", "job %d interrupt elapsed %v, want t-start = %v",
+					e.Job, e.Detail, e.Time-startTime[i])
+			}
+			inUse[e.Part] -= e.Procs
+			totalInUse -= e.Procs
+			if inUse[e.Part] < 0 {
+				r.addf("conservation", "partition %d frees cores it never held (job %d)", e.Part, e.Job)
+				return r
+			}
+			interrupts++
+			pendingInt = i
+			pendingElapsed = e.Detail
+		case obs.FaultJobRequeue:
+			if pendingInt != i || phase[i] != interrupted {
+				r.addf("fault", "job %d requeued without an immediately preceding interrupt", e.Job)
+				return r
+			}
+			pendingInt = -1
+			if !canRetry(i) {
+				r.addf("fault", "job %d requeued past the retry cap (%d retries, recovery %s)",
+					e.Job, requeued[i], opt.Faults.Recovery)
+			}
+			pf := float64(e.Procs)
+			if opt.Faults.Recovery == fault.RecoveryCheckpoint {
+				ckpt := opt.Faults.CheckpointInterval
+				banked := math.Floor(pendingElapsed/ckpt) * ckpt
+				if banked > pendingElapsed {
+					banked = pendingElapsed
+				}
+				goodput += banked * pf
+				wasted += (pendingElapsed - banked) * pf
+				credit[i] += banked
+				remaining[i] -= banked
+			} else {
+				wasted += pendingElapsed * pf
+			}
+			requeued[i]++
+			requeues++
+			phase[i] = submitted
+			if e.Detail != remaining[i] {
+				r.addf("fault", "job %d requeued with remaining work %v, want %v", e.Job, e.Detail, remaining[i])
 			}
 		case obs.ReservationMade:
 			if reserved[i] {
@@ -169,8 +345,8 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			if !reserved[i] {
 				r.addf("promise", "job %d violated a promise it never received", e.Job)
 			}
-			if phase[i] != started || e.Time != startTime[i] {
-				r.addf("promise", "job %d violation not at its start instant", e.Job)
+			if phase[i] != started || e.Time != startTime[i] || nstarts[i] != 1 {
+				r.addf("promise", "job %d violation not at its first start instant", e.Job)
 			}
 			if want := startTime[i] - res.PromisedStart[i]; e.Detail != want {
 				r.addf("promise", "job %d violation delay %v, want start-promise = %v", e.Job, e.Detail, want)
@@ -192,10 +368,17 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			return r
 		}
 	}
+	if pendingInt >= 0 {
+		resolveTerminal()
+	}
 
 	for i := range tr.Jobs {
-		if phase[i] != completed {
+		if phase[i] != completed && !(phase[i] == interrupted && dead[i]) {
 			r.addf("lifecycle", "job %d stream incomplete (phase %d)", tr.Jobs[i].ID, phase[i])
+		}
+		if dead[i] && res.Jobs[i].Status != trace.Failed {
+			r.addf("fault", "job %d failed terminally but the result marks it %v",
+				tr.Jobs[i].ID, res.Jobs[i].Status)
 		}
 		if reserved[i] != (res.PromisedStart[i] >= 0) {
 			r.addf("promise", "job %d reservation events disagree with PromisedStart %v",
@@ -206,6 +389,9 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 		if n != 0 {
 			r.addf("conservation", "partition %d ends the stream with %d cores leaked", p, n)
 		}
+		if drained[p] != 0 {
+			r.addf("conservation", "partition %d ends the stream with %d cores still drained", p, drained[p])
+		}
 	}
 	if violations != res.Violations {
 		r.addf("promise", "%d violation events, result reports %d", violations, res.Violations)
@@ -215,6 +401,32 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 	}
 	if backfills != res.Backfilled {
 		r.addf("stream", "%d backfill events, result reports %d", backfills, res.Backfilled)
+	}
+	if interrupts != res.Interrupted {
+		r.addf("fault", "%d interrupt events, result reports %d", interrupts, res.Interrupted)
+	}
+	if requeues != res.Requeued {
+		r.addf("fault", "%d requeue events, result reports %d", requeues, res.Requeued)
+	}
+	if failedN != res.FaultFailed {
+		r.addf("fault", "%d terminal failures in the stream, result reports %d", failedN, res.FaultFailed)
+	}
+	if faulty {
+		// The stream replays the simulator's accounting in its exact
+		// operation order, so the split is compared bit-exactly; the busy
+		// integral is re-segmented by event times, so it gets float slack.
+		if goodput != res.GoodputCoreSeconds {
+			r.addf("fault", "goodput from events %v core-seconds, result reports %v",
+				goodput, res.GoodputCoreSeconds)
+		}
+		if wasted != res.WastedCoreSeconds {
+			r.addf("fault", "wasted from events %v core-seconds, result reports %v",
+				wasted, res.WastedCoreSeconds)
+		}
+		if !floatEq(goodput+wasted, busyIntegral) {
+			r.addf("fault", "goodput %v + wasted %v != busy integral %v core-seconds",
+				goodput, wasted, busyIntegral)
+		}
 	}
 	return r
 }

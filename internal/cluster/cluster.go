@@ -7,6 +7,12 @@
 // simulator, SchedGym, schedules against core counts, and all of the
 // paper's metrics (utilization, wait, bsld, violations) depend only on
 // counts and times.
+//
+// Capacity is not necessarily constant: the fault-injection layer
+// (internal/fault) drains cores during outages and restores them at repair
+// time via Drain/Restore. Drained cores are neither free nor busy; the
+// scheduler sees them only as a reduced free count, so the allocation hot
+// path (CanAllocate/Free) is untouched by the fault machinery.
 package cluster
 
 import "fmt"
@@ -16,36 +22,41 @@ type Cluster struct {
 	total int   // total cores across all partitions
 	free  []int // free cores per partition (len >= 1)
 	caps  []int // capacity per partition
+	down  []int // cores drained by capacity faults, per partition
+	downT int   // sum of down
 
 	// Utilization accounting: busyCoreSeconds integrates (busy cores) dt.
 	lastTime        float64
 	busyCoreSeconds float64
 }
 
-// New creates a single-partition cluster with the given core count.
-func New(totalCores int) *Cluster {
+// New creates a single-partition cluster with the given core count. It
+// returns an error when the count is not positive.
+func New(totalCores int) (*Cluster, error) {
 	return NewPartitioned([]int{totalCores})
 }
 
 // NewPartitioned creates a cluster with one isolated partition per entry of
 // capacities. Jobs bound to partition i can only use capacity i; jobs with
 // partition -1 may use the single partition 0 (only valid for unpartitioned
-// clusters).
-func NewPartitioned(capacities []int) *Cluster {
+// clusters). It returns an error when there are no partitions or any
+// capacity is not positive.
+func NewPartitioned(capacities []int) (*Cluster, error) {
 	if len(capacities) == 0 {
-		panic("cluster: no partitions")
+		return nil, fmt.Errorf("cluster: no partitions")
 	}
 	c := &Cluster{
 		free: append([]int(nil), capacities...),
 		caps: append([]int(nil), capacities...),
+		down: make([]int, len(capacities)),
 	}
-	for _, cap := range capacities {
+	for i, cap := range capacities {
 		if cap <= 0 {
-			panic(fmt.Sprintf("cluster: non-positive partition capacity %d", cap))
+			return nil, fmt.Errorf("cluster: partition %d has non-positive capacity %d", i, cap)
 		}
 		c.total += cap
 	}
-	return c
+	return c, nil
 }
 
 // EvenPartitions splits totalCores into n near-equal partitions (Philly's
@@ -66,11 +77,16 @@ func EvenPartitions(totalCores, n int) []int {
 	return out
 }
 
-// Reset restores the cluster to its initial state — every core free and the
-// utilization integral cleared — so a cached cluster can serve repeated
-// simulation runs (sim.Runner) without reallocation.
+// Reset restores the cluster to its initial state — every core free, no
+// drained capacity, and the utilization integral cleared — so a cached
+// cluster can serve repeated simulation runs (sim.Runner) without
+// reallocation.
 func (c *Cluster) Reset() {
 	copy(c.free, c.caps)
+	for i := range c.down {
+		c.down[i] = 0
+	}
+	c.downT = 0
 	c.lastTime = 0
 	c.busyCoreSeconds = 0
 }
@@ -81,9 +97,22 @@ func (c *Cluster) Total() int { return c.total }
 // Partitions returns the number of partitions.
 func (c *Cluster) Partitions() int { return len(c.caps) }
 
-// Capacity returns the capacity of partition p (p = -1 means partition 0).
+// Capacity returns the nominal capacity of partition p (p = -1 means
+// partition 0), ignoring drained cores.
 func (c *Cluster) Capacity(p int) int {
 	return c.caps[c.norm(p)]
+}
+
+// EffectiveCapacity returns the capacity of partition p currently usable by
+// the scheduler: nominal capacity minus drained cores.
+func (c *Cluster) EffectiveCapacity(p int) int {
+	i := c.norm(p)
+	return c.caps[i] - c.down[i]
+}
+
+// DownCores returns the drained core count of partition p.
+func (c *Cluster) DownCores(p int) int {
+	return c.down[c.norm(p)]
 }
 
 // Free returns the free cores in partition p (p = -1 means partition 0).
@@ -100,13 +129,17 @@ func (c *Cluster) FreeTotal() int {
 	return sum
 }
 
-// Busy returns the busy core count across all partitions.
-func (c *Cluster) Busy() int { return c.total - c.FreeTotal() }
+// Busy returns the busy (job-occupied) core count across all partitions.
+// Drained cores are neither free nor busy.
+func (c *Cluster) Busy() int { return c.total - c.downT - c.FreeTotal() }
 
 // norm maps the -1 alias to partition 0 and bounds-checks p. The panic
 // formatting lives in badPartition so norm stays within the inlining budget:
 // Free and CanAllocate sit on the simulator's per-event hot path, and an
-// out-of-line norm call per query is measurable there.
+// out-of-line norm call per query is measurable there. Out-of-range
+// partitions stay a panic here (an internal invariant violation, not an
+// input error): the public constructors and the cmd-level flag validation
+// reject bad shapes before any hot-path query can see them.
 func (c *Cluster) norm(p int) int {
 	if p < 0 {
 		return 0
@@ -142,16 +175,52 @@ func (c *Cluster) Allocate(now float64, p, n int) error {
 }
 
 // Release returns n cores to partition p at time now. It returns an error
-// when the release would exceed the partition capacity.
+// when the release would exceed the partition's usable capacity.
 func (c *Cluster) Release(now float64, p, n int) error {
 	i := c.norm(p)
 	if n <= 0 {
 		return fmt.Errorf("cluster: release non-positive count %d", n)
 	}
-	if c.free[i]+n > c.caps[i] {
+	if c.free[i]+n > c.caps[i]-c.down[i] {
 		return fmt.Errorf("cluster: releasing %d would exceed partition %d capacity", n, i)
 	}
 	c.advance(now)
+	c.free[i] += n
+	return nil
+}
+
+// Drain marks n currently-free cores of partition p as down at time now (a
+// capacity fault). The caller must have freed enough cores first — by
+// interrupting running jobs if necessary — so a drain never overdraws the
+// free pool.
+func (c *Cluster) Drain(now float64, p, n int) error {
+	i := c.norm(p)
+	if n <= 0 {
+		return fmt.Errorf("cluster: drain non-positive count %d", n)
+	}
+	if n > c.free[i] {
+		return fmt.Errorf("cluster: draining %d but partition %d has only %d free", n, i, c.free[i])
+	}
+	c.advance(now)
+	c.free[i] -= n
+	c.down[i] += n
+	c.downT += n
+	return nil
+}
+
+// Restore returns n previously-drained cores of partition p to service at
+// time now (outage repair).
+func (c *Cluster) Restore(now float64, p, n int) error {
+	i := c.norm(p)
+	if n <= 0 {
+		return fmt.Errorf("cluster: restore non-positive count %d", n)
+	}
+	if n > c.down[i] {
+		return fmt.Errorf("cluster: restoring %d but partition %d has only %d down", n, i, c.down[i])
+	}
+	c.advance(now)
+	c.down[i] -= n
+	c.downT -= n
 	c.free[i] += n
 	return nil
 }
@@ -164,8 +233,10 @@ func (c *Cluster) advance(now float64) {
 	}
 }
 
-// Utilization returns busy core-seconds divided by total capacity over
-// [0, now] — the paper's "util" metric. It finalizes the integral at now.
+// Utilization returns busy core-seconds divided by total nominal capacity
+// over [0, now] — the paper's "util" metric. The denominator stays nominal
+// under capacity faults, so drained capacity shows up as lost utilization.
+// It finalizes the integral at now.
 func (c *Cluster) Utilization(now float64) float64 {
 	c.advance(now)
 	if now <= 0 {

@@ -6,18 +6,31 @@ import (
 	"testing/quick"
 )
 
+// mustNew builds a cluster or fails the test.
+func mustNew(t *testing.T, capacities ...int) *Cluster {
+	t.Helper()
+	c, err := NewPartitioned(capacities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestNewAndAccessors(t *testing.T) {
-	c := New(100)
+	c := mustNew(t, 100)
 	if c.Total() != 100 || c.Partitions() != 1 || c.Free(-1) != 100 || c.Capacity(0) != 100 {
 		t.Fatalf("bad initial state: %+v", c)
 	}
 	if c.Busy() != 0 || c.FreeTotal() != 100 {
 		t.Fatal("fresh cluster should be idle")
 	}
+	if c.EffectiveCapacity(0) != 100 || c.DownCores(0) != 0 {
+		t.Fatal("fresh cluster should have no drained capacity")
+	}
 }
 
 func TestAllocateRelease(t *testing.T) {
-	c := New(10)
+	c := mustNew(t, 10)
 	if err := c.Allocate(0, -1, 4); err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +52,7 @@ func TestAllocateRelease(t *testing.T) {
 }
 
 func TestAllocateRejectsNonPositive(t *testing.T) {
-	c := New(10)
+	c := mustNew(t, 10)
 	if err := c.Allocate(0, 0, 0); err == nil {
 		t.Fatal("zero allocation accepted")
 	}
@@ -49,7 +62,7 @@ func TestAllocateRejectsNonPositive(t *testing.T) {
 }
 
 func TestPartitionIsolation(t *testing.T) {
-	c := NewPartitioned([]int{5, 5})
+	c := mustNew(t, 5, 5)
 	if err := c.Allocate(0, 0, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -74,22 +87,93 @@ func TestPartitionOutOfRangePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(10).Free(3)
+	mustNew(t, 10).Free(3)
 }
 
-func TestBadConstruction(t *testing.T) {
-	for i, fn := range []func(){
-		func() { NewPartitioned(nil) },
-		func() { NewPartitioned([]int{5, 0}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+func TestBadConstructionErrors(t *testing.T) {
+	if _, err := NewPartitioned(nil); err == nil {
+		t.Fatal("empty partition list accepted")
+	}
+	if _, err := NewPartitioned([]int{5, 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("negative core count accepted")
+	}
+}
+
+func TestDrainRestore(t *testing.T) {
+	c := mustNew(t, 10)
+	if err := c.Allocate(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Free(0) != 3 || c.DownCores(0) != 3 || c.EffectiveCapacity(0) != 7 || c.Busy() != 4 {
+		t.Fatalf("after drain: free=%d down=%d eff=%d busy=%d",
+			c.Free(0), c.DownCores(0), c.EffectiveCapacity(0), c.Busy())
+	}
+	if c.Capacity(0) != 10 {
+		t.Fatal("nominal capacity changed by drain")
+	}
+	// Draining more than is free must fail.
+	if err := c.Drain(1, 0, 4); err == nil {
+		t.Fatal("overdraw drain accepted")
+	}
+	// A release may not exceed the effective capacity while cores are down.
+	if err := c.Release(2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(2, 0, 1); err == nil {
+		t.Fatal("release into drained capacity accepted")
+	}
+	if err := c.Restore(3, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Free(0) != 10 || c.DownCores(0) != 0 || c.EffectiveCapacity(0) != 10 {
+		t.Fatalf("after restore: free=%d down=%d", c.Free(0), c.DownCores(0))
+	}
+	if err := c.Restore(3, 0, 1); err == nil {
+		t.Fatal("restore of never-drained cores accepted")
+	}
+	if err := c.Drain(4, 0, 0); err == nil {
+		t.Fatal("zero drain accepted")
+	}
+	if err := c.Restore(4, 0, -1); err == nil {
+		t.Fatal("negative restore accepted")
+	}
+}
+
+func TestDrainUtilization(t *testing.T) {
+	c := mustNew(t, 10)
+	// 5 busy over [0,10); at t=10 drain 5 (the idle half). Busy stays 5
+	// until release at t=20; util over [0,20] = (5*20)/(10*20) = 0.5.
+	if err := c.Allocate(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(10, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Busy() != 5 {
+		t.Fatalf("busy=%d after drain, want 5 (drained cores are not busy)", c.Busy())
+	}
+	if err := c.Release(20, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(20); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization %v want 0.5", got)
+	}
+}
+
+func TestResetClearsDrain(t *testing.T) {
+	c := mustNew(t, 10)
+	if err := c.Drain(1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Free(0) != 10 || c.DownCores(0) != 0 || c.Busy() != 0 || c.BusyCoreSeconds() != 0 {
+		t.Fatalf("reset left state behind: %+v", c)
 	}
 }
 
@@ -111,7 +195,7 @@ func TestEvenPartitions(t *testing.T) {
 }
 
 func TestUtilizationIntegral(t *testing.T) {
-	c := New(10)
+	c := mustNew(t, 10)
 	// 5 cores busy from t=0 to t=10, idle from 10 to 20 -> util over 20s = 0.25
 	if err := c.Allocate(0, 0, 5); err != nil {
 		t.Fatal(err)
@@ -130,7 +214,7 @@ func TestUtilizationIntegral(t *testing.T) {
 }
 
 func TestUtilizationFullLoad(t *testing.T) {
-	c := New(4)
+	c := mustNew(t, 4)
 	if err := c.Allocate(0, 0, 4); err != nil {
 		t.Fatal(err)
 	}
@@ -139,33 +223,47 @@ func TestUtilizationFullLoad(t *testing.T) {
 	}
 }
 
-// Property: any sequence of valid allocations and releases conserves
-// capacity: free + busy == total, 0 <= free <= capacity per partition.
+// Property: any sequence of valid allocations, releases, drains, and
+// restores conserves capacity: free + busy + down == total, with every
+// per-partition count within [0, capacity].
 func TestConservationPropertyQuick(t *testing.T) {
 	type op struct {
-		Alloc bool
-		Part  uint8
-		N     uint8
+		Kind uint8
+		Part uint8
+		N    uint8
 	}
 	f := func(ops []op) bool {
-		c := NewPartitioned([]int{8, 8, 8})
+		c := mustNew(t, 8, 8, 8)
 		now := 0.0
 		for _, o := range ops {
 			now += 1
 			p := int(o.Part) % 3
 			n := int(o.N)%8 + 1
-			if o.Alloc {
-				_ = c.Allocate(now, p, n) // errors allowed; must not corrupt
-			} else {
+			switch o.Kind % 4 { // errors allowed; must not corrupt
+			case 0:
+				_ = c.Allocate(now, p, n)
+			case 1:
 				_ = c.Release(now, p, n)
+			case 2:
+				_ = c.Drain(now, p, n)
+			case 3:
+				_ = c.Restore(now, p, n)
 			}
-			if c.FreeTotal()+c.Busy() != c.Total() {
-				return false
-			}
+			down := 0
 			for i := 0; i < 3; i++ {
+				down += c.DownCores(i)
 				if c.Free(i) < 0 || c.Free(i) > c.Capacity(i) {
 					return false
 				}
+				if c.DownCores(i) < 0 || c.DownCores(i) > c.Capacity(i) {
+					return false
+				}
+				if c.Free(i) > c.EffectiveCapacity(i) {
+					return false
+				}
+			}
+			if c.FreeTotal()+c.Busy()+down != c.Total() {
+				return false
 			}
 		}
 		return true
@@ -178,7 +276,7 @@ func TestConservationPropertyQuick(t *testing.T) {
 // Property: utilization is always within [0, 1].
 func TestUtilizationBoundedPropertyQuick(t *testing.T) {
 	f := func(steps []uint8) bool {
-		c := New(16)
+		c := mustNew(t, 16)
 		now := 0.0
 		allocated := 0
 		for _, s := range steps {

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/fault"
+	"crosssched/internal/par"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// Degraded-capacity sweep: the in-simulator companion to the post-hoc
+// FaultAware study. Instead of reasoning about trace status labels, it
+// injects scripted capacity outages of increasing size into the simulated
+// cluster and measures how each scheduling policy degrades — mean wait,
+// slowdown, utilization, and the goodput/wasted core-hour split — as a
+// growing fraction of every partition goes down mid-trace.
+
+// DegradedOptions configures the sweep around its (fraction, policy) grid.
+type DegradedOptions struct {
+	// Backfill is used for every run (default EASY).
+	Backfill sim.BackfillKind
+	// RelaxFactor applies to the relaxed backfill kinds.
+	RelaxFactor float64
+	// Recovery, RetryCap, and CheckpointInterval set the recovery semantics
+	// for jobs interrupted by an outage (default: requeue with 2 retries).
+	Recovery           fault.Recovery
+	RetryCap           int
+	CheckpointInterval float64
+}
+
+// DegradedPoint is one (outage fraction, policy) cell of the sweep.
+type DegradedPoint struct {
+	Frac    float64
+	Policy  sim.Policy
+	AvgWait float64
+	AvgBsld float64
+	Util    float64
+	// Interrupted/Requeued/Failed count fault-ended attempts, requeues, and
+	// jobs lost terminally to the outages.
+	Interrupted int
+	Requeued    int
+	Failed      int
+	// GoodputCH and WastedCH split the consumed core hours into work that
+	// counted toward completions and work destroyed by interrupts.
+	GoodputCH float64
+	WastedCH  float64
+}
+
+// degradedOutages scripts the sweep's capacity fault: every partition loses
+// frac of its cores over the middle-left quarter of the submit span
+// ([25%, 50%)), so the outage hits a loaded system and the tail of the
+// trace observes the recovery.
+func degradedOutages(caps []int, span, frac float64) []fault.Outage {
+	start := 0.25 * span
+	dur := 0.25 * span
+	outs := make([]fault.Outage, 0, len(caps))
+	for p, pcap := range caps {
+		cores := int(frac*float64(pcap) + 0.5)
+		if cores < 1 {
+			cores = 1
+		}
+		if cores > pcap {
+			cores = pcap
+		}
+		outs = append(outs, fault.Outage{Part: p, Start: start, Duration: dur, Cores: cores})
+	}
+	return outs
+}
+
+// DegradedSweep measures every (outage fraction, policy) combination on the
+// trace. Fraction 0 cells run with fault injection disabled (the exact
+// zero-fault baseline). Cells are simulated in parallel with indexed result
+// writes, so the output is deterministic for any worker count (including a
+// par.WithLimit(ctx, 1) serial run). The result order is fractions outer,
+// policies inner.
+func DegradedSweep(ctx context.Context, tr *trace.Trace, fracs []float64, policies []sim.Policy, opt DegradedOptions) ([]DegradedPoint, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("experiments: degraded sweep needs a non-empty trace")
+	}
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.1, 0.25, 0.5}
+	}
+	if len(policies) == 0 {
+		policies = []sim.Policy{sim.FCFS, sim.SJF, sim.SAF, sim.F1}
+	}
+	for _, f := range fracs {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("experiments: outage fraction %v outside [0, 1]", f)
+		}
+	}
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	caps := cluster.EvenPartitions(tr.System.TotalCores, nParts)
+	span := tr.Jobs[tr.Len()-1].Submit
+
+	out := make([]DegradedPoint, len(fracs)*len(policies))
+	err := par.ForEach(ctx, len(out), func(ctx context.Context, i int) error {
+		frac := fracs[i/len(policies)]
+		pol := policies[i%len(policies)]
+		so := sim.Options{Policy: pol, Backfill: opt.Backfill, RelaxFactor: opt.RelaxFactor}
+		if frac > 0 {
+			so.Faults = &fault.Config{
+				Outages:            degradedOutages(caps, span, frac),
+				Recovery:           opt.Recovery,
+				RetryCap:           opt.RetryCap,
+				CheckpointInterval: opt.CheckpointInterval,
+			}
+		}
+		res, err := sim.RunContext(ctx, tr, so)
+		if err != nil {
+			return fmt.Errorf("experiments: degraded %v @ %v: %w", pol, frac, err)
+		}
+		out[i] = DegradedPoint{
+			Frac: frac, Policy: pol,
+			AvgWait: res.AvgWait, AvgBsld: res.AvgBsld, Util: res.Utilization,
+			Interrupted: res.Interrupted, Requeued: res.Requeued, Failed: res.FaultFailed,
+			GoodputCH: res.GoodputCoreSeconds / 3600,
+			WastedCH:  res.WastedCoreSeconds / 3600,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderDegraded renders the sweep as a text table.
+func RenderDegraded(system string, rec fault.Recovery, pts []DegradedPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degraded-capacity sweep on %s (recovery: %s)\n", system, rec)
+	fmt.Fprintf(&b, "%-6s  %-6s  %12s  %8s  %7s  %6s  %6s  %6s  %12s  %12s\n",
+		"outage", "policy", "avg wait (s)", "avg bsld", "util",
+		"intr", "requ", "lost", "goodput CH", "wasted CH")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-6.2f  %-6s  %12.1f  %8.2f  %7.4f  %6d  %6d  %6d  %12.1f  %12.1f\n",
+			p.Frac, p.Policy, p.AvgWait, p.AvgBsld, p.Util,
+			p.Interrupted, p.Requeued, p.Failed, p.GoodputCH, p.WastedCH)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"crosssched/internal/fault"
+	"crosssched/internal/par"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+)
+
+func TestDegradedSweep(t *testing.T) {
+	tr, err := synth.VerifyHPC(0.2).Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0, 0.25, 0.5}
+	policies := []sim.Policy{sim.FCFS, sim.SJF}
+	opt := DegradedOptions{Backfill: sim.EASY, Recovery: fault.RecoveryRequeue, RetryCap: 2}
+	pts, err := DegradedSweep(context.Background(), tr, fracs, policies, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(fracs)*len(policies) {
+		t.Fatalf("got %d points, want %d", len(pts), len(fracs)*len(policies))
+	}
+	for i, p := range pts {
+		if want := fracs[i/len(policies)]; p.Frac != want {
+			t.Errorf("point %d frac %v, want %v", i, p.Frac, want)
+		}
+		if p.Frac == 0 {
+			if p.Interrupted != 0 || p.WastedCH != 0 {
+				t.Errorf("zero-outage baseline has interrupts %d / wasted %v", p.Interrupted, p.WastedCH)
+			}
+		} else if p.GoodputCH <= 0 {
+			t.Errorf("point %d (frac %v) goodput %v, want > 0", i, p.Frac, p.GoodputCH)
+		}
+	}
+	// The sweep must actually stress the system: the largest outage should
+	// interrupt at least one attempt for some policy.
+	anyInterrupted := false
+	for _, p := range pts {
+		if p.Frac == 0.5 && p.Interrupted > 0 {
+			anyInterrupted = true
+		}
+	}
+	if !anyInterrupted {
+		t.Error("50% outage interrupted nothing; the sweep is vacuous")
+	}
+
+	if out := RenderDegraded(tr.System.Name, opt.Recovery, pts); out == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestDegradedSweepDeterministicAcrossWorkers pins the acceptance
+// criterion that the sweep's output is identical for any -parallel worker
+// count: a serial run and a wide run must produce the same cells.
+func TestDegradedSweepDeterministicAcrossWorkers(t *testing.T) {
+	tr, err := synth.VerifyVC(0.1).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0, 0.3, 0.6}
+	policies := []sim.Policy{sim.FCFS, sim.SAF, sim.F1}
+	opt := DegradedOptions{Backfill: sim.EASY, Recovery: fault.RecoveryCheckpoint,
+		RetryCap: 3, CheckpointInterval: 600}
+	serial, err := DegradedSweep(par.WithLimit(context.Background(), 1), tr, fracs, policies, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := DegradedSweep(par.WithLimit(context.Background(), 8), tr, fracs, policies, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("sweep differs across worker counts:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}

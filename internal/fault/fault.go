@@ -1,0 +1,529 @@
+// Package fault is the simulator's deterministic fault-injection model:
+// capacity outages (partition drains with repair times, from explicit
+// scripted schedules or a seeded MTBF/MTTR process) and job faults
+// (mid-run interruption of running jobs, from a seeded per-attempt status
+// model or scripted kills), plus the recovery semantics applied when a job
+// is interrupted.
+//
+// Everything here is a pure function of the Config: compiling the capacity
+// schedule and drawing per-attempt interrupt points use counter-based
+// splitmix64 streams keyed on (seed, partition) and (seed, job, attempt),
+// never a shared RNG consumed in scheduling order. That is what lets the
+// internal/check oracle — which visits jobs in a completely different
+// order than the optimized simulator — reproduce a fault run exactly from
+// the same Config.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Recovery selects what happens to a job whose attempt is interrupted.
+type Recovery uint8
+
+const (
+	// RecoveryNone: the job is lost — it leaves the system as Failed and
+	// every core-second of the attempt counts as wasted.
+	RecoveryNone Recovery = iota
+	// RecoveryRequeue: the job re-enters its partition's waiting queue and
+	// restarts from zero, up to RetryCap retries; the interrupted attempt's
+	// core-seconds are wasted.
+	RecoveryRequeue
+	// RecoveryCheckpoint: like RecoveryRequeue, but work completed up to
+	// the last CheckpointInterval boundary is banked — the next attempt
+	// runs only the remaining work, and the banked core-seconds count as
+	// goodput (unless the job later fails terminally, which reclassifies
+	// the banked credit as wasted).
+	RecoveryCheckpoint
+
+	numRecoveries = iota
+)
+
+var recoveryNames = [numRecoveries]string{"none", "requeue", "checkpoint"}
+
+// String returns the recovery mode's spec name.
+func (r Recovery) String() string {
+	if int(r) < len(recoveryNames) {
+		return recoveryNames[r]
+	}
+	return fmt.Sprintf("Recovery(%d)", int(r))
+}
+
+// ParseRecovery converts a spec name back to a Recovery.
+func ParseRecovery(s string) (Recovery, error) {
+	for i, n := range recoveryNames {
+		if n == s {
+			return Recovery(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown recovery %q (want none, requeue, or checkpoint)", s)
+}
+
+// Outage is one scripted capacity fault: Cores cores of partition Part are
+// down (unusable) over [Start, Start+Duration).
+type Outage struct {
+	Part     int
+	Start    float64
+	Duration float64
+	Cores    int
+}
+
+// JobKill is one scripted job fault: the job at submit-order index Job is
+// interrupted After seconds into its first attempt (no effect when the
+// attempt ends naturally before that).
+type JobKill struct {
+	Job   int
+	After float64
+}
+
+// Config describes a fault-injection scenario. The zero value injects
+// nothing (Enabled() == false) and is the pay-for-what-you-use default.
+type Config struct {
+	// Seed keys every random draw (outage generation, interrupt points).
+	Seed uint64
+
+	// Outages are explicit scripted capacity faults.
+	Outages []Outage
+	// MTBF > 0 additionally generates outages per partition as a renewal
+	// process: exponential up-time with mean MTBF seconds, then an outage
+	// of exponential duration with mean MTTR seconds (default MTBF/10)
+	// taking OutageFrac of the partition's capacity (default 0.1), over
+	// [0, Horizon) (default: the trace's span, supplied at Compile time).
+	MTBF       float64
+	MTTR       float64
+	OutageFrac float64
+	Horizon    float64
+
+	// InterruptProb is the per-attempt probability that a running attempt
+	// is interrupted partway (uniform point in the attempt's runtime).
+	InterruptProb float64
+	// Kills are explicit scripted job faults.
+	Kills []JobKill
+
+	// Recovery, RetryCap, and CheckpointInterval configure what happens to
+	// interrupted jobs; see the Recovery constants. RetryCap bounds the
+	// number of RE-tries: a job may start at most RetryCap+1 times.
+	Recovery           Recovery
+	RetryCap           int
+	CheckpointInterval float64
+}
+
+// Enabled reports whether the config injects any fault at all. A nil or
+// zero config leaves the simulator's zero-fault path bit-identical to a
+// run without the fault layer.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return len(c.Outages) > 0 || c.MTBF > 0 || c.InterruptProb > 0 || len(c.Kills) > 0
+}
+
+// Validate checks the config against a cluster shape. parts <= 0 skips the
+// partition-range checks (shape not known yet, e.g. at flag parsing).
+func (c *Config) Validate(parts int) error {
+	if c == nil {
+		return nil
+	}
+	for i, o := range c.Outages {
+		if o.Part < 0 || (parts > 0 && o.Part >= parts) {
+			return fmt.Errorf("fault: outage %d: partition %d out of range (%d partitions)", i, o.Part, parts)
+		}
+		if o.Start < 0 || math.IsNaN(o.Start) || math.IsInf(o.Start, 0) {
+			return fmt.Errorf("fault: outage %d: start %v must be finite and >= 0", i, o.Start)
+		}
+		if !(o.Duration > 0) || math.IsInf(o.Duration, 0) {
+			return fmt.Errorf("fault: outage %d: duration %v must be finite and > 0", i, o.Duration)
+		}
+		if o.Cores <= 0 {
+			return fmt.Errorf("fault: outage %d: cores %d must be > 0", i, o.Cores)
+		}
+	}
+	if c.MTBF < 0 || math.IsNaN(c.MTBF) || math.IsInf(c.MTBF, 0) {
+		return fmt.Errorf("fault: mtbf %v must be finite and >= 0", c.MTBF)
+	}
+	if c.MTTR < 0 || math.IsNaN(c.MTTR) || math.IsInf(c.MTTR, 0) {
+		return fmt.Errorf("fault: mttr %v must be finite and >= 0", c.MTTR)
+	}
+	if c.OutageFrac < 0 || c.OutageFrac > 1 || math.IsNaN(c.OutageFrac) {
+		return fmt.Errorf("fault: outage fraction %v must be in [0, 1]", c.OutageFrac)
+	}
+	if c.Horizon < 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("fault: horizon %v must be finite and >= 0", c.Horizon)
+	}
+	if c.InterruptProb < 0 || c.InterruptProb >= 1 || math.IsNaN(c.InterruptProb) {
+		return fmt.Errorf("fault: interrupt probability %v must be in [0, 1)", c.InterruptProb)
+	}
+	for i, k := range c.Kills {
+		if k.Job < 0 {
+			return fmt.Errorf("fault: kill %d: job index %d must be >= 0", i, k.Job)
+		}
+		if !(k.After > 0) || math.IsInf(k.After, 0) {
+			return fmt.Errorf("fault: kill %d: after %v must be finite and > 0", i, k.After)
+		}
+	}
+	if int(c.Recovery) >= numRecoveries {
+		return fmt.Errorf("fault: unknown recovery mode %d", int(c.Recovery))
+	}
+	if c.RetryCap < 0 {
+		return fmt.Errorf("fault: retry cap %d must be >= 0", c.RetryCap)
+	}
+	if c.Recovery == RecoveryCheckpoint && !(c.CheckpointInterval > 0) {
+		return fmt.Errorf("fault: checkpoint recovery needs a checkpoint interval > 0 (got %v)", c.CheckpointInterval)
+	}
+	return nil
+}
+
+// CapEvent is one endpoint of a compiled outage: at Time, Cores cores of
+// partition Part go down (Down) or come back (up). ID pairs the two
+// endpoints of one outage; Pair is the other endpoint's time (the repair
+// time on a down event, the outage start on an up event).
+type CapEvent struct {
+	Time  float64
+	Part  int
+	Cores int
+	Down  bool
+	ID    int
+	Pair  float64
+}
+
+// Schedule is a compiled capacity-fault timeline: events sorted by time,
+// with restores ordered before drains at equal times (capacity returns
+// before more is taken, so coincident outages never drain more than the
+// sum of their cores).
+type Schedule struct {
+	Events  []CapEvent
+	Outages int
+}
+
+// Compile expands the config into a concrete capacity-event timeline for a
+// cluster with the given per-partition capacities. horizon is the caller's
+// default generation horizon (typically the trace span), used when
+// c.Horizon is unset. Scripted outages are validated against the
+// capacities; generated outages are derived deterministically from
+// (Seed, partition).
+func (c *Config) Compile(caps []int, horizon float64) (*Schedule, error) {
+	if err := c.Validate(len(caps)); err != nil {
+		return nil, err
+	}
+	outs := append([]Outage(nil), c.Outages...)
+	for i, o := range outs {
+		if o.Cores > caps[o.Part] {
+			return nil, fmt.Errorf("fault: outage %d: %d cores exceed partition %d capacity %d",
+				i, o.Cores, o.Part, caps[o.Part])
+		}
+	}
+	if c.MTBF > 0 {
+		h := c.Horizon
+		if h <= 0 {
+			h = horizon
+		}
+		mttr := c.MTTR
+		if mttr <= 0 {
+			mttr = c.MTBF / 10
+		}
+		frac := c.OutageFrac
+		if frac <= 0 {
+			frac = 0.1
+		}
+		for p, pcap := range caps {
+			cores := int(frac*float64(pcap) + 0.5)
+			if cores < 1 {
+				cores = 1
+			}
+			if cores > pcap {
+				cores = pcap
+			}
+			r := stream(c.Seed, uint64(p), saltOutage)
+			for t := r.exp(c.MTBF); t < h; {
+				d := r.exp(mttr)
+				if d < 1 {
+					d = 1 // sub-second repairs are below the model's resolution
+				}
+				outs = append(outs, Outage{Part: p, Start: t, Duration: d, Cores: cores})
+				t += d + r.exp(c.MTBF)
+			}
+		}
+	}
+	evs := make([]CapEvent, 0, 2*len(outs))
+	for id, o := range outs {
+		up := o.Start + o.Duration
+		evs = append(evs, CapEvent{Time: o.Start, Part: o.Part, Cores: o.Cores, Down: true, ID: id, Pair: up})
+		evs = append(evs, CapEvent{Time: up, Part: o.Part, Cores: o.Cores, Down: false, ID: id, Pair: o.Start})
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		ea, eb := evs[a], evs[b]
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		if ea.Down != eb.Down {
+			return !ea.Down // restores first
+		}
+		if ea.Part != eb.Part {
+			return ea.Part < eb.Part
+		}
+		return ea.ID < eb.ID
+	})
+	return &Schedule{Events: evs, Outages: len(outs)}, nil
+}
+
+// InterruptCut decides whether the attempt-th run of the job at
+// submit-order index job is interrupted, and if so how many seconds into
+// the attempt (0 <= cut < run). It is a pure function of (Config, job,
+// attempt, run): scripted kills apply to attempt 0, the random model draws
+// from a hash of (Seed, job, attempt). The simulator and the verification
+// oracle call this with identical arguments, so they interrupt at
+// bit-identical instants.
+func (c *Config) InterruptCut(job, attempt int, run float64) (cut float64, ok bool) {
+	if run <= 0 {
+		return 0, false
+	}
+	if attempt == 0 {
+		for _, k := range c.Kills {
+			if k.Job == job {
+				if k.After < run {
+					return k.After, true
+				}
+				return 0, false // attempt ends naturally first
+			}
+		}
+	}
+	if c.InterruptProb <= 0 {
+		return 0, false
+	}
+	h := stream(c.Seed, uint64(job)<<20^uint64(attempt), saltInterrupt)
+	if h.unit() >= c.InterruptProb {
+		return 0, false
+	}
+	cut = h.unit() * run
+	if !(cut < run) {
+		return 0, false
+	}
+	return cut, true
+}
+
+// Clone returns a deep copy of the config (nil in, nil out).
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	out := *c
+	out.Outages = append([]Outage(nil), c.Outages...)
+	out.Kills = append([]JobKill(nil), c.Kills...)
+	return &out
+}
+
+// splitmix64 finalizer; the standard constants.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const (
+	saltOutage    = 0x6f757461676573 // "outages"
+	saltInterrupt = 0x696e7472757074 // "intrupt"
+	gamma         = 0x9e3779b97f4a7c15
+)
+
+// rng is a counter-based splitmix64 stream: state advances by the golden
+// gamma, outputs are the finalized counter. Deterministic, allocation-free,
+// and independent per (seed, key, salt) triple.
+type rng struct{ s uint64 }
+
+func stream(seed, key, salt uint64) rng {
+	return rng{s: mix64(seed+gamma) ^ mix64(key*gamma+salt)}
+}
+
+func (r *rng) next() uint64 {
+	r.s += gamma
+	return mix64(r.s)
+}
+
+// unit returns a uniform float64 in [0, 1).
+func (r *rng) unit() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponential variate with the given mean, in (0, +inf).
+func (r *rng) exp(mean float64) float64 {
+	u := 1 - r.unit() // (0, 1]
+	return -mean * math.Log(u)
+}
+
+// ParseSpec parses the textual fault-scenario format used by the schedsim
+// -faults flag: a comma-separated key=value list. Keys: seed, mtbf, mttr,
+// frac, horizon, pint (interrupt probability), recovery (none | requeue |
+// checkpoint), retry (retry cap), ckpt (checkpoint interval seconds),
+// down=PART:START:DURATION:CORES (repeatable scripted outage), and
+// kill=JOB:AFTER (repeatable scripted job fault). An empty string or "off"
+// yields a disabled config. Example:
+//
+//	mtbf=172800,mttr=7200,frac=0.25,pint=0.02,recovery=requeue,retry=2
+//	down=0:3600:7200:512,recovery=checkpoint,ckpt=900
+func ParseSpec(s string) (*Config, error) {
+	c := &Config{}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return c, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, found := strings.Cut(tok, "=")
+		if !found {
+			return nil, fmt.Errorf("fault: bad spec entry %q (want key=value)", tok)
+		}
+		var err error
+		switch key {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "mtbf":
+			c.MTBF, err = parsePositive(val)
+		case "mttr":
+			c.MTTR, err = parsePositive(val)
+		case "frac":
+			c.OutageFrac, err = parsePositive(val)
+		case "horizon":
+			c.Horizon, err = parsePositive(val)
+		case "pint":
+			c.InterruptProb, err = parsePositive(val)
+		case "recovery":
+			c.Recovery, err = ParseRecovery(val)
+		case "retry":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 32)
+			c.RetryCap = int(n)
+		case "ckpt":
+			c.CheckpointInterval, err = parsePositive(val)
+		case "down":
+			var o Outage
+			o, err = parseOutage(val)
+			c.Outages = append(c.Outages, o)
+		case "kill":
+			var k JobKill
+			k, err = parseKill(val)
+			c.Kills = append(c.Kills, k)
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: spec entry %q: %w", tok, err)
+		}
+	}
+	if err := c.Validate(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parsePositive(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("value %v must be finite and >= 0", f)
+	}
+	return f, nil
+}
+
+func parseOutage(val string) (Outage, error) {
+	f := strings.Split(val, ":")
+	if len(f) != 4 {
+		return Outage{}, fmt.Errorf("want PART:START:DURATION:CORES, got %q", val)
+	}
+	part, err := strconv.Atoi(f[0])
+	if err != nil {
+		return Outage{}, err
+	}
+	start, err := parsePositive(f[1])
+	if err != nil {
+		return Outage{}, err
+	}
+	dur, err := parsePositive(f[2])
+	if err != nil {
+		return Outage{}, err
+	}
+	cores, err := strconv.Atoi(f[3])
+	if err != nil {
+		return Outage{}, err
+	}
+	return Outage{Part: part, Start: start, Duration: dur, Cores: cores}, nil
+}
+
+func parseKill(val string) (JobKill, error) {
+	f := strings.Split(val, ":")
+	if len(f) != 2 {
+		return JobKill{}, fmt.Errorf("want JOB:AFTER, got %q", val)
+	}
+	job, err := strconv.Atoi(f[0])
+	if err != nil {
+		return JobKill{}, err
+	}
+	after, err := parsePositive(f[1])
+	if err != nil {
+		return JobKill{}, err
+	}
+	return JobKill{Job: job, After: after}, nil
+}
+
+// Spec renders the config in the canonical ParseSpec format: fixed key
+// order, zero-valued fields omitted, floats formatted shortest-exact so
+// ParseSpec(c.Spec()) reproduces c bit-for-bit.
+func (c *Config) Spec() string {
+	if c == nil {
+		return ""
+	}
+	var b strings.Builder
+	add := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	ftoa := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	if c.Seed != 0 {
+		add("seed", strconv.FormatUint(c.Seed, 10))
+	}
+	if c.MTBF > 0 {
+		add("mtbf", ftoa(c.MTBF))
+	}
+	if c.MTTR > 0 {
+		add("mttr", ftoa(c.MTTR))
+	}
+	if c.OutageFrac > 0 {
+		add("frac", ftoa(c.OutageFrac))
+	}
+	if c.Horizon > 0 {
+		add("horizon", ftoa(c.Horizon))
+	}
+	if c.InterruptProb > 0 {
+		add("pint", ftoa(c.InterruptProb))
+	}
+	if c.Recovery != RecoveryNone {
+		add("recovery", c.Recovery.String())
+	}
+	if c.RetryCap > 0 {
+		add("retry", strconv.Itoa(c.RetryCap))
+	}
+	if c.CheckpointInterval > 0 {
+		add("ckpt", ftoa(c.CheckpointInterval))
+	}
+	for _, o := range c.Outages {
+		add("down", fmt.Sprintf("%d:%s:%s:%d", o.Part, ftoa(o.Start), ftoa(o.Duration), o.Cores))
+	}
+	for _, k := range c.Kills {
+		add("kill", fmt.Sprintf("%d:%s", k.Job, ftoa(k.After)))
+	}
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config reports enabled")
+	}
+	if (&Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if (&Config{Seed: 7, Recovery: RecoveryRequeue, RetryCap: 3}).Enabled() {
+		t.Error("config with only recovery knobs reports enabled")
+	}
+	for _, c := range []*Config{
+		{Outages: []Outage{{Part: 0, Start: 1, Duration: 1, Cores: 1}}},
+		{MTBF: 3600},
+		{InterruptProb: 0.1},
+		{Kills: []JobKill{{Job: 0, After: 5}}},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v should be enabled", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Config{
+		{Outages: []Outage{{Part: -1, Start: 0, Duration: 1, Cores: 1}}},
+		{Outages: []Outage{{Part: 2, Start: 0, Duration: 1, Cores: 1}}}, // 2 parts
+		{Outages: []Outage{{Part: 0, Start: -1, Duration: 1, Cores: 1}}},
+		{Outages: []Outage{{Part: 0, Start: 0, Duration: 0, Cores: 1}}},
+		{Outages: []Outage{{Part: 0, Start: 0, Duration: 1, Cores: 0}}},
+		{MTBF: math.Inf(1)},
+		{MTBF: -1},
+		{OutageFrac: 1.5},
+		{InterruptProb: 1},
+		{InterruptProb: -0.25},
+		{Kills: []JobKill{{Job: -1, After: 1}}},
+		{Kills: []JobKill{{Job: 0, After: 0}}},
+		{RetryCap: -1},
+		{Recovery: RecoveryCheckpoint},
+		{Recovery: Recovery(99)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(2); err == nil {
+			t.Errorf("bad config %d (%+v) validated", i, c)
+		}
+	}
+	good := &Config{
+		Seed:          42,
+		Outages:       []Outage{{Part: 1, Start: 10, Duration: 60, Cores: 4}},
+		MTBF:          86400,
+		MTTR:          3600,
+		OutageFrac:    0.25,
+		InterruptProb: 0.05,
+		Kills:         []JobKill{{Job: 3, After: 30}},
+		Recovery:      RecoveryCheckpoint, RetryCap: 2, CheckpointInterval: 600,
+	}
+	if err := good.Validate(2); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestCompileScripted(t *testing.T) {
+	c := &Config{Outages: []Outage{
+		{Part: 1, Start: 100, Duration: 50, Cores: 8},
+		{Part: 0, Start: 100, Duration: 25, Cores: 4},
+		{Part: 0, Start: 125, Duration: 10, Cores: 2},
+	}}
+	sched, err := c.Compile([]int{16, 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Outages != 3 || len(sched.Events) != 6 {
+		t.Fatalf("got %d outages, %d events", sched.Outages, len(sched.Events))
+	}
+	// Sorted by time; at t=125 the restore (outage 1 up) precedes the drain
+	// (outage 2 down).
+	for i := 1; i < len(sched.Events); i++ {
+		a, b := sched.Events[i-1], sched.Events[i]
+		if a.Time > b.Time {
+			t.Fatalf("events out of order: %+v before %+v", a, b)
+		}
+		if a.Time == b.Time && a.Down && !b.Down {
+			t.Fatalf("drain before restore at t=%v", a.Time)
+		}
+	}
+	// Down/up events pair by ID with matching Pair times.
+	seen := map[int][2]int{}
+	for i, e := range sched.Events {
+		s := seen[e.ID]
+		if e.Down {
+			s[0]++
+		} else {
+			s[1]++
+		}
+		seen[e.ID] = s
+		_ = i
+	}
+	for id, s := range seen {
+		if s != [2]int{1, 1} {
+			t.Errorf("outage %d has %d down / %d up events", id, s[0], s[1])
+		}
+	}
+	// Cores beyond partition capacity are rejected.
+	over := &Config{Outages: []Outage{{Part: 0, Start: 0, Duration: 1, Cores: 32}}}
+	if _, err := over.Compile([]int{16}, 0); err == nil {
+		t.Error("oversized outage compiled")
+	}
+}
+
+func TestCompileGeneratedDeterministic(t *testing.T) {
+	c := &Config{Seed: 9, MTBF: 7200, MTTR: 1800, OutageFrac: 0.2}
+	caps := []int{64, 32}
+	a, err := c.Compile(caps, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Compile(caps, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config compiled to different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("MTBF model generated no outages over a day with 2h MTBF")
+	}
+	for _, e := range a.Events {
+		if e.Cores <= 0 || e.Cores > caps[e.Part] {
+			t.Errorf("event cores %d outside (0, %d]", e.Cores, caps[e.Part])
+		}
+		if e.Time < 0 {
+			t.Errorf("event at negative time %v", e.Time)
+		}
+	}
+	// A different seed must give a different timeline.
+	c2 := &Config{Seed: 10, MTBF: 7200, MTTR: 1800, OutageFrac: 0.2}
+	d, err := c2.Compile(caps, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, d.Events) {
+		t.Error("different seeds compiled to identical schedules")
+	}
+}
+
+func TestInterruptCutDeterministicAndBounded(t *testing.T) {
+	c := &Config{Seed: 123, InterruptProb: 0.5}
+	hits := 0
+	const n = 2000
+	for job := 0; job < n; job++ {
+		run := 100 + float64(job)
+		cut, ok := c.InterruptCut(job, 0, run)
+		cut2, ok2 := c.InterruptCut(job, 0, run)
+		if cut != cut2 || ok != ok2 {
+			t.Fatalf("job %d: draw not deterministic", job)
+		}
+		if ok {
+			hits++
+			if !(cut >= 0 && cut < run) {
+				t.Fatalf("job %d: cut %v outside [0, %v)", job, cut, run)
+			}
+		}
+	}
+	// p=0.5 over 2000 draws: expect ~1000, allow wide slack.
+	if hits < 800 || hits > 1200 {
+		t.Errorf("interrupt rate %d/%d far from p=0.5", hits, n)
+	}
+	// Attempts draw independently.
+	if a0, _ := c.InterruptCut(7, 0, 100); true {
+		if a1, _ := c.InterruptCut(7, 1, 100); a0 == a1 && a0 != 0 {
+			t.Error("attempt 0 and 1 drew the same cut")
+		}
+	}
+	// Zero-length runs never interrupt.
+	if _, ok := c.InterruptCut(1, 0, 0); ok {
+		t.Error("zero-run attempt interrupted")
+	}
+}
+
+func TestInterruptCutScripted(t *testing.T) {
+	c := &Config{Kills: []JobKill{{Job: 4, After: 25}}}
+	if cut, ok := c.InterruptCut(4, 0, 100); !ok || cut != 25 {
+		t.Errorf("scripted kill: got (%v, %v), want (25, true)", cut, ok)
+	}
+	// The attempt ends naturally before the scripted point.
+	if _, ok := c.InterruptCut(4, 0, 10); ok {
+		t.Error("kill past the attempt's natural end still fired")
+	}
+	// Scripted kills only apply to the first attempt.
+	if _, ok := c.InterruptCut(4, 1, 100); ok {
+		t.Error("scripted kill fired on a retry")
+	}
+	// Other jobs are untouched.
+	if _, ok := c.InterruptCut(5, 0, 100); ok {
+		t.Error("kill fired on the wrong job")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfgs := []*Config{
+		{},
+		{Seed: 99, MTBF: 7200.5, MTTR: 600, OutageFrac: 0.125, Horizon: 86400},
+		{InterruptProb: 0.031415, Recovery: RecoveryRequeue, RetryCap: 3},
+		{Recovery: RecoveryCheckpoint, CheckpointInterval: 900, InterruptProb: 0.1},
+		{
+			Outages: []Outage{{Part: 0, Start: 3600, Duration: 1800.25, Cores: 128}, {Part: 3, Start: 10, Duration: 5, Cores: 1}},
+			Kills:   []JobKill{{Job: 17, After: 42.5}},
+		},
+	}
+	for i, c := range cfgs {
+		got, err := ParseSpec(c.Spec())
+		if err != nil {
+			t.Fatalf("config %d: reparse of %q failed: %v", i, c.Spec(), err)
+		}
+		want := c.Clone()
+		if want.Outages == nil {
+			want.Outages = []Outage{}
+		}
+		norm(got)
+		norm(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("config %d: round trip changed %q:\n got %+v\nwant %+v", i, c.Spec(), got, want)
+		}
+	}
+}
+
+// norm maps empty slices to nil so DeepEqual compares contents only.
+func norm(c *Config) {
+	if len(c.Outages) == 0 {
+		c.Outages = nil
+	}
+	if len(c.Kills) == 0 {
+		c.Kills = nil
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"key",
+		"mtbf=abc",
+		"mtbf=-5",
+		"pint=1.5",
+		"recovery=sometimes",
+		"down=1:2:3",
+		"down=x:2:3:4",
+		"kill=1",
+		"retry=-2",
+		"recovery=checkpoint", // missing ckpt
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+	for _, s := range []string{"", "off", "  "} {
+		c, err := ParseSpec(s)
+		if err != nil || c.Enabled() {
+			t.Errorf("ParseSpec(%q) = (%+v, %v), want disabled config", s, c, err)
+		}
+	}
+}

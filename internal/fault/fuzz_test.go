@@ -1,0 +1,116 @@
+// Fuzz coverage for the fault layer lives in an external test package so it
+// can drive the real simulator (sim imports fault; the reverse import is
+// test-only).
+package fault_test
+
+import (
+	"testing"
+
+	"crosssched/internal/fault"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// decodeFaultFuzz maps arbitrary bytes onto a small workload plus simulator
+// options, mirroring check.FuzzSimulator's encoding: six header bytes pick
+// the configuration, then each six-byte chunk is one job.
+func decodeFaultFuzz(data []byte) (*trace.Trace, sim.Options) {
+	const header = 6
+	const chunk = 6
+	if len(data) < header+chunk {
+		return nil, sim.Options{}
+	}
+	parts := 1 + int(data[2])%3
+	coresPerPart := 2 + int(data[3])%14
+	opt := sim.Options{
+		Policy:      sim.Policies[int(data[0])%len(sim.Policies)],
+		Backfill:    sim.Backfills[int(data[1])%len(sim.Backfills)],
+		RelaxFactor: float64(data[4]%50) / 100,
+	}
+	if data[5]&1 != 0 {
+		opt.UseActualRuntime = true
+	}
+
+	tr := trace.New(trace.System{
+		Name:            "fuzz",
+		TotalCores:      parts * coresPerPart,
+		VirtualClusters: parts,
+	})
+	submit := 0.0
+	body := data[header:]
+	for off := 0; off+chunk <= len(body) && len(tr.Jobs) < 32; off += chunk {
+		c := body[off : off+chunk]
+		submit += float64(c[0]) * 3.7
+		run := float64(c[1]) * float64(c[2]) * 0.7
+		walltime := 0.0
+		if c[5] != 0 {
+			walltime = run*(0.5+float64(c[5])/64) + 1
+		}
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID:       len(tr.Jobs),
+			User:     int(c[3]) % 5,
+			Submit:   submit,
+			Wait:     -1,
+			Run:      run,
+			Walltime: walltime,
+			Procs:    1 + int(c[3])%coresPerPart,
+			VC:       int(c[4])%(parts+1) - 1,
+		})
+	}
+	tr.SortBySubmit()
+	return tr, opt
+}
+
+// FuzzFaultSchedule feeds arbitrary fault-scenario specs and workloads
+// through the full stack: ParseSpec must never panic, any spec it accepts
+// must survive a Spec() round trip bit-for-bit, and the simulator must
+// either reject the config with an error or complete the run without
+// panicking, keeping the wasted/goodput split non-negative.
+func FuzzFaultSchedule(f *testing.F) {
+	job := []byte{0, 1, 1, 6, 10, 0, 3, 9, 8, 2, 0, 40, 1, 4, 4, 3, 0, 0, 0, 20, 20, 1, 1, 9, 2, 7, 7, 5, 1, 64}
+	f.Add("", job)
+	f.Add("off", job)
+	f.Add("mtbf=4000,mttr=800,frac=0.4,recovery=requeue,retry=2", job)
+	f.Add("pint=0.3,recovery=checkpoint,ckpt=60,retry=3,seed=9", job)
+	f.Add("down=0:10:500:3,down=1:0:50:2,kill=0:5,kill=2:1.5", job)
+	f.Add("down=9:0:1:1", job)       // partition out of range for most shapes
+	f.Add("pint=2", job)             // invalid probability
+	f.Add("recovery=later", job)     // unknown recovery
+	f.Add("mtbf=1e309,garbage", job) // overflow + malformed entry
+
+	f.Fuzz(func(t *testing.T, spec string, data []byte) {
+		cfg, err := fault.ParseSpec(spec)
+		if err != nil {
+			cfg = nil // still drive the simulator on the plain workload
+		} else {
+			canon := cfg.Spec()
+			again, err := fault.ParseSpec(canon)
+			if err != nil {
+				t.Fatalf("Spec() of accepted spec %q rejected: %v", spec, err)
+			}
+			if got := again.Spec(); got != canon {
+				t.Fatalf("spec round trip diverged: %q -> %q", canon, got)
+			}
+			if got := cfg.Clone().Spec(); got != canon {
+				t.Fatalf("Clone changed the spec: %q -> %q", canon, got)
+			}
+		}
+
+		tr, opt := decodeFaultFuzz(data)
+		if tr == nil {
+			return
+		}
+		opt.Faults = cfg
+		res, err := sim.Run(tr, opt)
+		if err != nil {
+			return // config invalid for this cluster shape — rejected, not panicked
+		}
+		if res.GoodputCoreSeconds < 0 || res.WastedCoreSeconds < 0 {
+			t.Fatalf("negative core-hour accounting: goodput %v, wasted %v",
+				res.GoodputCoreSeconds, res.WastedCoreSeconds)
+		}
+		if res.Requeued > res.Interrupted {
+			t.Fatalf("%d requeues from %d interrupts", res.Requeued, res.Interrupted)
+		}
+	})
+}

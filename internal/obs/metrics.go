@@ -30,6 +30,13 @@ type Metrics struct {
 	JobsStarted int64 `json:"jobs_started"`
 	Backfilled  int64 `json:"backfilled"`
 	Violations  int64 `json:"violations"`
+	// Fault-injection counters (all zero when the fault layer is off):
+	// capacity events applied, attempts interrupted, jobs requeued, and
+	// jobs terminally failed by faults.
+	CapacityFaults int64 `json:"capacity_faults,omitempty"`
+	Interrupts     int64 `json:"interrupts,omitempty"`
+	Requeues       int64 `json:"requeues,omitempty"`
+	FaultFailed    int64 `json:"fault_failed,omitempty"`
 	// WallSeconds is the run's wall-clock duration.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Canceled reports whether the run was cut short by its context.

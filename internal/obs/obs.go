@@ -47,6 +47,23 @@ const (
 	// Emitted after the job's JobStart event; Detail is the delay in
 	// seconds behind the promise.
 	PromiseViolation
+	// FaultNodeDown: a capacity fault drained cores from a partition.
+	// Job is -1 (no job involved); Procs is the drained core count and
+	// Detail the scheduled repair time.
+	FaultNodeDown
+	// FaultNodeUp: drained cores returned to service. Job is -1; Procs is
+	// the restored core count and Detail the outage's start time.
+	FaultNodeUp
+	// FaultJobInterrupt: a running job's attempt was cut short — by a
+	// capacity fault taking its cores or by a job fault. Procs is the
+	// attempt's core count; Detail is the attempt's elapsed seconds.
+	FaultJobInterrupt
+	// FaultJobRequeue: an interrupted job re-entered its partition's
+	// waiting queue. Emitted immediately after the job's
+	// FaultJobInterrupt event; Detail is the remaining work in seconds
+	// the next attempt will run (less than the original runtime after a
+	// checkpoint restore).
+	FaultJobRequeue
 
 	numKinds = iota
 )
@@ -54,6 +71,7 @@ const (
 // kindNames are the wire names used in JSONL output.
 var kindNames = [numKinds]string{
 	"submit", "start", "complete", "backfill", "reservation", "relaxed", "violation",
+	"fault.node_down", "fault.node_up", "fault.job_interrupt", "fault.job_requeue",
 }
 
 // String returns the event kind's wire name.

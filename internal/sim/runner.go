@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crosssched/internal/cluster"
+	"crosssched/internal/fault"
 	"crosssched/internal/obs"
 	"crosssched/internal/trace"
 )
@@ -80,10 +81,18 @@ func (r *Runner) RunContext(ctx context.Context, tr *trace.Trace, opt Options) (
 	if nParts < 1 {
 		nParts = 1
 	}
-	cl := r.cluster(tr.System.TotalCores, nParts)
+	cl, err := r.cluster(tr.System.TotalCores, nParts)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &r.s
 	s.reset(ctx, tr, opt, cl, nParts)
+	if opt.Faults.Enabled() {
+		if err := s.setupFaults(tr, opt.Faults, cl); err != nil {
+			return nil, err
+		}
+	}
 	// Scratch state may live on in the pool, but references to the caller's
 	// trace, context, and callbacks must not outlive the run.
 	defer func() {
@@ -92,6 +101,9 @@ func (r *Runner) RunContext(ctx context.Context, tr *trace.Trace, opt Options) (
 		s.done = nil
 		s.obsv = nil
 		s.opt = Options{}
+		s.flt = nil
+		s.fltState.cfg = nil
+		s.fltState.sched = nil
 	}()
 
 	// Validate partition fit up front so we fail fast, not mid-run.
@@ -125,18 +137,42 @@ func (r *Runner) RunContext(ctx context.Context, tr *trace.Trace, opt Options) (
 // cluster returns a cluster model for the trace shape, reusing the cached
 // one when the shape matches (EvenPartitions is deterministic in
 // (totalCores, nParts), so matching those two means matching capacities).
-func (r *Runner) cluster(totalCores, nParts int) *cluster.Cluster {
+func (r *Runner) cluster(totalCores, nParts int) (*cluster.Cluster, error) {
 	if r.cl != nil && r.clTotal == totalCores && r.clParts == nParts {
 		r.cl.Reset()
-		return r.cl
+		return r.cl, nil
 	}
-	if nParts > 1 {
-		r.cl = cluster.NewPartitioned(cluster.EvenPartitions(totalCores, nParts))
-	} else {
-		r.cl = cluster.New(totalCores)
+	cl, err := cluster.NewPartitioned(cluster.EvenPartitions(totalCores, nParts))
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid cluster shape (%d cores, %d partitions): %w",
+			totalCores, nParts, err)
 	}
+	r.cl = cl
 	r.clTotal, r.clParts = totalCores, nParts
-	return r.cl
+	return r.cl, nil
+}
+
+// setupFaults compiles the run's fault schedule and arms the simulator's
+// fault state. Only called for enabled configs, so disabled runs never
+// touch (or allocate) any of this.
+func (s *simulator) setupFaults(tr *trace.Trace, cfg *fault.Config, cl *cluster.Cluster) error {
+	caps := make([]int, cl.Partitions())
+	for p := range caps {
+		caps[p] = cl.Capacity(p)
+	}
+	// Default generation horizon for the MTBF/MTTR model: the trace's
+	// submit span (jobs are validated sorted by submit time).
+	horizon := 0.0
+	if n := len(tr.Jobs); n > 0 {
+		horizon = tr.Jobs[n-1].Submit
+	}
+	sched, err := cfg.Compile(caps, horizon)
+	if err != nil {
+		return err
+	}
+	s.fltState.reset(cfg, sched, len(tr.Jobs))
+	s.flt = &s.fltState
+	return nil
 }
 
 // reset prepares the simulator for a new run, reusing retained scratch
@@ -179,6 +215,7 @@ func (s *simulator) reset(ctx context.Context, tr *trace.Trace, opt Options, cl 
 	}
 	s.compl.items = s.compl.items[:0]
 	s.now = 0
+	s.flt = nil // armed separately (setupFaults) only for enabled configs
 	s.ctx = ctx
 	s.done = ctx.Done()
 	s.obsv = opt.Observer

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"crosssched/internal/cluster"
+	"crosssched/internal/fault"
 	"crosssched/internal/obs"
 	"crosssched/internal/trace"
 )
@@ -58,6 +59,16 @@ type Options struct {
 	// when the run finishes — including a canceled run, so partial
 	// progress stays visible.
 	Metrics *obs.Metrics
+	// Faults, when non-nil and enabled, injects capacity and job faults
+	// into the run (see internal/fault): partitions lose cores over
+	// outage windows (running jobs on the lost cores are interrupted) and
+	// running attempts are cut short by a seeded status model, with
+	// none/requeue/checkpoint recovery. The injection is deterministic in
+	// the config, so the internal/check oracle reproduces fault runs
+	// exactly. A nil or disabled config leaves the simulator bit-identical
+	// to a run without the fault layer, at the cost of one nil check per
+	// integration point (pinned by TestZeroFaultIdentity).
+	Faults *fault.Config
 }
 
 // Result holds the outcome of a simulation.
@@ -89,6 +100,21 @@ type Result struct {
 	// aligned with Jobs; -1 for jobs that never became a blocked queue
 	// head. Violations compare actual starts against these promises.
 	PromisedStart []float64
+
+	// Fault-injection outcomes; all zero when Options.Faults is disabled.
+	// Interrupted counts attempts cut short, Requeued counts re-entries
+	// into the waiting queue, and FaultFailed counts jobs that left the
+	// system terminally failed (their copy in Jobs is marked
+	// trace.Failed; they keep their first-attempt Wait in AvgWait and
+	// AvgBsld). GoodputCoreSeconds is occupancy that produced retained
+	// work (completions plus surviving checkpoint credit);
+	// WastedCoreSeconds is occupancy lost to interruptions. Their sum
+	// equals the cluster's busy integral.
+	Interrupted        int
+	Requeued           int
+	FaultFailed        int
+	GoodputCoreSeconds float64
+	WastedCoreSeconds  float64
 }
 
 // QueueSample is one point of the queue-length timeline.
@@ -382,6 +408,11 @@ type simulator struct {
 	fair    *FairshareState // non-nil when Policy == Fair
 	fairVer int             // bumped on every Charge; invalidates score caches
 
+	// flt is non-nil only when fault injection is enabled; fltState is the
+	// reused backing storage (see simFault).
+	flt      *simFault
+	fltState simFault
+
 	queued         int // total jobs waiting across partitions
 	touched        []bool
 	waits          []float64
@@ -442,7 +473,8 @@ func (s *simulator) partition(j *trace.Job) int {
 
 func (s *simulator) run() error {
 	next := 0 // next arrival index
-	for next < len(s.jobs) || s.compl.len() > 0 {
+	for next < len(s.jobs) || s.compl.len() > 0 ||
+		(s.flt != nil && s.flt.next < len(s.flt.sched.Events)) {
 		if s.done != nil {
 			if err := s.ctx.Err(); err != nil {
 				return fmt.Errorf("sim: run canceled at t=%v after %d events (%d/%d jobs started): %w",
@@ -457,6 +489,11 @@ func (s *simulator) run() error {
 		}
 		if s.compl.len() > 0 && s.compl.min().real < t {
 			t = s.compl.min().real
+		}
+		if s.flt != nil {
+			if ft := s.flt.nextTime(); ft < t {
+				t = ft
+			}
 		}
 		s.now = t
 
@@ -479,12 +516,30 @@ func (s *simulator) run() error {
 				s.makespan = r.real
 			}
 			touched[part] = true
+			if s.flt != nil {
+				if s.flt.willInterrupt[r.idx] {
+					// The attempt ends in a drawn interrupt at r.real, not
+					// a completion: classify its occupancy and requeue or
+					// fail the job.
+					s.flt.willInterrupt[r.idx] = false
+					s.faultInterrupted(&r, r.real, touched)
+					continue
+				}
+				s.flt.goodput += (r.real - s.flt.lastStart[r.idx]) * float64(procs)
+			}
 			s.met.Completions++
 			if s.obsv != nil {
 				s.obsv.Observe(obs.Event{
 					Kind: obs.JobComplete, Time: r.real, Job: s.jobs[r.idx].ID,
 					Part: part, Procs: procs, Detail: r.end,
 				})
+			}
+		}
+		// capacity faults due at t apply after completions (freed cores
+		// reduce the victim count) and before arrivals
+		if s.flt != nil {
+			if err := s.applyCapacityFaults(t, touched); err != nil {
+				return err
 			}
 		}
 		// arrivals at t join their queue
@@ -509,15 +564,7 @@ func (s *simulator) run() error {
 				idx: next, user: j.User, submit: j.Submit, procs: j.Procs,
 				part: p, reqTime: reqTime, run: run, promised: -1,
 			}
-			if s.staticOrder() {
-				s.insertSorted(p, pj)
-			} else {
-				s.parts[p].q.push(pj)
-				s.parts[p].sorted = false
-			}
-			if pj.procs < s.parts[p].fitBound {
-				s.parts[p].fitBound = pj.procs
-			}
+			s.enqueue(p, pj)
 			s.queued++
 			touched[p] = true
 			s.met.Arrivals++
@@ -554,6 +601,22 @@ func (s *simulator) run() error {
 // staticOrder reports whether queue order is fixed at arrival time.
 func (s *simulator) staticOrder() bool {
 	return s.opt.Policy.static() && s.opt.CustomScore == nil
+}
+
+// enqueue places pj in partition p's waiting queue (ordered position under
+// static policies, re-sort marker under dynamic ones) and maintains the
+// partition's fit bound. Shared by the arrival path and the fault-requeue
+// path so a requeued job re-enters exactly like a fresh arrival.
+func (s *simulator) enqueue(p int, pj *pending) {
+	if s.staticOrder() {
+		s.insertSorted(p, pj)
+	} else {
+		s.parts[p].q.push(pj)
+		s.parts[p].sorted = false
+	}
+	if pj.procs < s.parts[p].fitBound {
+		s.parts[p].fitBound = pj.procs
+	}
 }
 
 // less is the canonical queue ordering at time now: policy score, then
@@ -668,11 +731,19 @@ func (s *simulator) start(p, pos int) {
 		// The caller checked CanAllocate; reaching here is a bug.
 		panic(fmt.Sprintf("sim: allocation invariant broken: %v", err))
 	}
-	s.waits[j.idx] = s.now - j.submit
+	// Under fault injection a job may start several times; the recorded
+	// wait, the promise-violation accounting, and the unique-start count
+	// belong to the FIRST attempt only. (first is constant true on the
+	// zero-fault path, so these branches compile to the original code.)
+	w := s.now - j.submit
+	first := s.flt == nil || !s.flt.everStarted[j.idx]
+	if first {
+		s.waits[j.idx] = w
+	}
 	if s.obsv != nil {
 		s.obsv.Observe(obs.Event{
 			Kind: obs.JobStart, Time: s.now, Job: s.jobs[j.idx].ID,
-			Part: p, Procs: j.procs, Detail: s.waits[j.idx],
+			Part: p, Procs: j.procs, Detail: w,
 		})
 		if pos > 0 {
 			s.obsv.Observe(obs.Event{
@@ -680,14 +751,14 @@ func (s *simulator) start(p, pos int) {
 				Part: p, Procs: j.procs, Detail: float64(pos),
 			})
 		}
-		if j.promised >= 0 && s.now > j.promised+1e-9 {
+		if first && j.promised >= 0 && s.now > j.promised+1e-9 {
 			s.obsv.Observe(obs.Event{
 				Kind: obs.PromiseViolation, Time: s.now, Job: s.jobs[j.idx].ID,
 				Part: p, Procs: j.procs, Detail: s.now - j.promised,
 			})
 		}
 	}
-	if j.promised >= 0 && s.now > j.promised+1e-9 {
+	if first && j.promised >= 0 && s.now > j.promised+1e-9 {
 		s.violations++
 		s.violationDelay += s.now - j.promised
 	}
@@ -700,11 +771,24 @@ func (s *simulator) start(p, pos int) {
 	}
 	end := s.now + j.reqTime
 	real := s.now + j.run
+	if s.flt != nil {
+		s.flt.everStarted[j.idx] = true
+		s.flt.lastStart[j.idx] = s.now
+		if cut, ok := s.flt.cfg.InterruptCut(j.idx, int(s.flt.attempts[j.idx]), j.run); ok {
+			// The attempt ends early in an interrupt: its heap entry uses
+			// the interrupt instant, and the pop path routes it to
+			// faultInterrupted instead of the completion path.
+			real = s.now + cut
+			s.flt.willInterrupt[j.idx] = true
+		}
+	}
 	s.compl.push(running{idx: int32(j.idx), end: end, real: real, procs: int32(j.procs), part: int32(p)})
 	ps.avail.Add(end, j.procs)
 	ps.q.remove(pos)
 	s.queued--
-	s.started++
+	if first {
+		s.started++
+	}
 	if real > s.makespan {
 		s.makespan = real
 	}
@@ -735,6 +819,19 @@ func (s *simulator) schedule(p int) error {
 		// backfill verdicts only matter on admission) — skip it outright.
 		if head.promised >= 0 && s.cl.Free(p) < ps.fitBound {
 			return nil
+		}
+		// Outage-blocked head: while a capacity fault holds the partition
+		// below the head's request, no reservation can be planned for it
+		// (the availability profile never reaches head.procs free cores,
+		// so earliestStart has no feasible answer). Degrade to a pure
+		// greedy pass — start any queued job that fits the free cores,
+		// with no reservation to protect — until capacity returns.
+		if s.flt != nil && head.procs > s.cl.Capacity(p)-s.cl.DownCores(p) {
+			started, _ := s.backfillPass(p, math.Inf(1), math.Inf(1), s.cl.Free(p))
+			if !started {
+				return nil
+			}
+			continue
 		}
 		// Head is blocked: plan its reservation. The answer is cached
 		// alongside the profile cache: when the profile hasn't changed and
@@ -965,12 +1062,25 @@ func (s *simulator) backfillPass(p int, deadline, base float64, extra int) (star
 // planning allocates nothing.
 func (s *simulator) conservativePass(p int, prof *profile, headShadow float64) {
 	ps := &s.parts[p]
+	// During a capacity fault, queued jobs larger than the effective
+	// capacity cannot be planned at all (no profile segment ever reaches
+	// their request; reserving anyway would drive the profile negative) —
+	// they are skipped until the outage ends. The head is never skipped:
+	// schedule() degrades to a greedy pass before planning when the head
+	// itself no longer fits.
+	effCap := math.MaxInt
+	if s.flt != nil {
+		effCap = s.cl.Capacity(p) - s.cl.DownCores(p)
+	}
 	// Plan on the queue order; starting jobs mutates the queue, so record
 	// positions first and start afterwards.
 	planned := ps.planned[:0]
 	n := ps.q.len()
 	for pos := 0; pos < n; pos++ {
 		c := ps.q.at(pos)
+		if c.procs > effCap {
+			continue
+		}
 		st := headShadow // the caller already planned the head on this profile
 		if pos > 0 {
 			st, _ = prof.earliestStart(s.now, c.procs, c.reqTime)
@@ -999,6 +1109,18 @@ func (s *simulator) result(tr *trace.Trace) (*Result, error) {
 		Makespan:       s.makespan,
 		QueueTimeline:  s.timeline,
 		PromisedStart:  s.promised,
+	}
+	if f := s.flt; f != nil {
+		res.Interrupted = f.interrupts
+		res.Requeued = f.requeues
+		res.FaultFailed = f.failed
+		res.GoodputCoreSeconds = f.goodput
+		res.WastedCoreSeconds = f.wasted
+		for i := range res.Jobs {
+			if f.dead[i] {
+				res.Jobs[i].Status = trace.Failed
+			}
+		}
 	}
 	var sumWait, sumBsld float64
 	tau := s.opt.BsldTau

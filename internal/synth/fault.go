@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"math"
+
+	"crosssched/internal/dist"
+	"crosssched/internal/fault"
+	"crosssched/internal/trace"
+)
+
+// Fault-model derivation constants: the reference outage process is one
+// 10%-capacity outage per partition every refMTBF seconds repaired in
+// refMTTR, scaled so systems whose calibrated status mixture kills more
+// work see proportionally more capacity faults.
+const (
+	refMTBF     = 4 * 86400
+	refMTTR     = 2 * 3600
+	refKillMass = 0.08
+	minMTBF     = 86400
+	maxMTBF     = 14 * 86400
+)
+
+// FaultModel derives a fault-injection scenario from the profile's
+// calibrated status mixtures, so degraded-capacity experiments stress each
+// system at the failure intensity the paper reports for it rather than at
+// an arbitrary rate.
+//
+// The derivation Monte-Carlo-samples the profile's template distribution
+// (runtime medians, tail weight, size-runtime correlation, size boosts) and
+// takes the expected per-job Failed probability as the per-attempt
+// interrupt probability, and the expected Killed probability as the driver
+// of the capacity-outage rate: MTBF = refMTBF * refKillMass / E[kill],
+// clamped to [1, 14] days, with a 2-hour MTTR and 10% capacity per outage.
+// DL systems recover interrupted jobs by checkpoint/restart (training jobs
+// checkpoint routinely); HPC and hybrid systems requeue from zero. The
+// returned config is a pure function of (profile, seed).
+func (p *Profile) FaultModel(seed uint64) *fault.Config {
+	r := dist.NewRNG(seed)
+	sizeCat := dist.NewCategorical(p.SizeWeights)
+	const samples = 2048
+	var efail, ekill float64
+	for i := 0; i < samples; i++ {
+		procs := p.SizeChoices[sizeCat.SampleIndex(r)]
+		med := p.RuntimeMedian.Sample(r)
+		if p.RuntimeTailWeight > 0 && p.RuntimeTail != nil && r.Float64() < p.RuntimeTailWeight {
+			med = p.RuntimeTail.Sample(r)
+		}
+		if p.SizeRuntimeCorr != 0 && p.RefProcs > 0 {
+			med *= math.Pow(float64(procs)/float64(p.RefProcs), p.SizeRuntimeCorr)
+		}
+		if med < 1 {
+			med = 1
+		}
+		cat := lengthCategory(med)
+		fail := p.FailByLength[cat]
+		kill := p.KillByLength[cat]
+		if p.SizeFailBoost != [3]float64{} {
+			b := p.SizeFailBoost[sizeCategory3(p.Sys.Kind, procs, p.Sys.TotalCores)]
+			fail *= b
+			kill *= b
+		}
+		if fail+kill > 0.95 {
+			scale := 0.95 / (fail + kill)
+			fail *= scale
+			kill *= scale
+		}
+		efail += fail
+		ekill += kill
+	}
+	efail /= samples
+	ekill /= samples
+
+	mtbf := refMTBF * refKillMass / max(ekill, 0.005)
+	if mtbf < minMTBF {
+		mtbf = minMTBF
+	} else if mtbf > maxMTBF {
+		mtbf = maxMTBF
+	}
+	cfg := &fault.Config{
+		Seed:          seed,
+		MTBF:          mtbf,
+		MTTR:          refMTTR,
+		OutageFrac:    0.1,
+		InterruptProb: min(efail, 0.5),
+		Recovery:      fault.RecoveryRequeue,
+		RetryCap:      2,
+	}
+	if p.Sys.Kind == trace.DL {
+		cfg.Recovery = fault.RecoveryCheckpoint
+		cfg.CheckpointInterval = 1800
+	}
+	return cfg
+}

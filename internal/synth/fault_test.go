@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"testing"
+
+	"crosssched/internal/fault"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+func TestFaultModel(t *testing.T) {
+	for name, p := range Profiles(1) {
+		cfg := p.FaultModel(9)
+		if !cfg.Enabled() {
+			t.Errorf("%s: derived fault model is disabled", name)
+			continue
+		}
+		if err := cfg.Validate(0); err != nil {
+			t.Errorf("%s: invalid derived config: %v", name, err)
+		}
+		if cfg.InterruptProb <= 0 || cfg.InterruptProb >= 1 {
+			t.Errorf("%s: interrupt probability %v outside (0, 1)", name, cfg.InterruptProb)
+		}
+		if cfg.MTBF < 86400 || cfg.MTBF > 14*86400 {
+			t.Errorf("%s: MTBF %v outside [1, 14] days", name, cfg.MTBF)
+		}
+		// DL systems checkpoint; HPC and hybrid requeue from zero.
+		want := fault.RecoveryRequeue
+		if p.Sys.Kind == trace.DL {
+			want = fault.RecoveryCheckpoint
+		}
+		if cfg.Recovery != want {
+			t.Errorf("%s: recovery %v, want %v", name, cfg.Recovery, want)
+		}
+		// Pure function of (profile, seed).
+		if again := p.FaultModel(9); again.Spec() != cfg.Spec() {
+			t.Errorf("%s: fault model is not deterministic", name)
+		}
+		if other := p.FaultModel(10); other.Seed == cfg.Seed {
+			t.Errorf("%s: seed not threaded into the config", name)
+		}
+	}
+}
+
+// TestFaultModelDrives checks the derived scenario end to end: generating a
+// trace from the profile and simulating it under the profile's own fault
+// model must inject interrupts and produce a sane goodput/wasted split.
+func TestFaultModelDrives(t *testing.T) {
+	p := VerifyHPC(0.3)
+	// The tiny verification profile has mild failure rates; boost them so
+	// the short trace sees faults without needing days of workload.
+	p.FailByLength = [3]float64{0.3, 0.4, 0.5}
+	p.KillByLength = [3]float64{0.2, 0.2, 0.2}
+	tr, err := p.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.FaultModel(4)
+	cfg.Horizon = tr.Jobs[tr.Len()-1].Submit
+	res, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY, Faults: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted == 0 {
+		t.Error("derived fault model interrupted nothing")
+	}
+	if res.GoodputCoreSeconds <= 0 {
+		t.Errorf("goodput %v, want > 0", res.GoodputCoreSeconds)
+	}
+	if res.WastedCoreSeconds <= 0 {
+		t.Errorf("wasted %v, want > 0", res.WastedCoreSeconds)
+	}
+}
