@@ -17,6 +17,7 @@ import (
 	"crosssched/internal/check"
 	"crosssched/internal/dist"
 	"crosssched/internal/experiments"
+	"crosssched/internal/fault"
 	"crosssched/internal/figures"
 	"crosssched/internal/predict"
 	"crosssched/internal/rl"
@@ -208,12 +209,33 @@ func BenchmarkSimulatorEASY(b *testing.B) {
 }
 
 // BenchmarkSimulatorConservative measures the heavier conservative
-// backfilling planner.
+// backfilling planner. This is the benchmark the incremental reservation
+// plan's >= 4x acceptance bar is measured on (BENCH_pr6.json vs the
+// from-scratch BENCH_pr4.json).
 func BenchmarkSimulatorConservative(b *testing.B) {
 	tr := benchTrace(b, "Theta", 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(tr, sim.Options{Policy: sim.FCFS, Backfill: sim.Conservative}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorConservativeFaults measures conservative backfilling
+// with fault injection enabled: capacity drains and interrupts disable plan
+// persistence, so this pins the from-scratch fallback path (and documents
+// what fault runs cost relative to the incremental fast path above).
+func BenchmarkSimulatorConservativeFaults(b *testing.B) {
+	tr := benchTrace(b, "Theta", 8)
+	opt := sim.Options{Policy: sim.FCFS, Backfill: sim.Conservative,
+		Faults: &fault.Config{
+			Seed: 13, MTBF: 20000, MTTR: 4000, OutageFrac: 0.25, InterruptProb: 0.02,
+			Recovery: fault.RecoveryRequeue, RetryCap: 3,
+		}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -111,15 +111,21 @@ func (a *availability) window(t, dur float64, procs int) (bool, int) {
 	pts := a.points()
 	end := t + dur
 	minFree := math.MaxInt64
-	// start at the segment containing t
+	// start at the segment containing t; that segment is always examined,
+	// even for an empty window (dur == 0): a zero-duration request still
+	// needs procs cores free at its start instant, and the answer must
+	// depend on the step function, not on whether t happens to coincide
+	// with a stored breakpoint. internal/sim/profile.go applies the same
+	// rule, so both sides keep picking identical start times.
 	i := sort.SearchFloat64s(pts, t)
 	if i >= len(pts) || pts[i] != t {
 		if i > 0 {
 			i--
 		}
 	}
+	i0 := i
 	for ; i < len(pts); i++ {
-		if pts[i] >= end {
+		if i > i0 && pts[i] >= end {
 			break
 		}
 		f := a.freeAt(pts[i])

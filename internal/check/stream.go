@@ -95,6 +95,19 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 	var goodput, wasted float64
 	var busyIntegral, lastT float64
 	relaxedKind := opt.Backfill == sim.Relaxed || opt.Backfill == sim.AdaptiveRelaxed
+	// Conservative backfilling with an arrival-ordered queue keeps every
+	// promise: each queued job holds a reservation planned on walltime ends,
+	// completions only return capacity early, and under FCFS no later
+	// arrival can be ordered ahead of a promised job — so replanning only
+	// moves reservations earlier. A first start behind the promise therefore
+	// means some job jumped a reservation it had no right to jump, and a
+	// promise-violation event must never appear at all. The guard excludes
+	// the regimes where late starts are legitimate: priority policies and
+	// custom scores (a better-scored arrival replans ahead of the promise),
+	// fault injection (drains shrink planned capacity), and advisory
+	// predictions (jobs overrun their planned ends).
+	consReserved := opt.Backfill == sim.Conservative && !faulty &&
+		opt.Policy == sim.FCFS && opt.CustomScore == nil && opt.WalltimePredictor == nil
 
 	// canRetry mirrors the simulator's retry gate for the configured
 	// recovery semantics.
@@ -209,6 +222,11 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 			if nstarts[i] == 1 {
 				if e.Detail != res.Jobs[i].Wait {
 					r.addf("lifecycle", "job %d start wait %v, result says %v", e.Job, e.Detail, res.Jobs[i].Wait)
+				}
+				if consReserved && res.PromisedStart[i] >= 0 && e.Time > res.PromisedStart[i]+1e-9 {
+					r.addf("reservation",
+						"job %d started at %v behind its conservative reservation at %v — something jumped it",
+						e.Job, e.Time, res.PromisedStart[i])
 				}
 			} else if e.Detail != e.Time-j.Submit {
 				r.addf("lifecycle", "job %d restart wait %v, want t-submit = %v", e.Job, e.Detail, e.Time-j.Submit)
@@ -342,6 +360,11 @@ func AuditStream(tr *trace.Trace, opt sim.Options, events []obs.Event, res *sim.
 		case obs.PromiseViolation:
 			violations++
 			delay += e.Detail
+			if consReserved {
+				r.addf("reservation",
+					"job %d violated its promise by %v under conservative backfilling, which must keep every reservation",
+					e.Job, e.Detail)
+			}
 			if !reserved[i] {
 				r.addf("promise", "job %d violated a promise it never received", e.Job)
 			}

@@ -30,6 +30,14 @@ type Metrics struct {
 	JobsStarted int64 `json:"jobs_started"`
 	Backfilled  int64 `json:"backfilled"`
 	Violations  int64 `json:"violations"`
+	// Conservative-backfilling plan maintenance (zero unless the run uses
+	// Conservative): ConsPasses counts planning passes, ConsKeptJobs sums
+	// the reservations carried over from the previous pass by the
+	// incremental plan, and ConsPlannedJobs sums the reservations planned
+	// fresh. Kept/(Kept+Planned) is the replan work avoided.
+	ConsPasses      int64 `json:"cons_passes,omitempty"`
+	ConsKeptJobs    int64 `json:"cons_kept_jobs,omitempty"`
+	ConsPlannedJobs int64 `json:"cons_planned_jobs,omitempty"`
 	// Fault-injection counters (all zero when the fault layer is off):
 	// capacity events applied, attempts interrupted, jobs requeued, and
 	// jobs terminally failed by faults.

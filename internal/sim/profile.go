@@ -116,8 +116,14 @@ func (p *profile) earliestStart(from float64, procs int, dur float64) (start flo
 		j := candIdx
 		ok := true
 		mf := math.MaxInt64
+		// The segment containing cand is always examined, even when the
+		// window is empty (dur == 0): a zero-duration request still needs
+		// procs cores free at its start instant (start() allocates them),
+		// and skipping the check would make the answer depend on whether
+		// cand happens to coincide with a stored breakpoint — the step
+		// function, not its representation, must decide.
 		for ; j < n; j++ {
-			if times[j] >= end {
+			if j > candIdx && times[j] >= end {
 				break
 			}
 			if free[j] < procs {
@@ -149,6 +155,109 @@ func (p *profile) earliestStart(from float64, procs int, dur float64) (start flo
 	}
 }
 
+// earliestStartIdx is earliestStart for callers that will immediately
+// reserve the window: alongside the start time it returns the index of the
+// profile segment containing it, which reserveFrom uses to skip the binary
+// searches a plain reserve() would repeat. The start time is computed by
+// the same sweep as earliestStart, so the two agree bit-for-bit; only the
+// minFree bookkeeping is dropped (conservative planning never consumes it).
+func (p *profile) earliestStartIdx(from float64, procs int, dur float64) (start float64, idx int) {
+	times, free := p.times, p.free
+	n := len(times)
+	i := 0
+	if n > 0 && from > times[0] {
+		i = searchF64(times, from)
+		if i >= n || times[i] != from {
+			if i > 0 {
+				i--
+			}
+		}
+	}
+	cand, candIdx := from, i
+	for {
+		end := cand + dur
+		j := candIdx
+		ok := true
+		// Same containing-segment rule as earliestStart (see there): a
+		// zero-duration window still checks capacity at its start instant.
+		for ; j < n; j++ {
+			if j > candIdx && times[j] >= end {
+				break
+			}
+			if free[j] < procs {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand, candIdx
+		}
+		if j+1 >= n {
+			last := times[n-1]
+			if last < from {
+				last = from
+			}
+			return last, n - 1
+		}
+		cand, candIdx = times[j+1], j+1
+	}
+}
+
+// reserveFrom is reserve with a position hint: idx is the index of the
+// segment containing t (times[idx] <= t), as returned by earliestStartIdx.
+// The split points are then found by the same forward walk the subtraction
+// performs anyway, so the three binary searches of reserve() disappear —
+// they dominated the flat profile of conservative planning. The resulting
+// step function is identical to reserve()'s.
+func (p *profile) reserveFrom(idx int, t, dur float64, procs int) {
+	end := t + dur
+	i := idx
+	if t > p.times[i] {
+		p.insertAt(i+1, t, p.free[i])
+		i++
+	}
+	j := i
+	for j < len(p.times) && p.times[j] < end {
+		j++
+	}
+	if j == len(p.times) || p.times[j] != end {
+		p.insertAt(j, end, p.free[j-1])
+	}
+	for k := i; k < j; k++ {
+		p.free[k] -= procs
+	}
+}
+
+// insertAt inserts breakpoint (t, v) at position i, shifting the tail.
+func (p *profile) insertAt(i int, t float64, v int) {
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.free[i+1:], p.free[i:])
+	p.times[i] = t
+	p.free[i] = v
+}
+
+// advanceTo moves the profile's base breakpoint forward to now, dropping
+// breakpoints the clock has passed (the active segment's value carries
+// over). Queries never look before the base, so the step function on
+// [now, +Inf) — the only observable part — is unchanged.
+func (p *profile) advanceTo(now float64) {
+	i := searchF64(p.times, now)
+	if i >= len(p.times) || p.times[i] != now {
+		i-- // now falls inside the segment starting at times[i]
+	}
+	if i <= 0 {
+		p.times[0] = now
+		return
+	}
+	n := copy(p.times, p.times[i:])
+	copy(p.free, p.free[i:])
+	p.times = p.times[:n]
+	p.free = p.free[:n]
+	p.times[0] = now
+}
+
 // window reports whether procs cores remain free throughout [t, t+dur) and
 // the minimum free count seen over the window.
 //
@@ -177,9 +286,13 @@ func (p *profile) windowIdx(t, dur float64, procs int) (bool, int, int) {
 			i--
 		}
 	}
+	// The containing segment is always examined, even for an empty window
+	// (dur == 0): a zero-duration request still needs procs cores free at
+	// its start instant, independent of breakpoint placement.
+	i0 := i
 	for ; i < len(p.times); i++ {
 		segStart := p.times[i]
-		if segStart >= end {
+		if i > i0 && segStart >= end {
 			break
 		}
 		if p.free[i] < minFree {

@@ -259,7 +259,7 @@ func (ps *partState) reset() {
 	ps.q.procs = ps.q.procs[:0]
 	ps.q.head = 0
 	ps.avail.reset()
-	ps.planned = ps.planned[:0]
+	ps.plan.reset()
 	ps.sorted = false
 	ps.sortTime = 0
 	ps.sortFair = 0

@@ -326,8 +326,9 @@ type partState struct {
 	q     jobQueue
 	avail AvailSet // planned ends of running jobs, maintained incrementally
 	prof  profile  // scratch availability profile, rebuilt per blocked pass
-	// planned is conservativePass's scratch reservation plan.
-	planned []plannedStart
+	// plan is the persistent conservative-backfilling reservation plan,
+	// repaired incrementally across passes instead of rebuilt (see consplan.go).
+	plan consPlan
 	// Dynamic-policy score cache: the queue order is a pure function of
 	// (now, fair-usage version), so the sort runs once per distinct pass
 	// instead of once per schedule-loop iteration.
@@ -380,12 +381,6 @@ type failScan struct {
 	free     int     // free cores recorded by the generation's latest scan
 	extra    int     // spare cores beside the head's reservation, likewise
 	deadline float64 // latest admissible completion for non-extra backfills
-}
-
-// plannedStart is one conservative-backfilling reservation decision.
-type plannedStart struct {
-	pos   int
-	start float64
 }
 
 // simulator is the run state.
@@ -512,6 +507,15 @@ func (s *simulator) run() error {
 			// Returning capacity can move the blocked head's shadow
 			// earlier, so the cached shadow is no longer a search seed.
 			s.parts[part].shadowSeedOK = false
+			// A completion before its planned end returns capacity the
+			// conservative plan reserved around: record the hole so the
+			// next pass re-checks which reservations it could pull
+			// earlier. Completions at (or past) the planned end leave the
+			// availability profile unchanged — the end just folds into the
+			// base — so the plan needs no note for them.
+			if s.parts[part].plan.valid && r.end > t {
+				s.parts[part].plan.noteHole(r.end, procs)
+			}
 			if r.real > s.makespan {
 				s.makespan = r.real
 			}
@@ -658,6 +662,10 @@ func (s *simulator) insertSorted(p int, j *pending) {
 		return
 	}
 	lo := sort.Search(n-1, func(i int) bool { return s.less(j, live[i], s.now) })
+	// An arrival ahead of kept reservations invalidates them (positions
+	// shift and the newcomer must be planned before them); entries below
+	// the insertion point are untouched and survive.
+	s.parts[p].plan.truncate(lo)
 	q.insert(lo, j)
 }
 
@@ -805,6 +813,11 @@ func (s *simulator) schedule(p int) error {
 		s.sortQueue(p)
 		head := ps.q.at(0)
 		if s.cl.CanAllocate(p, head.procs) {
+			// Starting the head shifts every queue position, and the
+			// capacity it consumes is not a plan reservation; drop the
+			// conservative plan and force an rprof rebuild (the structure
+			// survives — the next pass replans onto it from scratch).
+			ps.plan.headStarted()
 			s.start(p, 0)
 			continue
 		}
@@ -815,8 +828,11 @@ func (s *simulator) schedule(p int) error {
 		// Fast reject: when even the smallest queued request exceeds the
 		// free cores, no dispatch of any kind is possible, and with the
 		// head's promise already recorded a planning pass has no other
-		// observable effect (conservative plans are scratch state, and
-		// backfill verdicts only matter on admission) — skip it outright.
+		// observable effect (backfill verdicts only matter on admission,
+		// and the conservative plan tolerates skipped passes: its repair
+		// scan truncates entries whose planned start slipped into the past
+		// unstarted, and capacity holes stay queued until the next real
+		// pass) — skip it outright.
 		if head.promised >= 0 && s.cl.Free(p) < ps.fitBound {
 			return nil
 		}
@@ -879,10 +895,11 @@ func (s *simulator) schedule(p int) error {
 			}
 		}
 		if s.opt.Backfill == Conservative {
-			s.conservativePass(p, prof, shadow)
-			// conservativePass reserved into the scratch profile in place.
-			ps.profValid = false
-			ps.shadowValid = false
+			// The pass reserves into its own persistent profile copy, so
+			// prof — and with it the profile and shadow caches — survives;
+			// any starts it makes bump the AvailSet version, which
+			// invalidates them through the normal buildProfile path.
+			s.conservativePass(p, prof)
 			return nil
 		}
 		extra := minFree - head.procs
@@ -965,8 +982,9 @@ func (s *simulator) adaptiveAllowance(p int, head *pending) float64 {
 // profNextEnd (the first planned end past the cached build) only moves the
 // profile's base breakpoint, which planning queries never distinguish
 // because they always start at the current time — so bursts of arrivals
-// between completions reuse one build. conservativePass mutates the scratch
-// profile in place; its caller invalidates the cache explicitly.
+// between completions reuse one build. conservativePass only reads the
+// scratch profile (reservations go into its own persistent copy), so the
+// cache also survives conservative passes.
 func (s *simulator) buildProfile(p int) *profile {
 	ps := &s.parts[p]
 	free := s.cl.Free(p)
@@ -1054,48 +1072,6 @@ func (s *simulator) backfillPass(p int, deadline, base float64, extra int) (star
 	// The scan visited every queued job, so the bound is exact again.
 	ps.fitBound = minProcs
 	return false, false
-}
-
-// conservativePass plans a reservation for every queued job in priority
-// order and starts those whose planned start is now. The plan scratch and
-// the profile's segment storage are reused across passes, so steady-state
-// planning allocates nothing.
-func (s *simulator) conservativePass(p int, prof *profile, headShadow float64) {
-	ps := &s.parts[p]
-	// During a capacity fault, queued jobs larger than the effective
-	// capacity cannot be planned at all (no profile segment ever reaches
-	// their request; reserving anyway would drive the profile negative) —
-	// they are skipped until the outage ends. The head is never skipped:
-	// schedule() degrades to a greedy pass before planning when the head
-	// itself no longer fits.
-	effCap := math.MaxInt
-	if s.flt != nil {
-		effCap = s.cl.Capacity(p) - s.cl.DownCores(p)
-	}
-	// Plan on the queue order; starting jobs mutates the queue, so record
-	// positions first and start afterwards.
-	planned := ps.planned[:0]
-	n := ps.q.len()
-	for pos := 0; pos < n; pos++ {
-		c := ps.q.at(pos)
-		if c.procs > effCap {
-			continue
-		}
-		st := headShadow // the caller already planned the head on this profile
-		if pos > 0 {
-			st, _ = prof.earliestStart(s.now, c.procs, c.reqTime)
-		}
-		prof.reserve(st, c.reqTime, c.procs)
-		planned = append(planned, plannedStart{pos, st})
-	}
-	ps.planned = planned
-	// Start immediately-startable jobs; iterate descending position so
-	// earlier removals don't shift later indices.
-	for i := len(planned) - 1; i >= 0; i-- {
-		if planned[i].start <= s.now+1e-9 && s.cl.CanAllocate(p, ps.q.at(planned[i].pos).procs) {
-			s.start(p, planned[i].pos)
-		}
-	}
 }
 
 // result assembles the metrics.

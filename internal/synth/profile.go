@@ -24,6 +24,13 @@ type Profile struct {
 	// Burstiness > 1 makes inter-arrival gaps heavier-tailed than Poisson
 	// (Weibull shape 1/Burstiness). DL clusters are burstier.
 	Burstiness float64
+	// SubmitQuantum, when positive, floor-quantizes every submission time
+	// to a multiple of this many seconds. Quantization is order-preserving,
+	// so it only collapses distinct arrivals into exact submit-time ties —
+	// real traces carry second-granularity timestamps, and the ties stress
+	// the schedulers' tie-breaking and same-instant batching paths. Used by
+	// the verification profiles.
+	SubmitQuantum float64
 
 	// Users is the size of the user population; activity is Zipf-skewed.
 	Users int
@@ -198,9 +205,13 @@ func (p *Profile) Generate(seed uint64) (*trace.Trace, error) {
 			break
 		}
 
+		sub := now
+		if p.SubmitQuantum > 0 {
+			sub = math.Floor(sub/p.SubmitQuantum) * p.SubmitQuantum
+		}
 		u := users[userZipf.SampleRank(rng)-1]
 		sh := shadows[u.vc%nVC]
-		sh.advance(now, onStart)
+		sh.advance(sub, onStart)
 		qFrac := float64(sh.queueLen()) / p.QueueScale
 		if qFrac > 1 {
 			qFrac = 1
@@ -208,7 +219,7 @@ func (p *Profile) Generate(seed uint64) (*trace.Trace, error) {
 
 		j := p.makeJob(rng, u, sizeCat, qFrac, vcCaps[u.vc%nVC])
 		j.ID = id
-		j.Submit = now
+		j.Submit = sub
 		if nVC > 1 {
 			j.VC = u.vc % nVC
 		} else {
@@ -218,7 +229,7 @@ func (p *Profile) Generate(seed uint64) (*trace.Trace, error) {
 		// capability jobs get priority-with-drain semantics.
 		large := p.Sys.Kind != trace.DL &&
 			sizeCategory3(p.Sys.Kind, j.Procs, p.Sys.TotalCores) == 2
-		sh.submit(shadowJob{id: id, procs: j.Procs, run: j.Run, submit: now, large: large}, onStart)
+		sh.submit(shadowJob{id: id, procs: j.Procs, run: j.Run, submit: sub, large: large}, onStart)
 		tr.Jobs = append(tr.Jobs, j)
 		id++
 	}

@@ -101,3 +101,70 @@ func VerifyBurst(days float64) *Profile {
 func VerifyProfiles(days float64) []*Profile {
 	return []*Profile{VerifyHPC(days), VerifyVC(days), VerifyBurst(days)}
 }
+
+// VerifyConsDeep is a conservative-backfilling stress workload: a small
+// cluster pushed past saturation so the waiting queue grows tens of jobs
+// deep and every planning pass maintains a long reservation chain. Submit
+// times are quantized to whole seconds, so arrival batches collide on
+// exact ties and schedule against each other at the same instant — the
+// regime where an incremental planner is most tempted to keep entries a
+// from-scratch plan would move.
+func VerifyConsDeep(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "VerifyConsDeep", Kind: trace.HPC,
+			TotalCores: 32, CoresPerNode: 1, StartHour: 8,
+		},
+		Days: days, JobsPerDay: 560, Burstiness: 1.6,
+		HourlyWeights: afternoonHours,
+		SubmitQuantum: 1,
+		Users:         10, UserZipfS: 1.1,
+		TemplatesPerUser: 5, TemplateZipfS: 1.6,
+		SizeChoices: []int{1, 2, 4, 8, 16},
+		SizeWeights: []float64{0.35, 0.25, 0.20, 0.13, 0.07},
+		RefProcs:    4, SizeRuntimeCorr: 0.4,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(1200, 0.9), Lo: 20, Hi: 3e4},
+		IntraTemplateSigma: 0.08,
+		WalltimeFactorLo:   1.1, WalltimeFactorHi: 1.8,
+		FailByLength:     [3]float64{0.10, 0.05, 0.02},
+		KillByLength:     [3]float64{0.10, 0.25, 0.55},
+		UserFailSigma:    0.3,
+		WalltimeKillFrac: 0.5,
+		QueueScale:       40,
+	}
+}
+
+// VerifyConsOverEst is a conservative stress workload with walltimes
+// overestimated up to 6x the median runtime: almost every completion lands
+// far before its planned end, so nearly every event opens a capacity hole
+// under kept reservations and the plan-repair reject test runs constantly.
+func VerifyConsOverEst(days float64) *Profile {
+	return &Profile{
+		Sys: trace.System{
+			Name: "VerifyConsOverEst", Kind: trace.HPC,
+			TotalCores: 48, CoresPerNode: 1, StartHour: 0,
+		},
+		Days: days, JobsPerDay: 480, Burstiness: 1.4,
+		HourlyWeights: flatDipHours,
+		SubmitQuantum: 1,
+		Users:         12, UserZipfS: 1.1,
+		TemplatesPerUser: 6, TemplateZipfS: 1.5,
+		SizeChoices: []int{1, 2, 4, 8, 16, 24},
+		SizeWeights: []float64{0.30, 0.25, 0.20, 0.14, 0.08, 0.03},
+		RefProcs:    6, SizeRuntimeCorr: 0.3,
+		RuntimeMedian:      dist.Clamped{S: dist.LogNormalFromMedian(900, 1.0), Lo: 15, Hi: 3e4},
+		IntraTemplateSigma: 0.10,
+		WalltimeFactorLo:   2.5, WalltimeFactorHi: 6.0,
+		FailByLength:     [3]float64{0.12, 0.06, 0.02},
+		KillByLength:     [3]float64{0.08, 0.20, 0.45},
+		UserFailSigma:    0.3,
+		WalltimeKillFrac: 0.2,
+		QueueScale:       35,
+	}
+}
+
+// VerifyConsProfiles returns the conservative-backfilling stress
+// workloads, in a fixed order.
+func VerifyConsProfiles(days float64) []*Profile {
+	return []*Profile{VerifyConsDeep(days), VerifyConsOverEst(days)}
+}
