@@ -11,14 +11,17 @@ package crosssched
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"crosssched/internal/check"
 	"crosssched/internal/dist"
 	"crosssched/internal/experiments"
 	"crosssched/internal/fault"
 	"crosssched/internal/figures"
+	"crosssched/internal/obs"
 	"crosssched/internal/predict"
 	"crosssched/internal/rl"
 	"crosssched/internal/sim"
@@ -362,6 +365,87 @@ func BenchmarkRLFitness(b *testing.B) {
 		}
 	}
 }
+
+// --- Streaming-pipeline benchmarks: the out-of-core path (sim.RunStream
+// over a trace.Stream; see DESIGN.md's "Streaming pipeline" section). These
+// report jobs/s, and the end-to-end pipelines also report the peak heap
+// during the run — the number the O(window) memory claim is about.
+
+// BenchmarkStreamSimulatorEASY replays the same congested Theta workload as
+// BenchmarkSimulatorEASY through the windowed streaming intake, pinning the
+// streaming path's overhead relative to the materialized hot path (results
+// are float-for-float identical; only the intake differs).
+func BenchmarkStreamSimulatorEASY(b *testing.B) {
+	tr := benchTrace(b, "Theta", 8)
+	opt := sim.Options{Policy: sim.FCFS, Backfill: sim.EASY}
+	sink := func(sim.StreamRow) error { return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunStream(trace.NewSliceStream(tr), opt, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// streamPipeline measures the full out-of-core pipeline — synthetic
+// generator streaming into the windowed simulator, rows discarded at the
+// sink — on a Helios-like workload (~6.8k jobs/day). A sampler goroutine
+// records the peak live heap; on long traces it stays bounded by the
+// sliding window (active jobs plus arrivals overlapping the
+// longest-running job), not the trace length.
+func streamPipeline(b *testing.B, days float64) {
+	b.Helper()
+	p := synth.Helios(days)
+	var jobs int64
+	var peak uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ms runtime.MemStats
+			for {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				select {
+				case <-stop:
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}()
+		src, err := p.Stream(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met obs.Metrics
+		opt := sim.Options{Policy: sim.FCFS, Backfill: sim.EASY, Metrics: &met}
+		if _, err := sim.RunStream(src, opt, func(sim.StreamRow) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		jobs += met.JobsRetired
+		close(stop)
+		wg.Wait()
+	}
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+}
+
+// BenchmarkStreamPipelineHelios is the CI-scale pipeline benchmark
+// (~200k jobs end to end per iteration).
+func BenchmarkStreamPipelineHelios(b *testing.B) { streamPipeline(b, 30) }
+
+// BenchmarkStreamSimulator10M generates and schedules ~10 million jobs per
+// iteration (~60s); select it explicitly (scripts/bench.sh
+// BenchmarkStreamSimulator10M 1) rather than in the smoke pattern. The
+// peak-heap-MB metric demonstrating the O(window) bound is recorded in
+// BENCH_pr7.json.
+func BenchmarkStreamSimulator10M(b *testing.B) { streamPipeline(b, 1465) }
 
 // --- Verification benchmarks: the differential-testing substrate
 // (internal/check) has to stay fast enough to run in every test cycle.

@@ -26,6 +26,7 @@ import (
 	"crosssched/internal/par"
 	"crosssched/internal/rl"
 	"crosssched/internal/sim"
+	"crosssched/internal/stats"
 	"crosssched/internal/synth"
 	"crosssched/internal/trace"
 )
@@ -48,6 +49,9 @@ type runConfig struct {
 	learned   bool
 	audit     bool
 	degraded  bool
+
+	stream  bool   // windowed out-of-core replay (O(active jobs) memory)
+	rowsOut string // per-job result rows as JSONL (streaming mode)
 
 	faults       string  // fault-scenario spec (fault.ParseSpec format)
 	faultSeed    uint64  // overrides the spec's seed when nonzero
@@ -80,6 +84,8 @@ func main() {
 	flag.BoolVar(&cfg.learned, "learned", false, "train a learned linear policy (ES) and compare against the baselines")
 	flag.BoolVar(&cfg.audit, "audit", false, "verify the schedule against the invariant auditor, the decision-stream auditor, and (on small traces) the reference oracle")
 	flag.BoolVar(&cfg.degraded, "degraded", false, "run the degraded-capacity sweep (wait/bsld/util vs outage fraction per policy)")
+	flag.BoolVar(&cfg.stream, "stream", false, "replay the trace out-of-core: jobs flow through a sliding window, memory stays O(active jobs), results are identical")
+	flag.StringVar(&cfg.rowsOut, "rows-out", "", "with -stream, write per-job result rows as JSONL to this file as they retire")
 	flag.StringVar(&cfg.faults, "faults", "", "fault-injection scenario, e.g. 'mtbf=172800,mttr=7200,frac=0.25,recovery=requeue,retry=2' or 'down=0:3600:7200:512' (off = none)")
 	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault draws (0 = use the -faults spec's seed)")
 	flag.IntVar(&cfg.retryCap, "retry-cap", -1, "max requeues per interrupted job (-1 = use the -faults spec's cap)")
@@ -144,6 +150,12 @@ func run(cfg runConfig) error {
 	fcfg, err := cfg.faultConfig()
 	if err != nil {
 		return err
+	}
+	if cfg.rowsOut != "" && !cfg.stream {
+		return fmt.Errorf("-rows-out only applies to -stream runs (materialized runs keep the jobs; use -o)")
+	}
+	if cfg.stream {
+		return runStream(ctx, cfg, fcfg)
 	}
 	tr, err := loadTrace(cfg.system, cfg.input, cfg.days, cfg.seed)
 	if err != nil {
@@ -312,6 +324,138 @@ func run(cfg runConfig) error {
 			res.Interrupted, res.Requeued, res.FaultFailed)
 		fmt.Printf("  goodput         %.1f core-h (wasted %.1f core-h)\n",
 			res.GoodputCoreSeconds/3600, res.WastedCoreSeconds/3600)
+	}
+	return nil
+}
+
+// runStream replays the trace through the windowed out-of-core simulator
+// (sim.RunStream): jobs are admitted to a sliding window as simulated time
+// reaches their submit and retired through a sink the moment they complete,
+// so memory stays proportional to the active window rather than the trace.
+// Aggregates are float-for-float identical to a materialized run; the wait
+// distribution is summarized out-of-core by a t-digest sketch, so its
+// quantiles carry the sketch's rank-error bound rather than being exact.
+func runStream(ctx context.Context, cfg runConfig, fcfg *fault.Config) error {
+	switch {
+	case cfg.compare, cfg.matrix, cfg.sweep, cfg.estimates, cfg.learned, cfg.degraded:
+		return fmt.Errorf("-stream replays a single run out-of-core; the batch modes (-compare, -matrix, -sweep, -estimates, -learned, -degraded) need the materialized trace")
+	case cfg.audit:
+		return fmt.Errorf("-stream cannot be combined with -audit: the auditors replay the materialized trace (the streaming path is verified by the check package's differential sweep instead)")
+	case fcfg != nil:
+		return fmt.Errorf("-stream does not support fault injection: outage schedules and per-job fault state need the whole trace up front")
+	case cfg.out != "":
+		return fmt.Errorf("-stream never holds the scheduled trace in memory, so -o has nothing to write; use -rows-out for per-job results")
+	case cfg.bench > 0:
+		return fmt.Errorf("-stream does not support -bench; use the BenchmarkStreamSimulator benchmarks instead")
+	}
+	pol, err := sim.ParsePolicy(cfg.policy)
+	if err != nil {
+		return err
+	}
+	bf, err := sim.ParseBackfill(cfg.backfill)
+	if err != nil {
+		return err
+	}
+	opt := sim.Options{Policy: pol, Backfill: bf, RelaxFactor: cfg.relax}
+
+	var src trace.Stream
+	if cfg.input != "" {
+		f, err := os.Open(cfg.input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, err = trace.NewSWFStream(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		p, err := synth.ByName(cfg.system, cfg.days)
+		if err != nil {
+			return err
+		}
+		src, err = p.Stream(cfg.seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	var observers []obs.Observer
+	var events *obs.JSONLWriter
+	if cfg.eventsOut != "" {
+		f, err := os.Create(cfg.eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = obs.NewJSONLWriter(f)
+		observers = append(observers, events)
+	}
+	var prog *obs.Progress
+	if cfg.progress {
+		prog = obs.NewProgress(os.Stderr, 0)
+		observers = append(observers, prog)
+	}
+	met := &obs.Metrics{}
+	opt.Observer = obs.Tee(observers...)
+	opt.Metrics = met
+
+	var rows *obs.JobRowWriter
+	if cfg.rowsOut != "" {
+		f, err := os.Create(cfg.rowsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rows = obs.NewJobRowWriter(f)
+	}
+	waits := stats.NewStreamSummary()
+	sink := func(r sim.StreamRow) error {
+		waits.Add(r.Job.Wait)
+		if rows != nil {
+			return rows.WriteRow(r.Job, r.Promised)
+		}
+		return nil
+	}
+
+	res, err := sim.RunStreamContext(ctx, src, opt, sink)
+	if prog != nil {
+		prog.Finish()
+	}
+	if events != nil {
+		if ferr := events.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if rows != nil {
+		if ferr := rows.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if cfg.metricsOut != "" {
+		// Written even for a failed run: the partial counters (including
+		// JobsRetired) say how far the stream got before it broke.
+		if werr := writeMetrics(cfg.metricsOut, met); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	sys := src.System()
+	fmt.Printf("%s: %d jobs streamed under %s + %s backfilling (peak window %d jobs)\n",
+		sys.Name, met.JobsRetired, pol, bf, met.MaxWindowJobs)
+	fmt.Printf("  avg wait        %.2f s\n", res.AvgWait)
+	fmt.Printf("  avg bsld        %.2f\n", res.AvgBsld)
+	fmt.Printf("  utilization     %.4f\n", res.Utilization)
+	fmt.Printf("  violations      %d (total delay %.0f s)\n", res.Violations, res.ViolationDelay)
+	fmt.Printf("  backfilled jobs %d\n", res.Backfilled)
+	fmt.Printf("  max queue       %d\n", res.MaxQueueLen)
+	fmt.Printf("  makespan        %.0f s\n", res.Makespan)
+	w := waits.Summary()
+	fmt.Printf("  wait sketch     p50 %.1f  p90 %.1f  p99 %.1f  max %.1f s\n", w.P50, w.P90, w.P99, w.Max)
+	if rows != nil {
+		fmt.Printf("wrote %d job rows to %s\n", rows.Rows(), cfg.rowsOut)
 	}
 	return nil
 }

@@ -276,3 +276,94 @@ func TestFaultConfigOverrides(t *testing.T) {
 		t.Fatalf("empty spec should yield nil config, got %+v, %v", fc, err)
 	}
 }
+
+// TestRunStreamMode: -stream replays a synthetic workload out-of-core; its
+// metrics, events, and per-job rows must land on disk, with JobsRetired and
+// MaxWindowJobs showing the window actually slid.
+func TestRunStreamMode(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	rows := filepath.Join(dir, "rows.jsonl")
+	mets := filepath.Join(dir, "met.json")
+	cfg := runConfig{system: "Theta", days: 1, seed: 1, policy: "SJF", backfill: "easy", relax: 0.1,
+		stream: true, rowsOut: rows, metricsOut: mets}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(mets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met obs.Metrics
+	if err := json.Unmarshal(raw, &met); err != nil {
+		t.Fatal(err)
+	}
+	if met.JobsRetired == 0 || met.MaxWindowJobs == 0 || met.MaxWindowJobs >= met.JobsRetired {
+		t.Fatalf("streaming gauges wrong: retired %d, window peak %d", met.JobsRetired, met.MaxWindowJobs)
+	}
+	data, err := os.ReadFile(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if int64(len(lines)) != met.JobsRetired {
+		t.Fatalf("%d row lines for %d retired jobs", len(lines), met.JobsRetired)
+	}
+	var row struct {
+		ID   int     `json:"id"`
+		Wait float64 `json:"wait"`
+	}
+	if err := json.Unmarshal(lines[0], &row); err != nil {
+		t.Fatalf("row 0 not JSON: %v", err)
+	}
+	if row.Wait < 0 {
+		t.Fatalf("row 0 has negative wait: %+v", row)
+	}
+}
+
+// TestRunStreamFromSWF: -stream -input reads the SWF without materializing.
+func TestRunStreamFromSWF(t *testing.T) {
+	quiet(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.swf")
+	if err := run(runConfig{system: "Theta", days: 0.5, seed: 2, policy: "FCFS", backfill: "easy", relax: 0.1, out: in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{input: in, policy: "FCFS", backfill: "conservative", relax: 0.1, stream: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStreamRejectsIncompatibleModes: every mode that needs the whole
+// trace in memory must refuse -stream with an actionable message.
+func TestRunStreamRejectsIncompatibleModes(t *testing.T) {
+	quiet(t)
+	base := runConfig{system: "Theta", days: 0.5, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, stream: true}
+	cases := []struct {
+		name string
+		mut  func(*runConfig)
+		want string
+	}{
+		{"matrix", func(c *runConfig) { c.matrix = true }, "batch modes"},
+		{"compare", func(c *runConfig) { c.compare = true }, "batch modes"},
+		{"audit", func(c *runConfig) { c.audit = true }, "audit"},
+		{"faults", func(c *runConfig) { c.faults = "pint=0.1,seed=1" }, "fault injection"},
+		{"out", func(c *runConfig) { c.out = "x.swf" }, "-rows-out"},
+		{"bench", func(c *runConfig) { c.bench = 3 }, "-bench"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		err := run(cfg)
+		if err == nil {
+			t.Fatalf("%s: -stream accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error not actionable: %v", tc.name, err)
+		}
+	}
+	// -rows-out without -stream is an error too.
+	if err := run(runConfig{system: "Theta", days: 0.5, seed: 1, policy: "FCFS", backfill: "easy", relax: 0.1, rowsOut: "x.jsonl"}); err == nil {
+		t.Fatal("-rows-out accepted without -stream")
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunGeneratesSWF(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.swf")
-	if err := run("Helios", 0.5, 1, "swf", out, "", 0); err != nil {
+	if err := run("Helios", 0.5, 1, "swf", out, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -29,7 +30,7 @@ func TestRunGeneratesSWF(t *testing.T) {
 
 func TestRunGeneratesCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.csv")
-	if err := run("Theta", 0.5, 1, "csv", out, "", 0); err != nil {
+	if err := run("Theta", 0.5, 1, "csv", out, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -47,19 +48,19 @@ func TestRunGeneratesCSV(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("Nope", 1, 1, "swf", "", "", 0); err == nil {
+	if err := run("Nope", 1, 1, "swf", "", "", 0, false); err == nil {
 		t.Fatal("unknown system accepted")
 	}
-	if err := run("Theta", 1, 1, "xml", filepath.Join(t.TempDir(), "x"), "", 0); err == nil {
+	if err := run("Theta", 1, 1, "xml", filepath.Join(t.TempDir(), "x"), "", 0, false); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run("Theta", 1, 1, "swf", "", "", -3); err == nil {
+	if err := run("Theta", 1, 1, "swf", "", "", -3, false); err == nil {
 		t.Fatal("negative partition count accepted")
 	}
-	if err := run("Theta", 1, 1, "swf", "", "", 1<<30); err == nil {
+	if err := run("Theta", 1, 1, "swf", "", "", 1<<30, false); err == nil {
 		t.Fatal("partition count beyond the core count accepted")
 	}
-	if err := run("", 1, 1, "swf", "", "/does/not/exist.swf", 0); err == nil {
+	if err := run("", 1, 1, "swf", "", "/does/not/exist.swf", 0, false); err == nil {
 		t.Fatal("missing fit input accepted")
 	}
 }
@@ -67,11 +68,11 @@ func TestRunRejectsBadInputs(t *testing.T) {
 func TestRunFitRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	src := filepath.Join(dir, "src.swf")
-	if err := run("Philly", 2, 1, "swf", src, "", 0); err != nil {
+	if err := run("Philly", 2, 1, "swf", src, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	dst := filepath.Join(dir, "fit.swf")
-	if err := run("", 0, 2, "swf", dst, src, 0); err != nil {
+	if err := run("", 0, 2, "swf", dst, src, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(dst)
@@ -88,11 +89,38 @@ func TestRunFitRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunStreamIdenticalBytes: -stream must produce byte-identical output
+// to the materialized path, for both formats.
+func TestRunStreamIdenticalBytes(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"swf", "csv"} {
+		mat := filepath.Join(dir, "mat."+format)
+		str := filepath.Join(dir, "str."+format)
+		if err := run("Theta", 0.5, 9, format, mat, "", 0, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := run("Theta", 0.5, 9, format, str, "", 0, true); err != nil {
+			t.Fatal(err)
+		}
+		a, err := os.ReadFile(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(str)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || !bytes.Equal(a, b) {
+			t.Fatalf("%s: -stream output differs from materialized (%d vs %d bytes)", format, len(b), len(a))
+		}
+	}
+}
+
 // TestRunPartitionOverride: -partitions reshapes the generated system and
 // assigns jobs across the requested virtual clusters.
 func TestRunPartitionOverride(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "p.swf")
-	if err := run("Theta", 0.5, 1, "swf", out, "", 4); err != nil {
+	if err := run("Theta", 0.5, 1, "swf", out, "", 4, false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)

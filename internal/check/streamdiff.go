@@ -1,0 +1,118 @@
+package check
+
+import (
+	"fmt"
+
+	"crosssched/internal/obs"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// DiffStream runs tr through the windowed streaming simulator
+// (sim.RunStream) and the materialized one (sim.Run) under opt and compares
+// them. Unlike the oracle diff, which tolerates summation-order drift in
+// aggregates, the streaming path promises float-for-float identity — it
+// executes the same decision code over a sliding window and folds the
+// result sums in the same order — so EVERYTHING is compared exactly: the
+// retired rows against Result.Jobs/PromisedStart element for element, every
+// aggregate bit for bit, the queue timeline, and the full decision-event
+// stream through the observer.
+func DiffStream(tr *trace.Trace, opt sim.Options) (*DiffReport, error) {
+	matRec, strRec := &obs.Recorder{}, &obs.Recorder{}
+	matOpt, strOpt := opt, opt
+	matOpt.Observer = matRec
+	strOpt.Observer = strRec
+
+	mat, err := sim.Run(tr, matOpt)
+	if err != nil {
+		return nil, fmt.Errorf("check: materialized simulator: %w", err)
+	}
+	var rows []sim.StreamRow
+	var met obs.Metrics
+	strOpt.Metrics = &met
+	str, err := sim.RunStream(trace.NewSliceStream(tr), strOpt, func(r sim.StreamRow) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("check: streaming simulator: %w", err)
+	}
+
+	d := &DiffReport{Jobs: len(mat.Jobs)}
+	if len(rows) != len(mat.Jobs) {
+		d.addf("row count %d vs materialized %d", len(rows), len(mat.Jobs))
+		return d, nil
+	}
+	for i := range rows {
+		if rows[i].Job != mat.Jobs[i] {
+			d.addf("row %d job %+v vs materialized %+v", i, rows[i].Job, mat.Jobs[i])
+		}
+		if rows[i].Promised != mat.PromisedStart[i] {
+			d.addf("row %d promise %v vs materialized %v", i, rows[i].Promised, mat.PromisedStart[i])
+		}
+		if len(d.Mismatches) > 20 {
+			d.addf("stopping after 20 per-row mismatches")
+			return d, nil
+		}
+	}
+	if str.AvgWait != mat.AvgWait {
+		d.addf("avg wait %v vs materialized %v", str.AvgWait, mat.AvgWait)
+	}
+	if str.AvgBsld != mat.AvgBsld {
+		d.addf("avg bsld %v vs materialized %v", str.AvgBsld, mat.AvgBsld)
+	}
+	if str.Utilization != mat.Utilization {
+		d.addf("utilization %v vs materialized %v", str.Utilization, mat.Utilization)
+	}
+	if str.Makespan != mat.Makespan {
+		d.addf("makespan %v vs materialized %v", str.Makespan, mat.Makespan)
+	}
+	if str.Violations != mat.Violations {
+		d.addf("violations %d vs materialized %d", str.Violations, mat.Violations)
+	}
+	if str.ViolationDelay != mat.ViolationDelay {
+		d.addf("violation delay %v vs materialized %v", str.ViolationDelay, mat.ViolationDelay)
+	}
+	if str.Backfilled != mat.Backfilled {
+		d.addf("backfilled %d vs materialized %d", str.Backfilled, mat.Backfilled)
+	}
+	if str.MaxQueueLen != mat.MaxQueueLen {
+		d.addf("max queue %d vs materialized %d", str.MaxQueueLen, mat.MaxQueueLen)
+	}
+	if len(str.QueueTimeline) != len(mat.QueueTimeline) {
+		d.addf("timeline length %d vs materialized %d", len(str.QueueTimeline), len(mat.QueueTimeline))
+	} else {
+		for i := range str.QueueTimeline {
+			if str.QueueTimeline[i] != mat.QueueTimeline[i] {
+				d.addf("timeline[%d] %+v vs materialized %+v", i, str.QueueTimeline[i], mat.QueueTimeline[i])
+				break
+			}
+		}
+	}
+	if len(strRec.Events) != len(matRec.Events) {
+		d.addf("event count %d vs materialized %d", len(strRec.Events), len(matRec.Events))
+	} else {
+		for i := range strRec.Events {
+			if strRec.Events[i] != matRec.Events[i] {
+				d.addf("event %d %+v vs materialized %+v", i, strRec.Events[i], matRec.Events[i])
+				break
+			}
+		}
+	}
+	if met.JobsRetired != int64(len(mat.Jobs)) {
+		d.addf("retired %d of %d jobs", met.JobsRetired, len(mat.Jobs))
+	}
+	if n := int64(len(mat.Jobs)); n > 0 && (met.MaxWindowJobs < 1 || met.MaxWindowJobs > n) {
+		d.addf("window peak %d outside [1, %d]", met.MaxWindowJobs, n)
+	}
+	return d, nil
+}
+
+// VerifyStream is DiffStream reduced to an error, mirroring Verify.
+func VerifyStream(tr *trace.Trace, opt sim.Options) error {
+	d, err := DiffStream(tr, opt)
+	if err != nil {
+		return err
+	}
+	return d.Err()
+}

@@ -45,6 +45,13 @@ type Metrics struct {
 	Interrupts     int64 `json:"interrupts,omitempty"`
 	Requeues       int64 `json:"requeues,omitempty"`
 	FaultFailed    int64 `json:"fault_failed,omitempty"`
+	// Streaming-intake gauges (zero — and omitted — on materialized runs):
+	// MaxWindowJobs is the peak number of jobs resident in the sliding
+	// window (admitted but not yet retired), the quantity that must stay
+	// O(active + lookahead) regardless of trace length; JobsRetired counts
+	// rows flushed to the sink.
+	MaxWindowJobs int64 `json:"max_window_jobs,omitempty"`
+	JobsRetired   int64 `json:"jobs_retired,omitempty"`
 	// WallSeconds is the run's wall-clock duration.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Canceled reports whether the run was cut short by its context.

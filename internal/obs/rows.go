@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"crosssched/internal/trace"
+)
+
+// JobRowWriter streams per-job result rows as one JSON object per line:
+//
+//	{"id":3,"user":7,"submit":120,"wait":35,"run":600,"walltime":900,"procs":16,"vc":-1,"status":"Passed","promised":155}
+//
+// It is the out-of-core counterpart of Result.Jobs/PromisedStart: a
+// streaming run (sim.RunStream) retires each job through a sink the moment
+// it completes, and this writer persists those rows without ever holding
+// the trace in memory. Like JSONLWriter, floats use strconv's shortest
+// round-trippable formatting (deterministic, exact), lines are buffered,
+// and write errors are sticky — the first one is remembered, later rows
+// are dropped, and Flush reports it.
+type JobRowWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+	n   int
+	err error
+}
+
+// NewJobRowWriter wraps w in a buffered row sink.
+func NewJobRowWriter(w io.Writer) *JobRowWriter {
+	return &JobRowWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 192)}
+}
+
+// WriteRow encodes and buffers one retired job with its first promised
+// start (-1 when the job never became a blocked queue head).
+func (l *JobRowWriter) WriteRow(j trace.Job, promised float64) error {
+	if l.err != nil {
+		return l.err
+	}
+	b := l.buf[:0]
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(j.ID), 10)
+	b = append(b, `,"user":`...)
+	b = strconv.AppendInt(b, int64(j.User), 10)
+	b = append(b, `,"submit":`...)
+	b = strconv.AppendFloat(b, j.Submit, 'g', -1, 64)
+	b = append(b, `,"wait":`...)
+	b = strconv.AppendFloat(b, j.Wait, 'g', -1, 64)
+	b = append(b, `,"run":`...)
+	b = strconv.AppendFloat(b, j.Run, 'g', -1, 64)
+	b = append(b, `,"walltime":`...)
+	b = strconv.AppendFloat(b, j.Walltime, 'g', -1, 64)
+	b = append(b, `,"procs":`...)
+	b = strconv.AppendInt(b, int64(j.Procs), 10)
+	b = append(b, `,"vc":`...)
+	b = strconv.AppendInt(b, int64(j.VC), 10)
+	b = append(b, `,"status":"`...)
+	b = append(b, j.Status.String()...)
+	b = append(b, `","promised":`...)
+	b = strconv.AppendFloat(b, promised, 'g', -1, 64)
+	b = append(b, "}\n"...)
+	l.buf = b
+	if _, err := l.bw.Write(b); err != nil {
+		l.err = err
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Rows returns the number of rows successfully buffered.
+func (l *JobRowWriter) Rows() int { return l.n }
+
+// Flush drains the buffer and returns the first error seen.
+func (l *JobRowWriter) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	l.err = l.bw.Flush()
+	return l.err
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"crosssched/internal/trace"
+)
+
+// TestJobRowWriterRoundTrip: rows decode back field for field with
+// encoding/json, proving the hand-rolled encoding is valid JSON and the
+// shortest-float formatting is exact.
+func TestJobRowWriterRoundTrip(t *testing.T) {
+	jobs := []trace.Job{
+		{ID: 0, User: 3, Submit: 0, Wait: 12.5, Run: 600, Walltime: 900, Procs: 16, VC: -1, Status: trace.Passed},
+		{ID: 7, User: 0, Submit: 0.1234567890123, Wait: 0, Run: 1e-9, Walltime: 1e9, Procs: 1, VC: 2, Status: trace.Killed},
+	}
+	promised := []float64{-1, 155.25}
+	var buf bytes.Buffer
+	w := NewJobRowWriter(&buf)
+	for i, j := range jobs {
+		if err := w.WriteRow(j, promised[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != len(jobs) {
+		t.Fatalf("Rows() = %d, want %d", w.Rows(), len(jobs))
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(jobs) {
+		t.Fatalf("%d lines, want %d", len(lines), len(jobs))
+	}
+	for i, line := range lines {
+		var got struct {
+			ID       int     `json:"id"`
+			User     int     `json:"user"`
+			Submit   float64 `json:"submit"`
+			Wait     float64 `json:"wait"`
+			Run      float64 `json:"run"`
+			Walltime float64 `json:"walltime"`
+			Procs    int     `json:"procs"`
+			VC       int     `json:"vc"`
+			Status   string  `json:"status"`
+			Promised float64 `json:"promised"`
+		}
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		j := jobs[i]
+		if got.ID != j.ID || got.User != j.User || got.Submit != j.Submit ||
+			got.Wait != j.Wait || got.Run != j.Run || got.Walltime != j.Walltime ||
+			got.Procs != j.Procs || got.VC != j.VC ||
+			got.Status != j.Status.String() || got.Promised != promised[i] {
+			t.Fatalf("line %d decoded %+v, want %+v promised %v", i, got, j, promised[i])
+		}
+	}
+}
+
+// failAfter errors once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, f.err
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestJobRowWriterStickyError: the first write error is remembered and
+// surfaced by every later call, including Flush.
+func TestJobRowWriterStickyError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	w := NewJobRowWriter(&failAfter{n: 16, err: wantErr})
+	var firstErr error
+	for i := 0; i < 10000 && firstErr == nil; i++ {
+		firstErr = w.WriteRow(trace.Job{ID: i, Procs: 1, Run: 1, Walltime: 1}, -1)
+	}
+	if !errors.Is(firstErr, wantErr) {
+		t.Fatalf("write error not surfaced: %v", firstErr)
+	}
+	if err := w.WriteRow(trace.Job{}, -1); !errors.Is(err, wantErr) {
+		t.Fatalf("error not sticky on WriteRow: %v", err)
+	}
+	if err := w.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("error not sticky on Flush: %v", err)
+	}
+}

@@ -181,11 +181,45 @@ func (s *simulator) setupFaults(tr *trace.Trace, cfg *fault.Config, cl *cluster.
 // (canceled) Runner safe to reuse.
 func (s *simulator) reset(ctx context.Context, tr *trace.Trace, opt Options, cl *cluster.Cluster, nParts int) {
 	n := len(tr.Jobs)
-	s.opt = opt
+	s.resetCore(ctx, opt, cl, nParts)
 	// The simulator never writes job records (waits live in a separate
 	// array), so the run can schedule straight off the caller's slice; only
 	// result() copies jobs, into the escaping Result.
 	s.jobs = tr.Jobs
+	if cap(s.pendings) >= n {
+		// Entries are fully overwritten at arrival; no zeroing needed.
+		s.pendings = s.pendings[:n]
+	} else {
+		s.pendings = make([]pending, n)
+	}
+	if cap(s.waits) >= n {
+		// Every started job overwrites its wait, and a Result is only
+		// assembled once all jobs started.
+		s.waits = s.waits[:n]
+	} else {
+		s.waits = make([]float64, n)
+	}
+	// promised and timeline escape into the Result (PromisedStart,
+	// QueueTimeline), so they are the two per-run allocations that reuse
+	// cannot amortize.
+	s.promised = make([]float64, n)
+	for i := range s.promised {
+		s.promised[i] = -1
+	}
+	timelineCap := 2 * n
+	if timelineCap > 2*maxTimelineSamples {
+		timelineCap = 2 * maxTimelineSamples
+	}
+	s.timeline = make([]QueueSample, 0, timelineCap)
+}
+
+// resetCore reinitializes the state shared by the materialized and streaming
+// paths: everything except the per-job arrays (jobs, pendings, waits,
+// promised) and the timeline, whose sizing and ownership differ between the
+// two (reset sizes them to the trace; resetStream in stream.go turns them
+// into an empty sliding window).
+func (s *simulator) resetCore(ctx context.Context, opt Options, cl *cluster.Cluster, nParts int) {
+	s.opt = opt
 	s.cl = cl
 	if cap(s.parts) >= nParts {
 		s.parts = s.parts[:nParts]
@@ -195,27 +229,16 @@ func (s *simulator) reset(ctx context.Context, tr *trace.Trace, opt Options, cl 
 	for i := range s.parts {
 		s.parts[i].reset()
 	}
-	if cap(s.pendings) >= n {
-		// Entries are fully overwritten at arrival; no zeroing needed.
-		s.pendings = s.pendings[:n]
-	} else {
-		s.pendings = make([]pending, n)
-	}
 	if cap(s.touched) >= nParts {
 		s.touched = s.touched[:nParts]
 	} else {
 		s.touched = make([]bool, nParts)
 	}
-	if cap(s.waits) >= n {
-		// Every started job overwrites its wait, and a Result is only
-		// assembled once all jobs started.
-		s.waits = s.waits[:n]
-	} else {
-		s.waits = make([]float64, n)
-	}
 	s.compl.items = s.compl.items[:0]
 	s.now = 0
 	s.flt = nil // armed separately (setupFaults) only for enabled configs
+	s.in = nil  // armed separately (resetStream) only for streaming runs
+	s.idxBase = 0
 	s.ctx = ctx
 	s.done = ctx.Done()
 	s.obsv = opt.Observer
@@ -231,24 +254,12 @@ func (s *simulator) reset(ctx context.Context, tr *trace.Trace, opt Options, cl 
 	}
 	s.fairVer = 0
 	s.queued = 0
-	// promised and timeline escape into the Result (PromisedStart,
-	// QueueTimeline), so they are the two per-run allocations that reuse
-	// cannot amortize.
-	s.promised = make([]float64, n)
-	for i := range s.promised {
-		s.promised[i] = -1
-	}
 	s.violations = 0
 	s.violationDelay = 0
 	s.backfilled = 0
 	s.maxQueueSeen = 0
 	s.started = 0
 	s.makespan = 0
-	timelineCap := 2 * n
-	if timelineCap > 2*maxTimelineSamples {
-		timelineCap = 2 * maxTimelineSamples
-	}
-	s.timeline = make([]QueueSample, 0, timelineCap)
 }
 
 // reset clears one partition's scheduling state while keeping every slice's

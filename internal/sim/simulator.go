@@ -403,6 +403,21 @@ type simulator struct {
 	fair    *FairshareState // non-nil when Policy == Fair
 	fairVer int             // bumped on every Charge; invalidates score caches
 
+	// in is non-nil only on the streaming path (RunStream); inState is the
+	// reused backing storage, winJobs/winPromised the retained window
+	// buffers (see stream.go). idxBase is the arrival index of the first
+	// entry of the window arrays (jobs, pendings, waits, promised): the
+	// streaming path slides them forward as retired prefixes are compacted
+	// away, while pending.idx and running.idx stay TRUE arrival indices —
+	// the queue tie-break and completion order depend on them. Materialized
+	// runs keep idxBase at 0, making every window-relative access identical
+	// to the direct indexing it replaced.
+	in          *streamIntake
+	inState     streamIntake
+	winJobs     []trace.Job
+	winPromised []float64
+	idxBase     int
+
 	// flt is non-nil only when fault injection is enabled; fltState is the
 	// reused backing storage (see simFault).
 	flt      *simFault
@@ -466,21 +481,49 @@ func (s *simulator) partition(j *trace.Job) int {
 	return j.User % s.cl.Partitions()
 }
 
+// job returns the trace job with arrival index idx. idxBase is always 0 on
+// the materialized path, so there this is plain indexing; on the streaming
+// path it translates the global arrival index into the sliding window.
+func (s *simulator) job(idx int) *trace.Job { return &s.jobs[idx-s.idxBase] }
+
 func (s *simulator) run() error {
 	next := 0 // next arrival index
-	for next < len(s.jobs) || s.compl.len() > 0 ||
-		(s.flt != nil && s.flt.next < len(s.flt.sched.Events)) {
+	for {
+		// The streaming intake holds one job of lookahead: the next
+		// arrival's submit time competes with completions for the next
+		// event time, so it must be known before the clock can advance.
+		if s.in != nil {
+			if err := s.in.fill(); err != nil {
+				return s.streamReadError(next, err)
+			}
+		}
+		more := next < len(s.jobs)
+		if s.in != nil {
+			more = s.in.lookOK
+		}
+		if !more && s.compl.len() == 0 &&
+			(s.flt == nil || s.flt.next >= len(s.flt.sched.Events)) {
+			break
+		}
 		if s.done != nil {
 			if err := s.ctx.Err(); err != nil {
+				total := len(s.jobs)
+				if s.in != nil {
+					total = next // arrivals seen so far; the stream is open-ended
+				}
 				return fmt.Errorf("sim: run canceled at t=%v after %d events (%d/%d jobs started): %w",
-					s.now, s.met.Events, s.started, len(s.jobs), err)
+					s.now, s.met.Events, s.started, total, err)
 			}
 		}
 		s.met.Events++
 		// choose the next event time
 		t := math.Inf(1)
-		if next < len(s.jobs) {
-			t = s.jobs[next].Submit
+		if more {
+			if s.in != nil {
+				t = s.in.look.Submit
+			} else {
+				t = s.jobs[next].Submit
+			}
 		}
 		if s.compl.len() > 0 && s.compl.min().real < t {
 			t = s.compl.min().real
@@ -532,9 +575,14 @@ func (s *simulator) run() error {
 				s.flt.goodput += (r.real - s.flt.lastStart[r.idx]) * float64(procs)
 			}
 			s.met.Completions++
+			if s.in != nil {
+				// Mark for prefix retirement (faults are rejected on the
+				// streaming path, so every heap pop lands here).
+				s.in.done[int(r.idx)-s.idxBase] = true
+			}
 			if s.obsv != nil {
 				s.obsv.Observe(obs.Event{
-					Kind: obs.JobComplete, Time: r.real, Job: s.jobs[r.idx].ID,
+					Kind: obs.JobComplete, Time: r.real, Job: s.job(int(r.idx)).ID,
 					Part: part, Procs: procs, Detail: r.end,
 				})
 			}
@@ -547,8 +595,25 @@ func (s *simulator) run() error {
 			}
 		}
 		// arrivals at t join their queue
-		for next < len(s.jobs) && s.jobs[next].Submit <= t {
-			j := &s.jobs[next]
+		for {
+			var j *trace.Job
+			var pj *pending
+			if s.in != nil {
+				var err error
+				j, pj, err = s.streamArrival(next, t)
+				if err != nil {
+					return err
+				}
+				if j == nil {
+					break // next arrival is later than t (or stream drained)
+				}
+			} else {
+				if next >= len(s.jobs) || s.jobs[next].Submit > t {
+					break
+				}
+				j = &s.jobs[next]
+				pj = &s.pendings[next]
+			}
 			p := s.partition(j)
 			reqTime := j.Walltime
 			if reqTime <= 0 || s.opt.UseActualRuntime {
@@ -563,7 +628,6 @@ func (s *simulator) run() error {
 					reqTime = pred // advisory estimate; no kill at pred
 				}
 			}
-			pj := &s.pendings[next]
 			*pj = pending{
 				idx: next, user: j.User, submit: j.Submit, procs: j.Procs,
 				part: p, reqTime: reqTime, run: run, promised: -1,
@@ -595,9 +659,18 @@ func (s *simulator) run() error {
 			}
 		}
 		s.sampleQueue(t)
+		// Retire the completed window prefix out to the sink: rows leave in
+		// arrival order, keeping the working set O(active + lookahead).
+		if s.in != nil {
+			if err := s.retireStream(); err != nil {
+				return err
+			}
+		}
 	}
-	if s.started != len(s.jobs) {
-		return fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", s.started, len(s.jobs))
+	// next == len(s.jobs) on the materialized path here, so the check is the
+	// same on both paths: every arrival must have started.
+	if s.started != next {
+		return fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", s.started, next)
 	}
 	return nil
 }
@@ -746,22 +819,22 @@ func (s *simulator) start(p, pos int) {
 	w := s.now - j.submit
 	first := s.flt == nil || !s.flt.everStarted[j.idx]
 	if first {
-		s.waits[j.idx] = w
+		s.waits[j.idx-s.idxBase] = w
 	}
 	if s.obsv != nil {
 		s.obsv.Observe(obs.Event{
-			Kind: obs.JobStart, Time: s.now, Job: s.jobs[j.idx].ID,
+			Kind: obs.JobStart, Time: s.now, Job: s.job(j.idx).ID,
 			Part: p, Procs: j.procs, Detail: w,
 		})
 		if pos > 0 {
 			s.obsv.Observe(obs.Event{
-				Kind: obs.Backfill, Time: s.now, Job: s.jobs[j.idx].ID,
+				Kind: obs.Backfill, Time: s.now, Job: s.job(j.idx).ID,
 				Part: p, Procs: j.procs, Detail: float64(pos),
 			})
 		}
 		if first && j.promised >= 0 && s.now > j.promised+1e-9 {
 			s.obsv.Observe(obs.Event{
-				Kind: obs.PromiseViolation, Time: s.now, Job: s.jobs[j.idx].ID,
+				Kind: obs.PromiseViolation, Time: s.now, Job: s.job(j.idx).ID,
 				Part: p, Procs: j.procs, Detail: s.now - j.promised,
 			})
 		}
@@ -886,10 +959,10 @@ func (s *simulator) schedule(p int) error {
 		}
 		if head.promised < 0 {
 			head.promised = shadow
-			s.promised[head.idx] = shadow
+			s.promised[head.idx-s.idxBase] = shadow
 			if s.obsv != nil {
 				s.obsv.Observe(obs.Event{
-					Kind: obs.ReservationMade, Time: s.now, Job: s.jobs[head.idx].ID,
+					Kind: obs.ReservationMade, Time: s.now, Job: s.job(head.idx).ID,
 					Part: p, Procs: head.procs, Detail: shadow,
 				})
 			}
@@ -923,7 +996,7 @@ func (s *simulator) schedule(p int) error {
 				// The admitted backfill intrudes past the head's current
 				// shadow start: the promise was relaxed to let it in.
 				s.obsv.Observe(obs.Event{
-					Kind: obs.ReservationRelaxed, Time: s.now, Job: s.jobs[head.idx].ID,
+					Kind: obs.ReservationRelaxed, Time: s.now, Job: s.job(head.idx).ID,
 					Part: p, Procs: head.procs, Detail: deadline,
 				})
 			}

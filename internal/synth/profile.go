@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"crosssched/internal/dist"
@@ -138,113 +139,23 @@ type user struct {
 // Generate produces a trace for the profile with the given seed. The
 // returned trace is sorted by submission and has Wait filled from the
 // shadow scheduler (the analog of the recorded waits in a real trace).
+// Generate is a drain of Stream: the streaming generator is the single
+// implementation, so the two are bit-identical by construction.
 func (p *Profile) Generate(seed uint64) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
+	s, err := p.Stream(seed)
+	if err != nil {
 		return nil, err
 	}
-	rng := dist.NewRNG(seed)
-	users := p.makeUsers(rng)
-	userZipf := dist.NewZipf(len(users), p.UserZipfS)
-	sizeCat := dist.NewCategorical(p.SizeWeights)
-
-	nVC := p.Sys.VirtualClusters
-	if nVC < 1 {
-		nVC = 1
-	}
-	shadows := make([]*shadow, nVC)
-	vcCaps := make([]int, nVC)
-	base := p.Sys.TotalCores / nVC
-	rem := p.Sys.TotalCores % nVC
-	for i := range shadows {
-		vcCaps[i] = base
-		if i < rem {
-			vcCaps[i]++
-		}
-		shadows[i] = newShadow(vcCaps[i])
-	}
-
 	tr := trace.New(p.Sys)
-	horizon := p.Days * 86400
-	starts := map[int]float64{}
-	onStart := func(id int, st float64) { starts[id] = st }
-
-	// Arrival process: Weibull gaps whose scale tracks the diurnal rate.
-	shape := 1.0
-	if p.Burstiness > 0 {
-		shape = 1 / p.Burstiness
-	}
-	gammaFactor := math.Gamma(1 + 1/shape)
-	wsum := 0.0
-	for _, w := range p.HourlyWeights {
-		wsum += w
-	}
-	if wsum == 0 {
-		wsum = 24
-		for i := range p.HourlyWeights {
-			p.HourlyWeights[i] = 1
-		}
-	}
-
-	now := 0.0
-	id := 0
-	for now < horizon {
-		hour := (int(now/3600) + p.Sys.StartHour) % 24
-		rate := p.JobsPerDay / 86400 * (p.HourlyWeights[hour] * 24 / wsum)
-		if rate <= 0 {
-			now += 3600
-			continue
-		}
-		meanGap := 1 / rate
-		lambda := meanGap / gammaFactor
-		gap := dist.Weibull{K: shape, Lambda: lambda}.Sample(rng)
-		if gap > 6*3600 {
-			gap = 6 * 3600 // keep the process moving through dead hours
-		}
-		now += gap
-		if now >= horizon {
+	for {
+		j, err := s.Next()
+		if err == io.EOF {
 			break
 		}
-
-		sub := now
-		if p.SubmitQuantum > 0 {
-			sub = math.Floor(sub/p.SubmitQuantum) * p.SubmitQuantum
+		if err != nil {
+			return nil, err
 		}
-		u := users[userZipf.SampleRank(rng)-1]
-		sh := shadows[u.vc%nVC]
-		sh.advance(sub, onStart)
-		qFrac := float64(sh.queueLen()) / p.QueueScale
-		if qFrac > 1 {
-			qFrac = 1
-		}
-
-		j := p.makeJob(rng, u, sizeCat, qFrac, vcCaps[u.vc%nVC])
-		j.ID = id
-		j.Submit = sub
-		if nVC > 1 {
-			j.VC = u.vc % nVC
-		} else {
-			j.VC = -1
-		}
-		// DL schedulers do not drain for big jobs; only HPC/hybrid
-		// capability jobs get priority-with-drain semantics.
-		large := p.Sys.Kind != trace.DL &&
-			sizeCategory3(p.Sys.Kind, j.Procs, p.Sys.TotalCores) == 2
-		sh.submit(shadowJob{id: id, procs: j.Procs, run: j.Run, submit: sub, large: large}, onStart)
 		tr.Jobs = append(tr.Jobs, j)
-		id++
-	}
-	for _, sh := range shadows {
-		sh.flush(onStart)
-	}
-	for i := range tr.Jobs {
-		st, ok := starts[tr.Jobs[i].ID]
-		if !ok {
-			return nil, fmt.Errorf("synth: job %d never started in shadow scheduler", i)
-		}
-		tr.Jobs[i].Wait = st - tr.Jobs[i].Submit
-		if tr.Jobs[i].Wait < 0 {
-			tr.Jobs[i].Wait = 0
-		}
 	}
 	tr.SortBySubmit()
 	return tr, nil

@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"io"
+	"testing"
+)
+
+// TestStreamMatchesGenerate: the streaming generator must emit exactly the
+// jobs Generate produces, in order, with the same System — for every
+// verification profile (single/multi-VC, bursty) and a DL profile with
+// adaptive behavior. Generate is implemented as a drain of Stream, so this
+// pins the drain (ordering, Wait fill, ID density) rather than two
+// implementations against each other.
+func TestStreamMatchesGenerate(t *testing.T) {
+	profiles := append(VerifyProfiles(2), Philly(0.5))
+	for _, p := range profiles {
+		want, err := p.Generate(11)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Sys.Name, err)
+		}
+		s, err := p.Stream(11)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Sys.Name, err)
+		}
+		if s.System() != want.System {
+			t.Fatalf("%s: system %+v want %+v", p.Sys.Name, s.System(), want.System)
+		}
+		i := 0
+		for {
+			j, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: job %d: %v", p.Sys.Name, i, err)
+			}
+			if i >= want.Len() {
+				t.Fatalf("%s: stream emitted more than %d jobs", p.Sys.Name, want.Len())
+			}
+			if j != want.Jobs[i] {
+				t.Fatalf("%s: job %d:\n  stream:   %+v\n  generate: %+v", p.Sys.Name, i, j, want.Jobs[i])
+			}
+			i++
+		}
+		if i != want.Len() {
+			t.Fatalf("%s: stream emitted %d jobs, Generate %d", p.Sys.Name, i, want.Len())
+		}
+		// EOF is sticky.
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("%s: EOF not sticky: %v", p.Sys.Name, err)
+		}
+	}
+}
+
+// TestStreamBufferBounded: the emission buffer tracks the shadow backlog,
+// not the trace length — it must stay far below the total job count.
+func TestStreamBufferBounded(t *testing.T) {
+	p := VerifyHPC(4)
+	s, err := p.Stream(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, peak := 0, 0
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if w := len(s.buf) - s.head; w > peak {
+			peak = w
+		}
+	}
+	if n == 0 {
+		t.Fatal("stream produced no jobs")
+	}
+	if peak >= n/2 {
+		t.Fatalf("buffer peak %d of %d jobs: not O(backlog)", peak, n)
+	}
+}
+
+// TestStreamValidates: an invalid profile fails at construction, like
+// Generate.
+func TestStreamValidates(t *testing.T) {
+	p := VerifyHPC(1)
+	p.Users = 0
+	if _, err := p.Stream(1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -41,6 +42,60 @@ func FuzzSWFRoundTrip(f *testing.F) {
 		}
 		if tr2.Len() != tr.Len() {
 			t.Fatalf("round trip changed job count: %d -> %d", tr.Len(), tr2.Len())
+		}
+	})
+}
+
+// FuzzStreamSWF feeds arbitrary bytes to the streaming SWF reader: it must
+// never panic, and the streaming contract must be a strict subset of the
+// materialized one — whenever the stream drains successfully, ReadSWF must
+// accept the same bytes and produce the same jobs (the stream's stricter
+// header-prefix + sorted-input requirements guarantee the sort pass is a
+// no-op). System metadata must also agree, except that ReadSWF infers
+// TotalCores from the widest job when no MaxProcs header is present.
+func FuzzStreamSWF(f *testing.F) {
+	f.Add([]byte("; Computer: Seed\n; Kind: HPC\n; MaxProcs: 8\n" +
+		"1 0.00 0.00 10.00 2 -1 -1 2 12.00 -1 1 1 -1 -1 -1 -1 -1 -1\n" +
+		"2 1.50 -1.00 5.00 1 -1 -1 1 0.00 -1 5 2 -1 -1 0 -1 -1 -1\n"))
+	f.Add([]byte("1 0 0 1 1 -1 -1 1 1 -1 1 1 -1 -1 -1 -1 -1 -1\n; MaxProcs: 4\n"))
+	f.Add([]byte("1 5 0 1 1 -1 -1 1 1 -1 1 1 -1 -1 -1 -1 -1 -1\n" +
+		"2 2 0 1 1 -1 -1 1 1 -1 1 1 -1 -1 -1 -1 -1 -1\n"))
+	f.Add([]byte("; Note: header only\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := NewSWFStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var jobs []Job
+		for {
+			j, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // stream rejected the input; nothing to cross-check
+			}
+			jobs = append(jobs, j)
+		}
+		tr, err := ReadSWF(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("stream accepted but ReadSWF rejected: %v", err)
+		}
+		if len(jobs) != tr.Len() {
+			t.Fatalf("job count: stream %d, ReadSWF %d", len(jobs), tr.Len())
+		}
+		for i := range jobs {
+			if jobs[i] != tr.Jobs[i] {
+				t.Fatalf("job %d: stream %+v, ReadSWF %+v", i, jobs[i], tr.Jobs[i])
+			}
+		}
+		sys := s.System()
+		if sys.TotalCores == 0 {
+			sys.TotalCores = tr.System.TotalCores // ReadSWF infers from jobs
+		}
+		if sys != tr.System {
+			t.Fatalf("system: stream %+v, ReadSWF %+v", s.System(), tr.System)
 		}
 	})
 }

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain pulls a stream to EOF, failing the test on any other error.
+func drain(t *testing.T, s Stream) []Job {
+	t.Helper()
+	var jobs []Job
+	for {
+		j, err := s.Next()
+		if err == io.EOF {
+			return jobs
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// TestSWFStreamMatchesReadSWF: on WriteSWF output (header prefix, sorted),
+// the streaming reader must produce exactly the jobs and system the
+// materialized reader does.
+func TestSWFStreamMatchesReadSWF(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadSWF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSWFStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.System() != want.System {
+		t.Fatalf("system mismatch:\n  stream: %+v\n  read:   %+v", s.System(), want.System)
+	}
+	jobs := drain(t, s)
+	if len(jobs) != want.Len() {
+		t.Fatalf("job count %d want %d", len(jobs), want.Len())
+	}
+	for i := range jobs {
+		if jobs[i] != want.Jobs[i] {
+			t.Fatalf("job %d mismatch:\n  stream: %+v\n  read:   %+v", i, jobs[i], want.Jobs[i])
+		}
+	}
+}
+
+// TestCSVStreamMatchesReadCSV is the CSV analog.
+func TestCSVStreamMatchesReadCSV(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadCSV(bytes.NewReader(buf.Bytes()), tr.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := drain(t, NewCSVStream(bytes.NewReader(buf.Bytes()), tr.System))
+	if len(jobs) != want.Len() {
+		t.Fatalf("job count %d want %d", len(jobs), want.Len())
+	}
+	for i := range jobs {
+		if jobs[i] != want.Jobs[i] {
+			t.Fatalf("job %d mismatch:\n  stream: %+v\n  read:   %+v", i, jobs[i], want.Jobs[i])
+		}
+	}
+}
+
+// TestWriteStreamMatchesWrite: the streaming writers must be byte-identical
+// to the materialized ones.
+func TestWriteStreamMatchesWrite(t *testing.T) {
+	tr := sampleTrace()
+	var swf, swfStream, csv, csvStream bytes.Buffer
+	if err := WriteSWF(&swf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := WriteSWFStream(&swfStream, NewSliceStream(tr)); err != nil || n != tr.Len() {
+		t.Fatalf("WriteSWFStream: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(swf.Bytes(), swfStream.Bytes()) {
+		t.Fatal("WriteSWFStream differs from WriteSWF")
+	}
+	if err := WriteCSV(&csv, tr); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := WriteCSVStream(&csvStream, NewSliceStream(tr)); err != nil || n != tr.Len() {
+		t.Fatalf("WriteCSVStream: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(csv.Bytes(), csvStream.Bytes()) {
+		t.Fatal("WriteCSVStream differs from WriteCSV")
+	}
+}
+
+// TestSliceStreamCollect: SliceStream → Collect reproduces the trace.
+func TestSliceStreamCollect(t *testing.T) {
+	tr := sampleTrace()
+	got, err := Collect(NewSliceStream(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != tr.System || got.Len() != tr.Len() {
+		t.Fatalf("collect mismatch: %+v len %d", got.System, got.Len())
+	}
+	for i := range tr.Jobs {
+		if got.Jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d mismatch", i)
+		}
+	}
+}
+
+// TestLongLines: the satellite fix — the old bufio.Scanner setup capped
+// lines at 1MB, so a longer header comment or a job line with megabytes of
+// trailing fields failed to parse. Both readers must now handle them.
+func TestLongLines(t *testing.T) {
+	var in strings.Builder
+	in.WriteString("; Computer: LongLines\n; MaxProcs: 64\n")
+	in.WriteString("; Note: " + strings.Repeat("x", 2*1024*1024) + "\n")
+	in.WriteString("1 0.00 0.00 10.00 2 -1 -1 2 12.00 -1 1 1 -1 -1 -1 -1 -1 -1")
+	in.WriteString(strings.Repeat(" 0", 1024*1024)) // extra fields are ignored
+	in.WriteString("\n2 1.00 0.00 5.00 1 -1 -1 1 6.00 -1 1 2 -1 -1 0 -1 -1 -1\n")
+	data := in.String()
+
+	tr, err := ReadSWF(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadSWF long lines: %v", err)
+	}
+	if tr.Len() != 2 || tr.System.Name != "LongLines" {
+		t.Fatalf("ReadSWF long lines parsed wrong: len=%d sys=%+v", tr.Len(), tr.System)
+	}
+	s, err := NewSWFStream(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewSWFStream long lines: %v", err)
+	}
+	jobs := drain(t, s)
+	if len(jobs) != 2 {
+		t.Fatalf("SWFStream long lines: %d jobs want 2", len(jobs))
+	}
+	for i := range jobs {
+		if jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d mismatch after long-line parse", i)
+		}
+	}
+}
+
+// TestSWFStreamEmpty: header-only and fully empty inputs end immediately.
+func TestSWFStreamEmpty(t *testing.T) {
+	for _, in := range []string{"", "; Computer: X\n; MaxProcs: 8\n"} {
+		s, err := NewSWFStream(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("%q: want io.EOF, got %v", in, err)
+		}
+		// EOF is sticky.
+		if _, err := s.Next(); err != io.EOF {
+			t.Fatalf("%q: EOF not sticky: %v", in, err)
+		}
+	}
+}
+
+// TestSWFStreamErrors pins the streaming error paths: parse failures and
+// contract violations name the offending 1-based line.
+func TestSWFStreamErrors(t *testing.T) {
+	const header = "; MaxProcs: 64\n"
+	const ok = "1 0.0 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+	cases := []struct {
+		name, in, want string
+	}{
+		{"short line", header + ok + "1 2 3\n", "line 3"},
+		{"bad field", header + ok + "2 zz 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "line 3"},
+		{"out of order", header + "1 5.0 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n" +
+			"2 2.0 0.0 1.0 1 -1 -1 1 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "submit-sorted"},
+		{"too wide", header + "1 0.0 0.0 1.0 128 -1 -1 128 1.0 -1 1 1 -1 -1 -1 -1 -1 -1\n", "line 2"},
+		{"trailing header", header + ok + "; MaxProcs: 8\n", "header prefix"},
+	}
+	for _, tc := range cases {
+		s, err := NewSWFStream(strings.NewReader(tc.in))
+		if err != nil {
+			t.Fatalf("%s: construction failed: %v", tc.name, err)
+		}
+		for err == nil {
+			_, err = s.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("%s: stream accepted bad input", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCSVStreamErrors is the CSV analog (row-numbered errors, ordering
+// contract).
+func TestCSVStreamErrors(t *testing.T) {
+	const header = "id,user,submit,wait,run,walltime,procs,vc,status\n"
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad field", header + "x,0,0,0,0,0,1,-1,Passed\n", "row 2"},
+		{"bad status", header + "0,0,0,0,0,0,1,-1,Bogus\n", "status"},
+		{"out of order", header + "0,0,5.0,0,1,1,1,-1,Passed\n1,0,2.0,0,1,1,1,-1,Passed\n", "submit-sorted"},
+		{"ragged row", header + "0,0\n", "csv"},
+	}
+	for _, tc := range cases {
+		s := NewCSVStream(strings.NewReader(tc.in), System{TotalCores: 8})
+		var err error
+		for err == nil {
+			_, err = s.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("%s: stream accepted bad input", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCSVStreamHeaderless: a file without the header row streams from the
+// first physical row, like ReadCSV.
+func TestCSVStreamHeaderless(t *testing.T) {
+	in := "5,0,3.25,2.00,100.00,120.00,4,2,Killed\n"
+	jobs := drain(t, NewCSVStream(strings.NewReader(in), System{TotalCores: 8}))
+	if len(jobs) != 1 || jobs[0].ID != 0 || jobs[0].Procs != 4 || jobs[0].Status != Killed {
+		t.Fatalf("headerless parse wrong: %+v", jobs)
+	}
+}

@@ -20,52 +20,112 @@ import (
 
 const swfFields = 18
 
+// SWFWriter serializes jobs to SWF incrementally, so a generator or a
+// windowed simulation can emit a multi-million-job file without holding a
+// []Job. The system header is written on construction; errors are sticky
+// and re-reported by every subsequent call, so checking Flush at the end
+// suffices.
+type SWFWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewSWFWriter writes the metadata header for sys and returns a writer for
+// the job lines.
+func NewSWFWriter(w io.Writer, sys System) *SWFWriter {
+	sw := &SWFWriter{bw: bufio.NewWriter(w)}
+	fmt.Fprintf(sw.bw, "; Computer: %s\n", sys.Name)
+	fmt.Fprintf(sw.bw, "; Kind: %s\n", sys.Kind)
+	fmt.Fprintf(sw.bw, "; MaxProcs: %d\n", sys.TotalCores)
+	fmt.Fprintf(sw.bw, "; CoresPerNode: %d\n", sys.CoresPerNode)
+	fmt.Fprintf(sw.bw, "; VirtualClusters: %d\n", sys.VirtualClusters)
+	fmt.Fprintf(sw.bw, "; StartHour: %d\n", sys.StartHour)
+	return sw
+}
+
+// Write appends one job line.
+func (sw *SWFWriter) Write(j *Job) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	status := 1
+	switch j.Status {
+	case Failed:
+		status = 0
+	case Killed:
+		status = 5
+	}
+	wait := j.Wait
+	if wait < 0 {
+		wait = -1
+	}
+	// Fields: job# submit wait run usedProcs avgCPU usedMem reqProcs
+	// reqTime reqMem status user group app queue partition prevJob think
+	_, sw.err = fmt.Fprintf(sw.bw, "%d %.2f %.2f %.2f %d -1 -1 %d %.2f -1 %d %d -1 -1 %d -1 -1 -1\n",
+		j.ID+1, j.Submit, wait, j.Run, j.Procs, j.Procs, j.Walltime,
+		status, j.User+1, j.VC)
+	return sw.err
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (sw *SWFWriter) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	sw.err = sw.bw.Flush()
+	return sw.err
+}
+
 // WriteSWF serializes the trace in SWF with a metadata header.
 func WriteSWF(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "; Computer: %s\n", t.System.Name)
-	fmt.Fprintf(bw, "; Kind: %s\n", t.System.Kind)
-	fmt.Fprintf(bw, "; MaxProcs: %d\n", t.System.TotalCores)
-	fmt.Fprintf(bw, "; CoresPerNode: %d\n", t.System.CoresPerNode)
-	fmt.Fprintf(bw, "; VirtualClusters: %d\n", t.System.VirtualClusters)
-	fmt.Fprintf(bw, "; StartHour: %d\n", t.System.StartHour)
+	sw := NewSWFWriter(w, t.System)
 	for i := range t.Jobs {
-		j := &t.Jobs[i]
-		status := 1
-		switch j.Status {
-		case Failed:
-			status = 0
-		case Killed:
-			status = 5
-		}
-		wait := j.Wait
-		if wait < 0 {
-			wait = -1
-		}
-		// Fields: job# submit wait run usedProcs avgCPU usedMem reqProcs
-		// reqTime reqMem status user group app queue partition prevJob think
-		_, err := fmt.Fprintf(bw, "%d %.2f %.2f %.2f %d -1 -1 %d %.2f -1 %d %d -1 -1 %d -1 -1 -1\n",
-			j.ID+1, j.Submit, wait, j.Run, j.Procs, j.Procs, j.Walltime,
-			status, j.User+1, j.VC)
-		if err != nil {
+		if err := sw.Write(&t.Jobs[i]); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
+}
+
+// WriteSWFStream drains s into w as SWF, returning the number of jobs
+// written. Memory stays O(1) in the trace length.
+func WriteSWFStream(w io.Writer, s Stream) (int, error) {
+	sw := NewSWFWriter(w, s.System())
+	n := 0
+	for {
+		j, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := sw.Write(&j); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sw.Flush()
 }
 
 // ReadSWF parses a trace written by WriteSWF (or any 18-field SWF file;
 // missing header metadata falls back to zero values and capacity inferred
-// from the largest request).
+// from the largest request). The whole file is materialized and sorted; use
+// NewSWFStream for bounded-memory iteration over large, already-sorted
+// files.
 func ReadSWF(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lr := newLineReader(r)
 	t := New(System{})
-	lineNo := 0
 	var jobLines []int // source line of each job, for post-parse validation
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	for {
+		line, lineNo, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -83,9 +143,6 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 		}
 		t.Jobs = append(t.Jobs, j)
 		jobLines = append(jobLines, lineNo)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if t.System.TotalCores == 0 {
 		for i := range t.Jobs {
@@ -107,6 +164,107 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 	}
 	t.SortBySubmit()
 	return t, nil
+}
+
+// SWFStream reads an SWF file one job at a time in O(1) memory. It is
+// stricter than ReadSWF, which buffers everything and can therefore sort
+// and back-patch: the streaming contract requires header comments to form a
+// prefix (so System — in particular the capacity jobs are validated
+// against — is known before the first job) and job lines to be sorted by
+// submit time. WriteSWF output always satisfies both. IDs are re-assigned
+// densely in stream order, exactly as ReadSWF's sort pass would for sorted
+// input; parse and contract violations carry 1-based line numbers.
+type SWFStream struct {
+	lr          *lineReader
+	sys         System
+	pending     string // first job line, peeked past the header by New
+	pendingLine int
+	havePending bool
+	done        bool
+	n           int     // jobs emitted
+	last        float64 // previous submit time
+}
+
+// NewSWFStream consumes the header prefix of r and returns the stream.
+func NewSWFStream(r io.Reader) (*SWFStream, error) {
+	s := &SWFStream{lr: newLineReader(r)}
+	for {
+		line, lineNo, err := s.lr.next()
+		if err == io.EOF {
+			s.done = true
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseSWFHeader(&s.sys, line)
+			continue
+		}
+		s.pending, s.pendingLine, s.havePending = line, lineNo, true
+		return s, nil
+	}
+}
+
+// System returns the header metadata. Complete after NewSWFStream returns
+// (headers are required to precede job lines).
+func (s *SWFStream) System() System { return s.sys }
+
+// Next returns the next job, io.EOF at the end, or a line-numbered error.
+func (s *SWFStream) Next() (Job, error) {
+	for {
+		var line string
+		var lineNo int
+		switch {
+		case s.havePending:
+			line, lineNo = s.pending, s.pendingLine
+			s.havePending = false
+			s.pending = ""
+		case s.done:
+			return Job{}, io.EOF
+		default:
+			var err error
+			line, lineNo, err = s.lr.next()
+			if err == io.EOF {
+				s.done = true
+				return Job{}, io.EOF
+			}
+			if err != nil {
+				return Job{}, err
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, ";") {
+				return Job{}, fmt.Errorf("trace: swf line %d: header comment after job lines (streaming needs a header prefix; use ReadSWF)", lineNo)
+			}
+		}
+		f := strings.Fields(line)
+		if len(f) < swfFields {
+			return Job{}, fmt.Errorf("trace: swf line %d: %d fields, want %d", lineNo, len(f), swfFields)
+		}
+		j, err := parseSWFLine(f)
+		if err != nil {
+			return Job{}, fmt.Errorf("trace: swf line %d: %w", lineNo, err)
+		}
+		if s.n > 0 && j.Submit < s.last {
+			return Job{}, fmt.Errorf("trace: swf line %d: submit %v before previous %v (streaming needs submit-sorted input; use ReadSWF)",
+				lineNo, j.Submit, s.last)
+		}
+		if s.sys.TotalCores > 0 && j.Procs > s.sys.TotalCores {
+			return Job{}, fmt.Errorf("trace: swf line %d: job %d requests %d procs, system has %d",
+				lineNo, j.ID+1, j.Procs, s.sys.TotalCores)
+		}
+		s.last = j.Submit
+		j.ID = s.n
+		s.n++
+		return j, nil
+	}
 }
 
 func parseSWFHeader(sys *System, line string) {
