@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"crosssched/internal/obs"
+	"crosssched/internal/twin"
+)
+
+// registerTwinAPI mounts the digital-twin session API:
+//
+//	POST   /session              create a session
+//	GET    /session/{id}         status snapshot
+//	DELETE /session/{id}         tear the session down
+//	POST   /session/{id}/submit  append jobs to the submission log
+//	POST   /session/{id}/advance move the simulation clock forward
+//	POST   /session/{id}/whatif  fork the twin under candidate configs
+//	GET    /session/{id}/events  SSE stream of scheduling decision events
+func registerTwinAPI(mux *http.ServeMux, mgr *twin.Manager) {
+	a := &twinAPI{mgr: mgr}
+	mux.HandleFunc("POST /session", a.create)
+	mux.HandleFunc("GET /session/{id}", a.status)
+	mux.HandleFunc("DELETE /session/{id}", a.delete)
+	mux.HandleFunc("POST /session/{id}/submit", a.submit)
+	mux.HandleFunc("POST /session/{id}/advance", a.advance)
+	mux.HandleFunc("POST /session/{id}/whatif", a.whatIf)
+	mux.HandleFunc("GET /session/{id}/events", a.events)
+}
+
+type twinAPI struct {
+	mgr *twin.Manager
+}
+
+// createRequest is the POST /session body. Every field is optional; the
+// zero value is a single-pool cluster only if cores is given, so either
+// profile or cores is required.
+type createRequest struct {
+	Profile    string  `json:"profile,omitempty"`
+	Cores      int     `json:"cores,omitempty"`
+	Partitions int     `json:"partitions,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
+	Backfill   string  `json:"backfill,omitempty"`
+	Relax      float64 `json:"relax,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	TickRate   float64 `json:"tick_rate,omitempty"`
+}
+
+func (a *twinAPI) create(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cfg := twin.SessionConfig{
+		Profile:     req.Profile,
+		Cores:       req.Cores,
+		Partitions:  req.Partitions,
+		RelaxFactor: req.Relax,
+		Seed:        req.Seed,
+		TickRate:    req.TickRate,
+	}
+	var err error
+	if req.Policy != "" {
+		if cfg.Policy, err = twin.ParsePolicy(req.Policy); err != nil {
+			httpError(w, err)
+			return
+		}
+	}
+	if req.Backfill != "" {
+		if cfg.Backfill, err = twin.ParseBackfill(req.Backfill); err != nil {
+			httpError(w, err)
+			return
+		}
+	}
+	s, err := a.mgr.Create(cfg)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	snap, err := s.Status()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply(w, http.StatusCreated, snap)
+}
+
+// session resolves {id}, writing the error reply itself on failure.
+func (a *twinAPI) session(w http.ResponseWriter, r *http.Request) *twin.Session {
+	s, err := a.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return nil
+	}
+	return s
+}
+
+func (a *twinAPI) status(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	snap, err := s.Status()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply(w, http.StatusOK, snap)
+}
+
+func (a *twinAPI) delete(w http.ResponseWriter, r *http.Request) {
+	if err := a.mgr.Delete(r.PathValue("id")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *twinAPI) submit(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	var req struct {
+		Jobs []twin.JobSpec `json:"jobs"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	ids, err := s.Submit(req.Jobs)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply(w, http.StatusOK, struct {
+		IDs []int   `json:"ids"`
+		Now float64 `json:"now"`
+	}{ids, s.Now()})
+}
+
+func (a *twinAPI) advance(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	var req struct {
+		By *float64 `json:"by,omitempty"`
+		To *float64 `json:"to,omitempty"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	var err error
+	switch {
+	case req.By != nil && req.To != nil:
+		err = fmt.Errorf("twin: give either by or to, not both")
+	case req.By != nil:
+		err = s.AdvanceBy(*req.By)
+	case req.To != nil:
+		err = s.AdvanceTo(*req.To)
+	default:
+		err = fmt.Errorf("twin: advance needs by or to")
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	snap, err := s.Status()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply(w, http.StatusOK, snap)
+}
+
+func (a *twinAPI) whatIf(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	var req twin.WhatIfRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	rep, err := s.WhatIf(r.Context(), req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply(w, http.StatusOK, rep)
+}
+
+// events streams the session's scheduling decisions as server-sent events:
+// `event: obs` frames carry one decision as JSON, and when a slow client
+// overruns its bounded buffer an `event: dropped` frame reports how many
+// events the gap swallowed. The stream ends when the client disconnects or
+// the session closes.
+func (a *twinAPI) events(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	sub, err := s.Subscribe()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer s.Unsubscribe(sub)
+
+	// The server's WriteTimeout would kill a long-lived stream; replace it
+	// with a per-write deadline so only a genuinely stuck client is cut.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	var buf []byte
+	for {
+		e, dropped, err := sub.Next(r.Context())
+		if err != nil {
+			return // client gone or session closed: end the stream
+		}
+		_ = rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if dropped > 0 {
+			if _, err := fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", dropped); err != nil {
+				return
+			}
+		}
+		buf = obs.AppendEventJSON(buf[:0], e)
+		if _, err := fmt.Fprintf(w, "event: obs\ndata: %s\n\n", buf); err != nil {
+			return
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// decode reads a bounded JSON body, replying 400 on garbage.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// httpError maps twin sentinels to status codes; anything else is a
+// validation failure.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, twin.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, twin.ErrBudget):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, twin.ErrClosed):
+		code = http.StatusGone
+	case errors.Is(err, twin.ErrEmpty):
+		code = http.StatusConflict
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// reply writes a JSON response.
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,13 +1,15 @@
 // Command lumosweb serves the paper's figures over HTTP — the stdlib
-// equivalent of the authors' Streamlit site. Figures are computed lazily
-// from the calibrated workloads and cached.
+// equivalent of the authors' Streamlit site — and hosts the digital-twin
+// scheduling service: long-lived sessions that mirror a cluster queue in a
+// continuously-advancing simulation and answer what-if queries against it.
 //
 // Usage:
 //
 //	lumosweb -addr :8080 -days 10
 //
-// then browse http://localhost:8080/ for the index,
-// /fig/2 for a figure, /fig/table2 for Table II.
+// then browse http://localhost:8080/ for the index, /fig/2 for a figure,
+// /fig/table2 for Table II. The twin API lives under /session (see
+// DESIGN.md "Digital-twin service" for the endpoint walkthrough).
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"crosssched/internal/figures"
+	"crosssched/internal/twin"
 )
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
@@ -43,29 +46,97 @@ var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
 <pre>{{.Body}}</pre>
 </body></html>`))
 
-// server caches rendered figures.
+// server caches rendered figures. Cold renders are single-flight: however
+// many requests race on an uncached figure, exactly one render runs and
+// the rest wait for it.
 type server struct {
-	suite *figures.Suite
+	// renderFn produces a figure; split out so tests can count and stall
+	// renders. The context is canceled when every waiting request is gone.
+	renderFn func(ctx context.Context, name string) (string, error)
 
-	mu    sync.Mutex
-	cache map[string]string
+	mu       sync.Mutex
+	cache    map[string]string
+	inflight map[string]*renderCall
 }
 
-func (s *server) render(name string) (string, error) {
+// renderCall is one in-progress figure render and its waiters.
+type renderCall struct {
+	done    chan struct{} // closed when out/err are set
+	out     string
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFigServer(suite *figures.Suite) *server {
+	return &server{
+		renderFn: func(_ context.Context, name string) (string, error) {
+			// Suite.Render is CPU-bound with no blocking points, so the
+			// context only gates whether we start at all.
+			return suite.Render(name, "Philly")
+		},
+		cache:    map[string]string{},
+		inflight: map[string]*renderCall{},
+	}
+}
+
+// render returns the cached figure or joins the single in-flight render
+// for it, starting one if needed. ctx is the requesting client: if it ends
+// the caller stops waiting, and once the LAST waiter is gone the render
+// itself is canceled. Only successful renders are cached — a canceled or
+// failed render never poisons the cache.
+func (s *server) render(ctx context.Context, name string) (string, error) {
 	s.mu.Lock()
 	if out, ok := s.cache[name]; ok {
 		s.mu.Unlock()
 		return out, nil
 	}
-	s.mu.Unlock()
-	out, err := s.suite.Render(name, "Philly")
-	if err != nil {
-		return "", err
+	call, ok := s.inflight[name]
+	if !ok {
+		rctx, cancel := context.WithCancel(context.Background())
+		call = &renderCall{done: make(chan struct{}), cancel: cancel}
+		s.inflight[name] = call
+		go func() {
+			out, err := s.renderFn(rctx, name)
+			cancel()
+			s.mu.Lock()
+			call.out, call.err = out, err
+			if err == nil {
+				s.cache[name] = out
+			}
+			delete(s.inflight, name)
+			s.mu.Unlock()
+			close(call.done)
+		}()
 	}
-	s.mu.Lock()
-	s.cache[name] = out
+	call.waiters++
 	s.mu.Unlock()
-	return out, nil
+
+	select {
+	case <-call.done:
+		s.leave(call)
+		return call.out, call.err
+	case <-ctx.Done():
+		s.leave(call)
+		return "", ctx.Err()
+	}
+}
+
+// leave drops one waiter from a render; the last one out cancels a render
+// still in progress (nobody is left to read the result).
+func (s *server) leave(call *renderCall) {
+	s.mu.Lock()
+	call.waiters--
+	last := call.waiters == 0
+	s.mu.Unlock()
+	if !last {
+		return
+	}
+	select {
+	case <-call.done:
+	default:
+		call.cancel()
+	}
 }
 
 func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
@@ -74,8 +145,11 @@ func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/", http.StatusFound)
 		return
 	}
-	out, err := s.render(name)
+	out, err := s.render(r.Context(), name)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nothing to tell it
+		}
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
@@ -91,7 +165,9 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"Select a figure above.\n\nEvery table and figure of the paper\n"+
 			"\"Cross-System Analysis of Job Characterization and Scheduling\n"+
 			"in Large-Scale Computing Clusters\" (IPPS 2024), regenerated\n"+
-			"from calibrated synthetic workloads.")
+			"from calibrated synthetic workloads.\n\n"+
+			"The digital-twin scheduling API lives under /session\n"+
+			"(POST /session to start one; see DESIGN.md).")
 }
 
 func (s *server) page(w http.ResponseWriter, title, body string) {
@@ -105,18 +181,23 @@ func (s *server) page(w http.ResponseWriter, title, body string) {
 	}
 }
 
-// newMux builds the HTTP routes (split out for tests).
-func newMux(suite *figures.Suite) *http.ServeMux {
-	s := &server{suite: suite, cache: map[string]string{}}
+// newMux builds the HTTP routes: the figure browser plus, when mgr is
+// non-nil, the digital-twin session API (split out for tests).
+func newMux(suite *figures.Suite, mgr *twin.Manager) *http.ServeMux {
+	s := newFigServer(suite)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/fig/", s.handleFig)
+	if mgr != nil {
+		registerTwinAPI(mux, mgr)
+	}
 	return mux
 }
 
 // newServer wraps the mux in an http.Server with sane limits: slow-client
 // reads and idle keep-alives are bounded, while the write timeout stays
-// generous because a cold figure render runs real simulations.
+// generous because a cold figure render runs real simulations. SSE
+// handlers clear the write deadline per-connection.
 func newServer(handler http.Handler) *http.Server {
 	return &http.Server{
 		Handler:           handler,
@@ -128,17 +209,22 @@ func newServer(handler http.Handler) *http.Server {
 }
 
 // serve runs srv on ln until ctx is canceled, then shuts down gracefully:
-// the listener closes immediately (no new connections) and in-flight
-// requests get up to drain to finish before connections are forced closed.
-// A clean shutdown — including one with requests abandoned at the deadline
-// — returns nil; only listener/serve failures are errors.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// the shutdown hooks run first (closing the twin manager ends SSE streams
+// so they can drain), the listener closes immediately (no new
+// connections), and in-flight requests get up to drain to finish before
+// connections are forced closed. A clean shutdown — including one with
+// requests abandoned at the deadline — returns nil; only listener/serve
+// failures are errors.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, hooks ...func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	for _, h := range hooks {
+		h()
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -156,14 +242,16 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		days    = flag.Float64("days", 10, "synthetic trace duration in days")
-		simDays = flag.Float64("simdays", 8, "duration for simulator-driven figures")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		addr     = flag.String("addr", ":8080", "listen address")
+		days     = flag.Float64("days", 10, "synthetic trace duration in days")
+		simDays  = flag.Float64("simdays", 8, "duration for simulator-driven figures")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		sessions = flag.Int("sessions", 0, "max live twin sessions (0 = default)")
 	)
 	flag.Parse()
 	suite := figures.NewSuite(figures.Config{Days: *days, SimDays: *simDays, Seed: *seed})
+	mgr := twin.NewManager(twin.Config{MaxSessions: *sessions})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -172,7 +260,7 @@ func main() {
 		log.Fatal("lumosweb: ", err)
 	}
 	fmt.Printf("lumosweb: serving on %s\n", ln.Addr())
-	if err := serve(ctx, newServer(newMux(suite)), ln, *drain); err != nil {
+	if err := serve(ctx, newServer(newMux(suite, mgr)), ln, *drain, mgr.Close); err != nil {
 		log.Fatal("lumosweb: ", err)
 	}
 	fmt.Println("lumosweb: shut down cleanly")

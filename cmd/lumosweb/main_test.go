@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,7 +19,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	suite := figures.NewSuite(figures.Config{Days: 1, SimDays: 1, Seed: 3})
-	srv := httptest.NewServer(newMux(suite))
+	srv := httptest.NewServer(newMux(suite, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -95,7 +98,11 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, newServer(newMux(suite)), ln, 5*time.Second) }()
+	hookRan := make(chan struct{})
+	go func() {
+		done <- serve(ctx, newServer(newMux(suite, nil)), ln, 5*time.Second,
+			func() { close(hookRan) })
+	}()
 
 	url := "http://" + ln.Addr().String() + "/"
 	if code, _ := get(t, url); code != http.StatusOK {
@@ -110,8 +117,150 @@ func TestGracefulShutdown(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("serve did not return after context cancellation")
 	}
+	select {
+	case <-hookRan:
+	default:
+		t.Fatal("shutdown hook did not run")
+	}
 	if _, err := http.Get(url); err == nil {
 		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// testRenderServer builds a figure server around a fake renderFn.
+func testRenderServer(fn func(ctx context.Context, name string) (string, error)) *server {
+	return &server{renderFn: fn, cache: map[string]string{}, inflight: map[string]*renderCall{}}
+}
+
+// TestRenderSingleFlight: concurrent requests for the same uncached figure
+// must share ONE render. The pre-fix code checked the cache, unlocked, and
+// rendered unconditionally, so every racer paid for its own render.
+func TestRenderSingleFlight(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	s := testRenderServer(func(ctx context.Context, name string) (string, error) {
+		calls.Add(1)
+		<-release
+		return "rendered:" + name, nil
+	})
+
+	const racers = 16
+	var wg sync.WaitGroup
+	outs := make([]string, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.render(context.Background(), "table2")
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stampede pile onto the in-flight render
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil || outs[i] != "rendered:table2" {
+			t.Fatalf("racer %d: %q, %v", i, outs[i], errs[i])
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("render ran %d times for one figure, want 1 (stampede)", got)
+	}
+}
+
+// TestRenderCancelMidRender: a client disconnecting mid-render stops its
+// wait; once the last waiter is gone the render itself is canceled, and
+// the canceled attempt must NOT poison the cache — the next request
+// renders fresh and succeeds.
+func TestRenderCancelMidRender(t *testing.T) {
+	var calls atomic.Int32
+	rendering := make(chan struct{})
+	s := testRenderServer(func(ctx context.Context, name string) (string, error) {
+		if calls.Add(1) == 1 {
+			close(rendering)
+			<-ctx.Done() // simulate a long render that honors cancellation
+			return "", ctx.Err()
+		}
+		return "fresh:" + name, nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := s.render(ctx, "fig2")
+		got <- err
+	}()
+	<-rendering
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled client got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("render did not return after client cancellation")
+	}
+
+	// Wait for the abandoned render goroutine to retire its in-flight slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		_, cached := s.cache["fig2"]
+		inflight := len(s.inflight)
+		s.mu.Unlock()
+		if cached {
+			t.Fatal("canceled render poisoned the cache")
+		}
+		if inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight render never retired after cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	out, err := s.render(context.Background(), "fig2")
+	if err != nil || out != "fresh:fig2" {
+		t.Fatalf("post-cancel render = %q, %v; want fresh render", out, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("render calls = %d, want 2 (canceled + fresh)", got)
+	}
+}
+
+// TestHandleFigClientDisconnect: the handler must plumb r.Context() into
+// the render so a vanished client cancels it rather than leaving it
+// running to completion for nobody.
+func TestHandleFigClientDisconnect(t *testing.T) {
+	rendering := make(chan struct{})
+	canceled := make(chan struct{})
+	s := testRenderServer(func(ctx context.Context, name string) (string, error) {
+		close(rendering)
+		<-ctx.Done()
+		close(canceled)
+		return "", ctx.Err()
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/fig/table1", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.handleFig(httptest.NewRecorder(), req)
+	}()
+	<-rendering
+	cancel() // client disconnects
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("render context not canceled on client disconnect")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
 	}
 }
 

@@ -1,0 +1,172 @@
+// Command twinload load-tests the lumosweb digital-twin service: it drives
+// K concurrent sessions through the full lifecycle — create, M submission
+// batches with clock advances, a what-if query per batch, teardown — and
+// reports sessions/sec plus what-if latency percentiles.
+//
+// Usage (against a running lumosweb):
+//
+//	twinload -url http://localhost:8080 -sessions 1000 -submits 3
+//
+// scripts/loadtest.sh wires the two together and checks graceful shutdown.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"crosssched/internal/par"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "lumosweb base URL")
+		sessions = flag.Int("sessions", 1000, "concurrent twin sessions to drive")
+		submits  = flag.Int("submits", 3, "submission batches per session")
+		jobs     = flag.Int("jobs", 5, "jobs per submission batch")
+		workers  = flag.Int("workers", 64, "concurrent client workers")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		keep     = flag.Bool("keep", true, "leave sessions live (server holds all K at once; exercises shutdown teardown)")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*url, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	var (
+		mu        sync.Mutex
+		whatIfLat []time.Duration
+		errs      int
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		errs++
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	ctx := par.WithLimit(context.Background(), *workers)
+	start := time.Now()
+	_ = par.ForEach(ctx, *sessions, func(ctx context.Context, i int) error {
+		if err := driveSession(client, base, i, *submits, *jobs, *keep, func(d time.Duration) {
+			mu.Lock()
+			whatIfLat = append(whatIfLat, d)
+			mu.Unlock()
+		}); err != nil {
+			fail(fmt.Errorf("session %d: %w", i, err))
+		}
+		return nil // keep driving the rest; errors are counted, not fatal
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("twinload: %d sessions x %d submits in %v (%.1f sessions/sec)\n",
+		*sessions, *submits, elapsed.Round(time.Millisecond),
+		float64(*sessions)/elapsed.Seconds())
+	if len(whatIfLat) > 0 {
+		sort.Slice(whatIfLat, func(a, b int) bool { return whatIfLat[a] < whatIfLat[b] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(whatIfLat)-1))
+			return whatIfLat[i]
+		}
+		fmt.Printf("twinload: what-if latency p50=%v p90=%v p99=%v max=%v (n=%d)\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), whatIfLat[len(whatIfLat)-1].Round(time.Microsecond),
+			len(whatIfLat))
+	}
+	if errs > 0 {
+		log.Fatalf("twinload: %d/%d sessions failed; first error: %v", errs, *sessions, firstErr)
+	}
+	fmt.Println("twinload: all sessions completed")
+	os.Exit(0)
+}
+
+// driveSession runs one session end to end against the HTTP API.
+func driveSession(client *http.Client, base string, i, submits, jobs int, keep bool, observe func(time.Duration)) error {
+	var snap struct {
+		ID string `json:"id"`
+	}
+	// Vary the cluster shape a little so sessions are not identical.
+	body := fmt.Sprintf(`{"cores": %d, "partitions": %d, "policy": "fcfs", "backfill": "easy", "seed": %d}`,
+		32+(i%4)*32, 1+i%4, i+1)
+	if err := call(client, "POST", base+"/session", body, &snap); err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	sess := base + "/session/" + snap.ID
+
+	clock := 0.0
+	for b := 0; b < submits; b++ {
+		specs := make([]string, jobs)
+		for j := range specs {
+			specs[j] = fmt.Sprintf(`{"procs": %d, "run": %d, "user": %d}`,
+				1+(i+j)%8, 60+((i*7+j*13)%240)*10, (i+j)%6)
+		}
+		if err := call(client, "POST", sess+"/submit",
+			`{"jobs": [`+strings.Join(specs, ",")+`]}`, nil); err != nil {
+			return fmt.Errorf("submit %d: %w", b, err)
+		}
+		// Query while the batch is still pending — "which config should
+		// schedule what I just queued" is the service's core question.
+		t0 := time.Now()
+		err := call(client, "POST", sess+"/whatif",
+			`{"candidates": [{"policy":"sjf"},{"backfill":"conservative"},{"policy":"saf","backfill":"easy"}]}`, nil)
+		if err != nil {
+			return fmt.Errorf("whatif %d: %w", b, err)
+		}
+		observe(time.Since(t0))
+		clock += 300
+		if err := call(client, "POST", sess+"/advance",
+			fmt.Sprintf(`{"to": %g}`, clock), nil); err != nil {
+			return fmt.Errorf("advance %d: %w", b, err)
+		}
+	}
+	if !keep {
+		if err := call(client, "DELETE", sess, "", nil); err != nil {
+			return fmt.Errorf("delete: %w", err)
+		}
+	}
+	return nil
+}
+
+// call issues one JSON request, decoding the reply into out when non-nil.
+func call(client *http.Client, method, url, body string, out interface{}) error {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("%s %s: bad reply %q: %w", method, url, raw, err)
+		}
+	}
+	return nil
+}

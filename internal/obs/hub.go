@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by Sub.Next once the hub has shut down and the
+// subscriber's buffer is drained, and by Hub.Subscribe on a closed hub.
+var ErrClosed = errors.New("obs: hub closed")
+
+// ErrSubscribers is returned by Hub.Subscribe when the hub's subscriber
+// budget is exhausted.
+var ErrSubscribers = errors.New("obs: subscriber limit reached")
+
+// Hub fans one decision-event stream out to dynamically attached
+// subscribers, each with its own bounded buffer. Publishing never blocks
+// and never allocates: when a subscriber's ring is full the OLDEST
+// buffered event is dropped and a per-subscriber drop counter incremented,
+// so one slow consumer cannot stall the publisher or grow memory — it just
+// loses history (Sub.Next reports the gap so clients can resynchronize).
+//
+// Hub implements Observer, so it can sit directly in sim.Options.Observer
+// (via Tee) or receive replayed events. All methods are safe for
+// concurrent use.
+type Hub struct {
+	maxSubs int
+
+	mu     sync.Mutex
+	subs   []*Sub
+	closed bool
+}
+
+// NewHub returns a hub admitting at most maxSubs concurrent subscribers
+// (<= 0 means unlimited).
+func NewHub(maxSubs int) *Hub {
+	return &Hub{maxSubs: maxSubs}
+}
+
+// Observe delivers the event to every subscriber (drop-oldest on full
+// buffers). Implements Observer.
+func (h *Hub) Observe(e Event) {
+	h.mu.Lock()
+	for _, s := range h.subs {
+		s.push(e)
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe attaches a new subscriber with a ring buffer of buf events
+// (<= 0 means 64). It fails with ErrClosed on a closed hub and
+// ErrSubscribers when the budget is exhausted.
+func (h *Hub) Subscribe(buf int) (*Sub, error) {
+	if buf <= 0 {
+		buf = 64
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if h.maxSubs > 0 && len(h.subs) >= h.maxSubs {
+		return nil, fmt.Errorf("%w (%d active)", ErrSubscribers, len(h.subs))
+	}
+	s := &Sub{ring: make([]Event, buf), wake: make(chan struct{}, 1)}
+	h.subs = append(h.subs, s)
+	return s, nil
+}
+
+// Unsubscribe detaches s and wakes any blocked Next with ErrClosed.
+// Detaching an already-removed subscriber is a no-op.
+func (h *Hub) Unsubscribe(s *Sub) {
+	h.mu.Lock()
+	for i, x := range h.subs {
+		if x == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+	s.close()
+}
+
+// Close detaches every subscriber (their buffered events remain readable,
+// then Next returns ErrClosed) and rejects future subscriptions.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	subs := h.subs
+	h.subs = nil
+	h.closed = true
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// Subscribers reports the number of attached subscribers.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Sub is one hub subscription: a fixed-size ring of events plus a count of
+// events lost to backpressure. Next is single-consumer; the hub side may
+// push concurrently.
+type Sub struct {
+	mu      sync.Mutex
+	ring    []Event
+	head, n int
+	dropped uint64
+	closed  bool
+	wake    chan struct{}
+}
+
+// push appends e, dropping the oldest buffered event when full.
+func (s *Sub) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = e
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// close marks the subscription finished; buffered events stay readable.
+func (s *Sub) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until an event is available and returns it together with the
+// number of events dropped since the previous Next (0 when the consumer
+// kept up). It returns ctx.Err() when ctx is done first, and ErrClosed
+// once the subscription is detached and the buffer drained.
+func (s *Sub) Next(ctx context.Context) (Event, uint64, error) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			e := s.ring[s.head]
+			s.head = (s.head + 1) % len(s.ring)
+			s.n--
+			d := s.dropped
+			s.dropped = 0
+			s.mu.Unlock()
+			return e, d, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, 0, ErrClosed
+		}
+		select {
+		case <-s.wake:
+		case <-ctx.Done():
+			return Event{}, 0, ctx.Err()
+		}
+	}
+}
+
+// Buffered reports the number of events currently queued (for tests and
+// status endpoints).
+func (s *Sub) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHubDropOldest: a full subscriber ring drops the OLDEST events and
+// reports the gap on the next read, while newer events survive.
+func TestHubDropOldest(t *testing.T) {
+	h := NewHub(0)
+	sub, err := h.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(Event{Kind: JobSubmit, Job: i, Time: float64(i)})
+	}
+	e, dropped, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if e.Job != 6 {
+		t.Fatalf("first surviving event is job %d, want 6 (oldest dropped)", e.Job)
+	}
+	for want := 7; want < 10; want++ {
+		e, dropped, err = sub.Next(context.Background())
+		if err != nil || dropped != 0 || e.Job != want {
+			t.Fatalf("next = job %d dropped %d err %v, want job %d", e.Job, dropped, err, want)
+		}
+	}
+}
+
+// TestHubCloseDrainsThenEOF: Close leaves buffered events readable, then
+// Next reports ErrClosed; a blocked Next wakes immediately.
+func TestHubCloseDrainsThenEOF(t *testing.T) {
+	h := NewHub(0)
+	sub, err := h.Subscribe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(Event{Job: 1})
+	h.Close()
+	if e, _, err := sub.Next(context.Background()); err != nil || e.Job != 1 {
+		t.Fatalf("buffered event after close: %+v, %v", e, err)
+	}
+	if _, _, err := sub.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained closed sub returned %v, want ErrClosed", err)
+	}
+	if _, err := h.Subscribe(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe on closed hub returned %v, want ErrClosed", err)
+	}
+
+	// A reader blocked in Next must wake on close, not hang.
+	h2 := NewHub(0)
+	sub2, err := h2.Subscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := sub2.Next(context.Background())
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h2.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Next returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Next did not wake on hub close")
+	}
+}
+
+// TestHubSubscriberBudget: the cap rejects the N+1th subscriber and frees
+// a slot on unsubscribe.
+func TestHubSubscriberBudget(t *testing.T) {
+	h := NewHub(2)
+	a, _ := h.Subscribe(1)
+	if _, err := h.Subscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Subscribe(1); !errors.Is(err, ErrSubscribers) {
+		t.Fatalf("over-budget Subscribe returned %v, want ErrSubscribers", err)
+	}
+	h.Unsubscribe(a)
+	if _, err := h.Subscribe(1); err != nil {
+		t.Fatalf("Subscribe after Unsubscribe failed: %v", err)
+	}
+	if got := h.Subscribers(); got != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", got)
+	}
+}
+
+// TestHubConcurrentPublishAndRead drives publishers against a consumer
+// under the race detector: every received event is well-formed and the
+// consumer observes a per-publisher monotone sequence (drop-oldest may cut
+// holes, but never reorders).
+func TestHubConcurrentPublishAndRead(t *testing.T) {
+	h := NewHub(0)
+	sub, err := h.Subscribe(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs, per = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(Event{Part: p, Job: i})
+			}
+		}(p)
+	}
+	readerDone := make(chan struct{})
+	last := [pubs]int{}
+	for i := range last {
+		last[i] = -1
+	}
+	go func() {
+		defer close(readerDone)
+		for {
+			e, _, err := sub.Next(context.Background())
+			if err != nil {
+				return
+			}
+			if e.Job <= last[e.Part] {
+				t.Errorf("publisher %d reordered: job %d after %d", e.Part, e.Job, last[e.Part])
+				return
+			}
+			last[e.Part] = e.Job
+		}
+	}()
+	wg.Wait()
+	h.Close()
+	select {
+	case <-readerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader did not finish")
+	}
+}

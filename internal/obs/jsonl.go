@@ -28,25 +28,34 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{bw: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
 }
 
+// AppendEventJSON appends one event's deterministic JSON object (the
+// JSONL line format, without the trailing newline) to dst and returns the
+// extended slice. Floats use strconv's shortest round-trippable formatting,
+// so equal event streams encode to byte-identical output — the property
+// the JSONL golden files and the twin service's SSE wire format rely on.
+func AppendEventJSON(dst []byte, e Event) []byte {
+	dst = append(dst, `{"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","t":`...)
+	dst = strconv.AppendFloat(dst, e.Time, 'g', -1, 64)
+	dst = append(dst, `,"job":`...)
+	dst = strconv.AppendInt(dst, int64(e.Job), 10)
+	dst = append(dst, `,"part":`...)
+	dst = strconv.AppendInt(dst, int64(e.Part), 10)
+	dst = append(dst, `,"procs":`...)
+	dst = strconv.AppendInt(dst, int64(e.Procs), 10)
+	dst = append(dst, `,"detail":`...)
+	dst = strconv.AppendFloat(dst, e.Detail, 'g', -1, 64)
+	return append(dst, '}')
+}
+
 // Observe encodes and buffers one event.
 func (l *JSONLWriter) Observe(e Event) {
 	if l.err != nil {
 		return
 	}
-	b := l.buf[:0]
-	b = append(b, `{"kind":"`...)
-	b = append(b, e.Kind.String()...)
-	b = append(b, `","t":`...)
-	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
-	b = append(b, `,"job":`...)
-	b = strconv.AppendInt(b, int64(e.Job), 10)
-	b = append(b, `,"part":`...)
-	b = strconv.AppendInt(b, int64(e.Part), 10)
-	b = append(b, `,"procs":`...)
-	b = strconv.AppendInt(b, int64(e.Procs), 10)
-	b = append(b, `,"detail":`...)
-	b = strconv.AppendFloat(b, e.Detail, 'g', -1, 64)
-	b = append(b, "}\n"...)
+	b := AppendEventJSON(l.buf[:0], e)
+	b = append(b, '\n')
 	l.buf = b
 	if _, err := l.bw.Write(b); err != nil {
 		l.err = err

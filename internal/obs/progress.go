@@ -9,12 +9,22 @@ import (
 // Progress prints a one-line run status at most once per interval, driven
 // by the event stream — useful on large traces where a run takes long
 // enough to wonder whether it is still making progress.
+//
+// The first event prints a line immediately (so even runs shorter than the
+// interval show life, instead of staying silent until Finish), later
+// events are throttled to one line per interval, and Finish prints a final
+// line only when events arrived after the last printed line — never a
+// duplicate of a line Observe just wrote.
 type Progress struct {
 	w        io.Writer
 	every    time.Duration
 	counts   Counter
 	lastWall time.Time
 	lastSim  float64
+	// sinceLine counts events observed since the last printed line; zero
+	// means the last line already reflects everything seen.
+	sinceLine int64
+	started   bool
 }
 
 // NewProgress reports to w at most once per every (default 1s).
@@ -22,24 +32,43 @@ func NewProgress(w io.Writer, every time.Duration) *Progress {
 	if every <= 0 {
 		every = time.Second
 	}
-	return &Progress{w: w, every: every, lastWall: time.Now()}
+	return &Progress{w: w, every: every}
 }
 
-// Observe counts the event and emits a status line when the interval has
-// elapsed.
+// Observe counts the event and emits a status line on the first event and
+// whenever the interval has elapsed since the last line.
 func (p *Progress) Observe(e Event) {
 	p.counts.Observe(e)
 	p.lastSim = e.Time
-	if now := time.Now(); now.Sub(p.lastWall) >= p.every {
+	p.sinceLine++
+	now := time.Now()
+	if !p.started {
+		// First event: print immediately and start the interval clock here,
+		// not at construction time (a caller may build the Progress well
+		// before the run starts).
+		p.started = true
+		p.lastWall = now
+		p.line()
+		return
+	}
+	if now.Sub(p.lastWall) >= p.every {
 		p.lastWall = now
 		p.line()
 	}
 }
 
-// Finish prints the final status line.
-func (p *Progress) Finish() { p.line() }
+// Finish prints the final status line, unless nothing was observed since
+// the last printed line (in particular, when the last Observe just
+// printed, or when no event was ever observed).
+func (p *Progress) Finish() {
+	if p.sinceLine == 0 {
+		return
+	}
+	p.line()
+}
 
 func (p *Progress) line() {
+	p.sinceLine = 0
 	fmt.Fprintf(p.w, "progress: t=%.0fs submitted=%d started=%d completed=%d backfilled=%d violations=%d\n",
 		p.lastSim, p.counts.Count(JobSubmit), p.counts.Count(JobStart),
 		p.counts.Count(JobComplete), p.counts.Count(Backfill), p.counts.Count(PromiseViolation))

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func progressLines(buf *bytes.Buffer) []string {
+	out := strings.TrimSuffix(buf.String(), "\n")
+	if out == "" {
+		return nil
+	}
+	return strings.Split(out, "\n")
+}
+
+// TestProgressShortRunEmitsImmediately pins the first-interval fix: a run
+// shorter than the reporting interval must still show life on its first
+// event instead of staying silent until Finish. Pre-fix, Observe printed
+// nothing until a full interval had elapsed since construction.
+func TestProgressShortRunEmitsImmediately(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour) // no interval will ever elapse
+	p.Observe(Event{Kind: JobSubmit, Time: 1})
+	if got := progressLines(&buf); len(got) != 1 {
+		t.Fatalf("first event printed %d lines, want 1:\n%s", len(got), buf.String())
+	}
+	p.Observe(Event{Kind: JobStart, Time: 2})
+	p.Observe(Event{Kind: JobComplete, Time: 3})
+	p.Finish()
+	lines := progressLines(&buf)
+	if len(lines) != 2 {
+		t.Fatalf("short run printed %d lines, want 2 (first event + final):\n%s", len(lines), buf.String())
+	}
+	final := lines[len(lines)-1]
+	if !strings.Contains(final, "submitted=1") || !strings.Contains(final, "started=1") || !strings.Contains(final, "completed=1") {
+		t.Fatalf("final line does not reflect all events: %q", final)
+	}
+}
+
+// TestProgressFinishSkipsDuplicate pins the double-print fix: when the
+// last Observe just printed a line, Finish must not repeat it. Pre-fix,
+// Finish always printed, so the last two lines were identical.
+func TestProgressFinishSkipsDuplicate(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Nanosecond) // every event qualifies
+	const n = 3
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Microsecond)
+		p.Observe(Event{Kind: JobSubmit, Time: float64(i)})
+	}
+	p.Finish()
+	lines := progressLines(&buf)
+	if len(lines) != n {
+		t.Fatalf("printed %d lines for %d observes + Finish, want %d (no duplicate final line):\n%s",
+			len(lines), n, n, buf.String())
+	}
+	if len(lines) >= 2 && lines[len(lines)-1] == lines[len(lines)-2] {
+		t.Fatalf("Finish duplicated the last Observe line:\n%s", buf.String())
+	}
+}
+
+// TestProgressFinishAfterQuietTail: events observed after the last printed
+// line must still be flushed by Finish.
+func TestProgressFinishAfterQuietTail(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	p.Observe(Event{Kind: JobSubmit, Time: 1}) // prints (first event)
+	p.Observe(Event{Kind: JobSubmit, Time: 2}) // buffered
+	p.Finish()                                 // must flush
+	lines := progressLines(&buf)
+	if len(lines) != 2 {
+		t.Fatalf("printed %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "submitted=2") {
+		t.Fatalf("final line missing the tail event: %q", lines[1])
+	}
+}
+
+// TestProgressFinishNothingObserved: Finish on an untouched Progress
+// prints nothing (there is no progress to report).
+func TestProgressFinishNothingObserved(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Nanosecond)
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("Finish with no events printed %q", buf.String())
+	}
+}

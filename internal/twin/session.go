@@ -1,0 +1,410 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/obs"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// SessionConfig describes one twin: the mirrored cluster's shape and the
+// baseline scheduling configuration the twin replays under.
+type SessionConfig struct {
+	// Profile names a calibrated synth system ("Philly", "Mira", ...)
+	// whose cluster geometry (total cores, virtual clusters) the twin
+	// mirrors. Empty means use Cores/Partitions directly.
+	Profile string
+	// Cores and Partitions give the cluster shape explicitly when Profile
+	// is empty. Partitions <= 1 means one shared pool.
+	Cores      int
+	Partitions int
+	// Policy and Backfill are the baseline scheduling configuration; the
+	// twin's published schedule and the what-if deltas are relative to it.
+	Policy   sim.Policy
+	Backfill sim.BackfillKind
+	// RelaxFactor configures relaxed/adaptive backfilling (0 = default).
+	RelaxFactor float64
+	// Seed keys fault injection in what-if candidates (the fault-free
+	// replay itself is deterministic without it).
+	Seed uint64
+	// TickRate, when positive, advances the session clock by TickRate
+	// simulated seconds per wall-clock second via the manager's ticker.
+	// Zero means the clock only moves on explicit Advance calls.
+	TickRate float64
+}
+
+// JobSpec is one submitted job, the wire form of a trace.Job the client
+// controls.
+type JobSpec struct {
+	// Procs is the requested core/GPU count (required, >= 1).
+	Procs int `json:"procs"`
+	// Run is the job's runtime in seconds (required, > 0) — the twin knows
+	// ground truth, like the simulator.
+	Run float64 `json:"run"`
+	// Walltime is the requested limit the scheduler plans against
+	// (optional; 0 falls back to Run).
+	Walltime float64 `json:"walltime,omitempty"`
+	// User is the submitting user (optional, >= 0).
+	User int `json:"user,omitempty"`
+	// VC pins the job to one virtual cluster; nil/-1 lets the twin place
+	// it (user-hash, matching the simulator).
+	VC *int `json:"vc,omitempty"`
+	// Submit is the requested submission time on the session clock
+	// (optional). It is clamped so the log stays causal: never before the
+	// session clock or an earlier submission.
+	Submit float64 `json:"submit,omitempty"`
+}
+
+// Session is one digital twin. All methods are safe for concurrent use.
+type Session struct {
+	ID string
+
+	cfg    SessionConfig
+	limits Config
+	caps   []int // per-partition capacities
+
+	mu      sync.Mutex
+	now     float64
+	jobs    []trace.Job
+	emitted int          // events already published to the hub
+	replay  *replayState // nil when invalidated by a submission
+	hub     *obs.Hub
+	closed  bool
+}
+
+// replayState caches one baseline replay of the submission log.
+type replayState struct {
+	res    *sim.Result
+	events []obs.Event
+}
+
+// newSession validates the config and builds the session.
+func newSession(id string, cfg SessionConfig, limits Config) (*Session, error) {
+	if cfg.Profile != "" {
+		p, err := synth.ByName(cfg.Profile, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cores = p.Sys.TotalCores
+		cfg.Partitions = p.Sys.VirtualClusters
+	}
+	if cfg.Partitions < 1 {
+		cfg.Partitions = 1
+	}
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("twin: session needs a cluster: give profile or cores >= 1 (got %d)", cfg.Cores)
+	}
+	if cfg.TickRate < 0 {
+		return nil, fmt.Errorf("twin: negative tick rate %v", cfg.TickRate)
+	}
+	if cfg.Partitions > cfg.Cores {
+		return nil, fmt.Errorf("twin: %d partitions over %d cores leaves empty partitions", cfg.Partitions, cfg.Cores)
+	}
+	return &Session{
+		ID:     id,
+		cfg:    cfg,
+		limits: limits,
+		caps:   cluster.EvenPartitions(cfg.Cores, cfg.Partitions),
+		hub:    obs.NewHub(limits.MaxSubscribers),
+	}, nil
+}
+
+// Config returns the resolved session configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Now returns the session clock.
+func (s *Session) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Submit appends jobs to the log and returns their assigned job IDs (dense
+// indexes, stable for the session's lifetime; decision events reference
+// them). Submission times are clamped monotone: max(requested, clock,
+// previous submission), so the log is always a valid causal trace.
+func (s *Session) Submit(specs []JobSpec) ([]int, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("twin: empty submission")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.jobs)+len(specs) > s.limits.MaxJobs {
+		return nil, fmt.Errorf("%w: session job cap %d (have %d, submitting %d)",
+			ErrBudget, s.limits.MaxJobs, len(s.jobs), len(specs))
+	}
+	floor := s.now
+	if n := len(s.jobs); n > 0 && s.jobs[n-1].Submit > floor {
+		floor = s.jobs[n-1].Submit
+	}
+	ids := make([]int, 0, len(specs))
+	staged := make([]trace.Job, 0, len(specs))
+	for i, sp := range specs {
+		vc := -1
+		if sp.VC != nil {
+			vc = *sp.VC
+		}
+		if err := s.validateSpec(i, sp, vc); err != nil {
+			return nil, err
+		}
+		if sp.Submit > floor {
+			floor = sp.Submit
+		}
+		id := len(s.jobs) + len(staged)
+		staged = append(staged, trace.Job{
+			ID:       id,
+			User:     sp.User,
+			Submit:   floor,
+			Wait:     -1,
+			Run:      sp.Run,
+			Walltime: sp.Walltime,
+			Procs:    sp.Procs,
+			VC:       vc,
+			Status:   trace.Passed,
+		})
+		ids = append(ids, id)
+	}
+	s.jobs = append(s.jobs, staged...)
+	s.replay = nil // schedule beyond the published prefix changed
+	return ids, nil
+}
+
+// validateSpec rejects jobs the cluster can never run.
+func (s *Session) validateSpec(i int, sp JobSpec, vc int) error {
+	switch {
+	case sp.Procs <= 0:
+		return fmt.Errorf("twin: job %d: procs must be >= 1 (got %d)", i, sp.Procs)
+	case sp.Run <= 0:
+		return fmt.Errorf("twin: job %d: run must be > 0 seconds (got %v)", i, sp.Run)
+	case sp.Walltime < 0:
+		return fmt.Errorf("twin: job %d: negative walltime %v", i, sp.Walltime)
+	case sp.User < 0:
+		return fmt.Errorf("twin: job %d: negative user %d", i, sp.User)
+	case sp.Submit < 0:
+		return fmt.Errorf("twin: job %d: negative submit %v", i, sp.Submit)
+	case vc < -1 || vc >= s.cfg.Partitions:
+		return fmt.Errorf("twin: job %d: vc %d out of range [0,%d)", i, vc, s.cfg.Partitions)
+	}
+	// The partition the simulator will pick must fit the job.
+	part := 0
+	if s.cfg.Partitions > 1 {
+		part = vc
+		if part < 0 {
+			part = sp.User % s.cfg.Partitions
+		}
+	}
+	if sp.Procs > s.caps[part] {
+		return fmt.Errorf("twin: job %d: %d cores exceed partition %d capacity %d",
+			i, sp.Procs, part, s.caps[part])
+	}
+	return nil
+}
+
+// AdvanceBy moves the clock forward by d seconds.
+func (s *Session) AdvanceBy(d float64) error {
+	if d < 0 {
+		return fmt.Errorf("twin: cannot advance by negative %v", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceLocked(s.now + d)
+}
+
+// AdvanceTo moves the clock to t (monotone: t < clock is an error).
+func (s *Session) AdvanceTo(t float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.now {
+		return fmt.Errorf("twin: cannot rewind clock from %v to %v", s.now, t)
+	}
+	return s.advanceLocked(t)
+}
+
+// advanceLocked sets the clock and publishes the newly-due decision
+// events: every replay event with Time STRICTLY before the new clock that
+// has not been published yet. The strict bound keeps the published prefix
+// stable — a future submission lands at Submit >= clock and can only
+// change decisions at or after it.
+func (s *Session) advanceLocked(to float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.now = to
+	if err := s.ensureReplayLocked(); err != nil {
+		return err
+	}
+	ev := s.replay.events
+	k := s.emitted
+	for k < len(ev) && ev[k].Time < to {
+		s.hub.Observe(ev[k])
+		k++
+	}
+	s.emitted = k
+	return nil
+}
+
+// ensureReplayLocked recomputes the cached baseline replay if a submission
+// invalidated it.
+func (s *Session) ensureReplayLocked() error {
+	if s.replay != nil {
+		return nil
+	}
+	if len(s.jobs) == 0 {
+		s.replay = &replayState{}
+		return nil
+	}
+	rec := &obs.Recorder{}
+	opt := s.baseOptions()
+	opt.Observer = rec
+	res, err := sim.Run(s.traceLocked(), opt)
+	if err != nil {
+		return fmt.Errorf("twin: baseline replay: %w", err)
+	}
+	s.replay = &replayState{res: res, events: rec.Events}
+	return nil
+}
+
+// traceLocked wraps the log in a trace for the simulator. The jobs slice
+// is shared read-only: the simulator treats input traces as immutable.
+func (s *Session) traceLocked() *trace.Trace {
+	return &trace.Trace{
+		System: trace.System{
+			Name:            "twin:" + s.ID,
+			Kind:            trace.HPC,
+			TotalCores:      s.cfg.Cores,
+			VirtualClusters: s.cfg.Partitions,
+		},
+		Jobs: s.jobs,
+	}
+}
+
+// baseOptions is the session's baseline simulator configuration.
+func (s *Session) baseOptions() sim.Options {
+	return sim.Options{
+		Policy:      s.cfg.Policy,
+		Backfill:    s.cfg.Backfill,
+		RelaxFactor: s.cfg.RelaxFactor,
+	}
+}
+
+// Snapshot is the session's externally visible state at its clock.
+type Snapshot struct {
+	ID         string  `json:"id"`
+	Now        float64 `json:"now"`
+	Profile    string  `json:"profile,omitempty"`
+	Cores      int     `json:"cores"`
+	Partitions int     `json:"partitions"`
+	Policy     string  `json:"policy"`
+	Backfill   string  `json:"backfill"`
+	Seed       uint64  `json:"seed"`
+	TickRate   float64 `json:"tick_rate,omitempty"`
+
+	// Jobs counts every submission; Completed/Running/Queued classify them
+	// against the baseline replay at the clock (strictly-before semantics,
+	// matching event publication); Future jobs have not arrived yet.
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Running   int `json:"running"`
+	Queued    int `json:"queued"`
+	Future    int `json:"future"`
+	// AvgWaitCompleted is the mean wait of completed jobs (0 when none).
+	AvgWaitCompleted float64 `json:"avg_wait_completed"`
+	// EventsEmitted counts decision events published to subscribers.
+	EventsEmitted int `json:"events_emitted"`
+	// Subscribers is the live SSE subscriber count.
+	Subscribers int `json:"subscribers"`
+}
+
+// Status computes the snapshot (forcing a replay when stale).
+func (s *Session) Status() (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if err := s.ensureReplayLocked(); err != nil {
+		return Snapshot{}, err
+	}
+	snap := Snapshot{
+		ID:            s.ID,
+		Now:           s.now,
+		Profile:       s.cfg.Profile,
+		Cores:         s.cfg.Cores,
+		Partitions:    s.cfg.Partitions,
+		Policy:        s.cfg.Policy.String(),
+		Backfill:      s.cfg.Backfill.String(),
+		Seed:          s.cfg.Seed,
+		TickRate:      s.cfg.TickRate,
+		Jobs:          len(s.jobs),
+		EventsEmitted: s.emitted,
+		Subscribers:   s.hub.Subscribers(),
+	}
+	if s.replay.res == nil {
+		return snap, nil
+	}
+	var waitSum float64
+	for i := range s.replay.res.Jobs {
+		j := &s.replay.res.Jobs[i]
+		start := j.Submit + j.Wait
+		switch {
+		case j.Submit >= s.now:
+			snap.Future++
+		case start+j.Run < s.now:
+			snap.Completed++
+			waitSum += j.Wait
+		case start < s.now:
+			snap.Running++
+		default:
+			snap.Queued++
+		}
+	}
+	if snap.Completed > 0 {
+		snap.AvgWaitCompleted = waitSum / float64(snap.Completed)
+	}
+	return snap, nil
+}
+
+// Subscribe attaches a decision-event subscriber (bounded ring,
+// drop-oldest). The caller must Unsubscribe when done.
+func (s *Session) Subscribe() (*obs.Sub, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	sub, err := s.hub.Subscribe(s.limits.EventBuffer)
+	switch {
+	case err == nil:
+		return sub, nil
+	case errors.Is(err, obs.ErrClosed):
+		return nil, ErrClosed
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+}
+
+// Unsubscribe detaches a subscriber obtained from Subscribe.
+func (s *Session) Unsubscribe(sub *obs.Sub) { s.hub.Unsubscribe(sub) }
+
+// Close tears the session down: subscribers are disconnected (after
+// draining their buffers) and every later call fails with ErrClosed.
+// Idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.hub.Close()
+}

@@ -1,0 +1,266 @@
+// Package twin implements the digital-twin scheduling service behind
+// cmd/lumosweb: long-lived per-client sessions that mirror a cluster's
+// submission queue in a continuously-advancing simulation and answer
+// what-if queries against it.
+//
+// Each Session holds a cluster shape (a calibrated profile's geometry or a
+// client-supplied cores/partitions pair), an append-only submission log,
+// and a simulation clock. The twin itself is a deterministic replay: the
+// session's baseline schedule is recomputed lazily from the log with the
+// pooled sim.Runner, and advancing the clock publishes the replay's
+// decision events (strictly before the new clock) to SSE subscribers
+// through a bounded, drop-oldest obs.Hub. Because submissions are clamped
+// to the current clock and the simulator is causal — a job cannot change
+// decisions made strictly before its submit time — the published event
+// prefix never contradicts a later replay.
+//
+// A what-if query forks the twin: the submission log is replayed under N
+// candidate policy x backfill x fault configurations concurrently on the
+// internal/par worker pool (each worker checking a warm sim.Runner out of
+// the shared pool), the outcomes are scored on the jobs still pending at
+// the session clock, and a ranking with wait/bsld/util deltas against the
+// session's own configuration is returned. Replies are deterministic for a
+// fixed log, clock, and seed, independent of worker count: candidate runs
+// are indexed, fault injection is seeded, and ties rank by candidate
+// order.
+//
+// Resource bounds are explicit so thousands of sessions fit one process:
+// an LRU cap on live sessions (the oldest is evicted, its subscribers
+// disconnected), a per-session submission cap, a per-session subscriber
+// budget, fixed-size per-subscriber event rings, and a candidate cap per
+// what-if. A Manager owns exactly one background goroutine — the
+// wall-clock ticker that advances auto-ticking sessions — so the
+// goroutine count is bounded by live SSE connections, which the HTTP
+// layer owns.
+package twin
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors; the HTTP layer maps these to status codes.
+var (
+	// ErrClosed: the manager or session has been shut down.
+	ErrClosed = errors.New("twin: closed")
+	// ErrNotFound: no session with that ID.
+	ErrNotFound = errors.New("twin: session not found")
+	// ErrBudget: a resource cap (jobs, subscribers, candidates) was hit.
+	ErrBudget = errors.New("twin: budget exhausted")
+	// ErrEmpty: the operation needs pending jobs and there are none.
+	ErrEmpty = errors.New("twin: nothing to replay")
+)
+
+// Config bounds a Manager. The zero value gets serving-safe defaults.
+type Config struct {
+	// MaxSessions caps live sessions; creating one more evicts the least
+	// recently used (default 2048).
+	MaxSessions int
+	// MaxJobs caps a session's submission log (default 10000).
+	MaxJobs int
+	// MaxSubscribers is the per-session SSE budget (default 16) — the
+	// per-session goroutine budget, since subscribers are the only
+	// goroutines a session induces.
+	MaxSubscribers int
+	// EventBuffer is the per-subscriber ring size (default 256). A slow
+	// client loses the oldest events, never the session.
+	EventBuffer int
+	// MaxCandidates caps one what-if's fan-out (default 64).
+	MaxCandidates int
+	// TickInterval is the wall-clock granularity at which auto-ticking
+	// sessions advance (default 1s).
+	TickInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 2048
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 10000
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 16
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 64
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = time.Second
+	}
+	return c
+}
+
+// Manager owns the session table: creation, LRU eviction, lookup, the
+// shared wall-clock ticker, and teardown. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*list.Element // value: *Session
+	lru      *list.List               // front = most recently used
+	seq      uint64
+	closed   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewManager starts a manager (and its single ticker goroutine).
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*list.Element),
+		lru:      list.New(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go m.tickLoop()
+	return m
+}
+
+// Create builds a session and registers it, evicting the least recently
+// used session when the cap is reached.
+func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("s%06d", m.seq)
+	m.mu.Unlock()
+
+	// Build outside the lock: profile resolution and validation don't need
+	// the table.
+	s, err := newSession(id, cfg, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var evicted []*Session
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		s.Close()
+		return nil, ErrClosed
+	}
+	for m.lru.Len() >= m.cfg.MaxSessions {
+		oldest := m.lru.Back()
+		old := oldest.Value.(*Session)
+		m.lru.Remove(oldest)
+		delete(m.sessions, old.ID)
+		evicted = append(evicted, old)
+	}
+	m.sessions[id] = m.lru.PushFront(s)
+	m.mu.Unlock()
+	for _, old := range evicted {
+		old.Close()
+	}
+	return s, nil
+}
+
+// Get returns the session and marks it most recently used.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	el, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	m.lru.MoveToFront(el)
+	return el.Value.(*Session), nil
+}
+
+// Delete tears a session down. It reports ErrNotFound for unknown IDs.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	el, ok := m.sessions[id]
+	if ok {
+		m.lru.Remove(el)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	el.Value.(*Session).Close()
+	return nil
+}
+
+// Len reports the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Close stops the ticker and tears down every session, disconnecting
+// subscribers so in-flight SSE requests can drain. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	var all []*Session
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*Session))
+	}
+	m.sessions = map[string]*list.Element{}
+	m.lru.Init()
+	m.mu.Unlock()
+
+	close(m.stop)
+	<-m.done
+	for _, s := range all {
+		s.Close()
+	}
+}
+
+// tickLoop advances auto-ticking sessions by wall-clock time. It is the
+// manager's only background goroutine.
+func (m *Manager) tickLoop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.TickInterval)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			dt := now.Sub(last).Seconds()
+			last = now
+			for _, s := range m.ticking() {
+				// Errors (closed session racing eviction) are benign here.
+				_ = s.AdvanceBy(s.cfg.TickRate * dt)
+			}
+		}
+	}
+}
+
+// ticking snapshots the sessions with a tick rate, so Advance runs outside
+// the table lock.
+func (m *Manager) ticking() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Session
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		if s := el.Value.(*Session); s.cfg.TickRate > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,546 @@
+package twin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"crosssched/internal/obs"
+	"crosssched/internal/par"
+	"crosssched/internal/sim"
+)
+
+func testManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = time.Hour // keep the ticker quiet in tests
+	}
+	m := NewManager(cfg)
+	t.Cleanup(m.Close)
+	return m
+}
+
+// burst builds a deterministic batch of jobs that congests a small cluster
+// enough for scheduling policy to matter.
+func burst(n int, at float64) []JobSpec {
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		specs[i] = JobSpec{
+			Procs:    1 + (i*7)%8,
+			Run:      60 * float64(1+(i*13)%40),
+			Walltime: 90 * float64(1+(i*13)%40),
+			User:     i % 5,
+			Submit:   at + float64(i%11)*30,
+		}
+	}
+	return specs
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := testManager(t, Config{})
+	s, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.Submit(burst(20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 20 || ids[0] != 0 || ids[19] != 19 {
+		t.Fatalf("ids = %v, want dense 0..19", ids)
+	}
+
+	snap, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Jobs != 20 || snap.Completed != 0 || snap.Now != 0 {
+		t.Fatalf("fresh snapshot: %+v", snap)
+	}
+
+	if err := s.AdvanceTo(4 * 3600); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed == 0 {
+		t.Fatalf("no completions after 4h on a 32-core cluster: %+v", snap)
+	}
+	if snap.Completed+snap.Running+snap.Queued+snap.Future != snap.Jobs {
+		t.Fatalf("job classes do not partition the log: %+v", snap)
+	}
+	if snap.EventsEmitted == 0 {
+		t.Fatalf("advance published no events: %+v", snap)
+	}
+	if err := s.AdvanceTo(3600); err == nil {
+		t.Fatal("clock rewind accepted")
+	}
+
+	if err := m.Delete(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(1, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit on deleted session: %v, want ErrClosed", err)
+	}
+	if _, err := m.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted session: %v, want ErrNotFound", err)
+	}
+}
+
+// TestEventPrefixStableAcrossSubmits pins the twin's core consistency
+// contract: events published incrementally across interleaved submits and
+// advances are exactly the strictly-before-clock prefix of a final
+// from-scratch replay. New submissions must never contradict what
+// subscribers already saw.
+func TestEventPrefixStableAcrossSubmits(t *testing.T) {
+	m := testManager(t, Config{EventBuffer: 4096})
+	s, err := m.Create(SessionConfig{Cores: 16, Policy: sim.SJF, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Unsubscribe(sub)
+
+	var got []obs.Event
+	drain := func() {
+		for sub.Buffered() > 0 {
+			e, dropped, err := sub.Next(context.Background())
+			if err != nil || dropped != 0 {
+				t.Fatalf("drain: %v (dropped %d)", err, dropped)
+			}
+			got = append(got, e)
+		}
+	}
+
+	clock := 0.0
+	for round := 0; round < 5; round++ {
+		if _, err := s.Submit(burst(12, clock)); err != nil {
+			t.Fatal(err)
+		}
+		clock += 1800
+		if err := s.AdvanceTo(clock); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+	}
+
+	// From-scratch reference replay of the final log.
+	s.mu.Lock()
+	s.replay = nil
+	if err := s.ensureReplayLocked(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	ref := s.replay.events
+	s.mu.Unlock()
+
+	var want []obs.Event
+	for _, e := range ref {
+		if e.Time < clock {
+			want = append(want, e)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("published %d events, reference prefix has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d diverged:\npublished %+v\nreference %+v", i, got[i], want[i])
+		}
+	}
+	// The stream the twin relies on is time-ordered.
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("event stream not time-ordered at %d: %v after %v", i, got[i].Time, got[i-1].Time)
+		}
+	}
+}
+
+func TestSubmitValidationAndClamping(t *testing.T) {
+	m := testManager(t, Config{})
+	s, err := m.Create(SessionConfig{Cores: 30, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []JobSpec{
+		{Procs: 0, Run: 10},
+		{Procs: 1, Run: 0},
+		{Procs: 1, Run: 10, Walltime: -1},
+		{Procs: 1, Run: 10, User: -2},
+		{Procs: 11, Run: 10}, // exceeds 10-core partition
+		{Procs: 1, Run: 10, VC: intp(3)},
+		{Procs: 1, Run: 10, Submit: -5},
+	}
+	for i, sp := range bad {
+		if _, err := s.Submit([]JobSpec{sp}); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, sp)
+		}
+	}
+
+	if err := s.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	// Requested submit before the clock is clamped, and later requests
+	// can't go backwards past earlier ones.
+	if _, err := s.Submit([]JobSpec{{Procs: 1, Run: 10, Submit: 50}, {Procs: 1, Run: 10, Submit: 500}, {Procs: 1, Run: 10, Submit: 200}}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	submits := []float64{s.jobs[0].Submit, s.jobs[1].Submit, s.jobs[2].Submit}
+	s.mu.Unlock()
+	if submits[0] != 100 || submits[1] != 500 || submits[2] != 500 {
+		t.Fatalf("submits = %v, want [100 500 500] (clamped monotone)", submits)
+	}
+}
+
+func TestJobCapBudget(t *testing.T) {
+	m := testManager(t, Config{MaxJobs: 10})
+	s, err := m.Create(SessionConfig{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(1, 0)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-cap submit: %v, want ErrBudget", err)
+	}
+}
+
+// TestWhatIfDeterministicAcrossParallelism pins the acceptance criterion:
+// same session state + seed must produce byte-identical recommendation
+// JSON regardless of the worker count the fan-out runs with.
+func TestWhatIfDeterministicAcrossParallelism(t *testing.T) {
+	cands := []Candidate{
+		{Policy: "fcfs", Backfill: "easy"},
+		{Policy: "sjf", Backfill: "easy"},
+		{Policy: "saf", Backfill: "conservative"},
+		{Policy: "fcfs", Backfill: "adaptive", RelaxFactor: 0.2},
+		{Policy: "f1", Backfill: "none"},
+		{Policy: "sjf", Backfill: "easy", Faults: "mtbf=43200,mttr=3600,frac=0.25,recovery=requeue,retry=2"},
+	}
+	reports := make([][]byte, 0, 3)
+	for _, workers := range []int{1, 4, 16} {
+		m := testManager(t, Config{})
+		s, err := m.Create(SessionConfig{Cores: 48, Partitions: 2, Policy: sim.FCFS, Backfill: sim.EASY, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit(burst(60, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AdvanceTo(900); err != nil {
+			t.Fatal(err)
+		}
+		ctx := par.WithLimit(context.Background(), workers)
+		rep, err := s.WhatIf(ctx, WhatIfRequest{Candidates: cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PendingJobs == 0 || len(rep.Ranking) != len(cands) {
+			t.Fatalf("report shape: pending=%d ranking=%d", rep.PendingJobs, len(rep.Ranking))
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+		m.Close()
+	}
+	for i := 1; i < len(reports); i++ {
+		if string(reports[i]) != string(reports[0]) {
+			t.Fatalf("what-if JSON differs between worker counts:\n%s\nvs\n%s", reports[0], reports[i])
+		}
+	}
+	// Ranks must be 1..N and wait-sorted.
+	var rep Report
+	if err := json.Unmarshal(reports[0], &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range rep.Ranking {
+		if o.Rank != i+1 {
+			t.Fatalf("rank %d at position %d", o.Rank, i)
+		}
+		if i > 0 && o.AvgWait < rep.Ranking[i-1].AvgWait {
+			t.Fatalf("ranking not sorted by wait: %v after %v", o.AvgWait, rep.Ranking[i-1].AvgWait)
+		}
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	m := testManager(t, Config{MaxCandidates: 2})
+	s, err := m.Create(SessionConfig{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.WhatIf(ctx, WhatIfRequest{}); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	three := []Candidate{{}, {}, {}}
+	if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: three}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("candidate cap: %v, want ErrBudget", err)
+	}
+	if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: []Candidate{{}}}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty session what-if: %v, want ErrEmpty", err)
+	}
+	if _, err := s.Submit([]JobSpec{{Procs: 1, Run: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: []Candidate{{Policy: "bogus"}}}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: []Candidate{{Faults: "mtbf=-1"}}}); err == nil {
+		t.Fatal("bogus fault spec accepted")
+	}
+	// All jobs started -> nothing to recommend on.
+	if err := s.AdvanceTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: []Candidate{{}}}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("all-started what-if: %v, want ErrEmpty", err)
+	}
+}
+
+// TestSlowSubscriberBackpressure pins the SSE satellite: a subscriber that
+// never reads loses the OLDEST events (bounded ring), the session keeps
+// advancing, and tearing everything down leaks no goroutines.
+func TestSlowSubscriberBackpressure(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m := NewManager(Config{EventBuffer: 8, TickInterval: time.Hour})
+	s, err := m.Create(SessionConfig{Cores: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reader blocked in Next on an empty buffer, like an SSE handler on
+	// an idle connection; it must wake with ErrClosed on teardown.
+	blocked := make(chan error, 1)
+	idle, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		for {
+			if _, _, err := idle.Next(context.Background()); err != nil {
+				blocked <- err
+				return
+			}
+		}
+	}()
+	<-started
+
+	// `slow` never reads while the session floods it with events.
+	if _, err := s.Submit(burst(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.EventsEmitted < 100 {
+		t.Fatalf("session stalled behind slow subscriber: %+v", snap)
+	}
+	if buf := slow.Buffered(); buf > 8 {
+		t.Fatalf("subscriber buffered %d events, ring is 8", buf)
+	}
+
+	m.Close()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, obs.ErrClosed) {
+			t.Fatalf("blocked subscriber woke with %v, want obs.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked subscriber did not wake on manager close")
+	}
+
+	// The stalled ring drains its bounded remainder, reports the gap, then
+	// EOFs: drop-oldest means the survivors are the newest events.
+	drained, lastDropped := 0, uint64(0)
+	for {
+		_, d, err := slow.Next(context.Background())
+		if err != nil {
+			break
+		}
+		drained++
+		lastDropped += d
+	}
+	if drained == 0 || drained > 8 {
+		t.Fatalf("stalled subscriber drained %d events, want 1..8", drained)
+	}
+	if lastDropped == 0 {
+		t.Fatal("no drop gap reported after flooding an 8-slot ring")
+	}
+
+	// No goroutine leak: ticker and reader are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubscriberBudgetAndDrops(t *testing.T) {
+	m := testManager(t, Config{MaxSubscribers: 2, EventBuffer: 4})
+	s, err := m.Create(SessionConfig{Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-budget subscribe: %v, want ErrBudget", err)
+	}
+
+	if _, err := s.Submit(burst(30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	// 30 jobs -> >= 60 events through a 4-slot ring: drops must be
+	// reported and the survivors must be the newest.
+	_, dropped, err := a.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("no drops reported through a 4-slot ring")
+	}
+}
+
+func TestManagerLRUEviction(t *testing.T) {
+	m := testManager(t, Config{MaxSessions: 2})
+	s1, err := m.Create(SessionConfig{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Create(SessionConfig{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch s1 so s2 is the LRU victim.
+	if _, err := m.Get(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := m.Create(SessionConfig{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if _, err := m.Get(s2.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU victim still present: %v", err)
+	}
+	// The evicted session is closed, not just unlisted.
+	if _, err := s2.Submit(burst(1, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("evicted session still accepts submits: %v", err)
+	}
+	if _, err := m.Get(s1.ID); err != nil {
+		t.Fatalf("recently used session evicted: %v", err)
+	}
+	if _, err := m.Get(s3.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerAdvancesSessions(t *testing.T) {
+	m := NewManager(Config{TickInterval: 10 * time.Millisecond})
+	defer m.Close()
+	s, err := m.Create(SessionConfig{Cores: 8, TickRate: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Now() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never advanced the session clock")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestProfileSessionShape(t *testing.T) {
+	m := testManager(t, Config{})
+	s, err := m.Create(SessionConfig{Profile: "Philly"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cores <= 0 || snap.Partitions != 14 {
+		t.Fatalf("Philly shape: %+v", snap)
+	}
+	if _, err := m.Create(SessionConfig{Profile: "NoSuchSystem"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := m.Create(SessionConfig{}); err == nil {
+		t.Fatal("shapeless session accepted")
+	}
+}
+
+func intp(v int) *int { return &v }
+
+// TestWhatIfMatchesDirectSimulation cross-checks the fork against a direct
+// sim.Run with the same options: the twin adds aggregation, not new
+// scheduling behavior.
+func TestWhatIfMatchesDirectSimulation(t *testing.T) {
+	m := testManager(t, Config{})
+	s, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.WhatIf(context.Background(), WhatIfRequest{Candidates: []Candidate{{Policy: "sjf", Backfill: "easy"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	tr := s.traceLocked()
+	s.mu.Unlock()
+	direct, err := sim.Run(tr, sim.Options{Policy: sim.SJF, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At clock 0 every job is pending, so the fork's aggregates are the
+	// whole-trace aggregates.
+	got := rep.Ranking[0]
+	if got.AvgWait != direct.AvgWait || got.AvgBsld != direct.AvgBsld || got.Utilization != direct.Utilization {
+		t.Fatalf("fork disagrees with direct run:\nfork   wait=%v bsld=%v util=%v\ndirect wait=%v bsld=%v util=%v",
+			got.AvgWait, got.AvgBsld, got.Utilization, direct.AvgWait, direct.AvgBsld, direct.Utilization)
+	}
+}
