@@ -36,6 +36,8 @@ func main() {
 		workers  = flag.Int("workers", 64, "concurrent client workers")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		keep     = flag.Bool("keep", true, "leave sessions live (server holds all K at once; exercises shutdown teardown)")
+		cold     = flag.Bool("cold-whatif", false, "create sessions with cold_whatif: every what-if replays from t=0 instead of forking warm checkpoints (A/B the warm-start latency win)")
+		advance  = flag.Float64("advance", 300, "simulated seconds the clock advances per batch; large values age the log so what-ifs query a deep history, the warm-start regime")
 	)
 	flag.Parse()
 	base := strings.TrimRight(*url, "/")
@@ -59,7 +61,7 @@ func main() {
 	ctx := par.WithLimit(context.Background(), *workers)
 	start := time.Now()
 	_ = par.ForEach(ctx, *sessions, func(ctx context.Context, i int) error {
-		if err := driveSession(client, base, i, *submits, *jobs, *keep, func(d time.Duration) {
+		if err := driveSession(client, base, i, *submits, *jobs, *keep, *cold, *advance, func(d time.Duration) {
 			mu.Lock()
 			whatIfLat = append(whatIfLat, d)
 			mu.Unlock()
@@ -92,13 +94,13 @@ func main() {
 }
 
 // driveSession runs one session end to end against the HTTP API.
-func driveSession(client *http.Client, base string, i, submits, jobs int, keep bool, observe func(time.Duration)) error {
+func driveSession(client *http.Client, base string, i, submits, jobs int, keep, cold bool, advance float64, observe func(time.Duration)) error {
 	var snap struct {
 		ID string `json:"id"`
 	}
 	// Vary the cluster shape a little so sessions are not identical.
-	body := fmt.Sprintf(`{"cores": %d, "partitions": %d, "policy": "fcfs", "backfill": "easy", "seed": %d}`,
-		32+(i%4)*32, 1+i%4, i+1)
+	body := fmt.Sprintf(`{"cores": %d, "partitions": %d, "policy": "fcfs", "backfill": "easy", "seed": %d, "cold_whatif": %t}`,
+		32+(i%4)*32, 1+i%4, i+1, cold)
 	if err := call(client, "POST", base+"/session", body, &snap); err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
@@ -124,7 +126,7 @@ func driveSession(client *http.Client, base string, i, submits, jobs int, keep b
 			return fmt.Errorf("whatif %d: %w", b, err)
 		}
 		observe(time.Since(t0))
-		clock += 300
+		clock += advance
 		if err := call(client, "POST", sess+"/advance",
 			fmt.Sprintf(`{"to": %g}`, clock), nil); err != nil {
 			return fmt.Errorf("advance %d: %w", b, err)

@@ -1,0 +1,191 @@
+package check
+
+import (
+	"fmt"
+
+	"crosssched/internal/obs"
+	"crosssched/internal/sim"
+	"crosssched/internal/trace"
+)
+
+// ShardDiffReport extends DiffReport with what the sharded runs actually
+// did, so sweeps can assert that a supposedly eligible configuration really
+// executed in parallel instead of silently falling back.
+type ShardDiffReport struct {
+	DiffReport
+	// Shards is the shard count the materialized sharded run executed on;
+	// StreamShards the same for the streaming sharded run.
+	Shards, StreamShards int64
+	// FallbackReason is non-empty when the sharded request degraded to the
+	// single-shard path (both runs degrade for the same reason).
+	FallbackReason string
+}
+
+// DiffSharded runs tr three ways — the single-shard materialized reference
+// (sim.Run), the sharded materialized path, and the sharded streaming path —
+// and compares the sharded runs against the reference with the streaming
+// contract: float-for-float identity on every per-job row, every aggregate,
+// the queue timeline, and the full merged decision-event stream. The sharded
+// engine promises byte-identical output, not statistical agreement, so
+// nothing here is compared with tolerance.
+func DiffSharded(tr *trace.Trace, opt sim.Options, shards int) (*ShardDiffReport, error) {
+	refRec := &obs.Recorder{}
+	refOpt := opt
+	refOpt.Shards = 0
+	refOpt.Observer = refRec
+	ref, err := sim.Run(tr, refOpt)
+	if err != nil {
+		return nil, fmt.Errorf("check: single-shard reference: %w", err)
+	}
+
+	d := &ShardDiffReport{DiffReport: DiffReport{Jobs: len(ref.Jobs)}}
+
+	// Sharded materialized run.
+	matRec := &obs.Recorder{}
+	var matMet obs.Metrics
+	matOpt := opt
+	matOpt.Shards = shards
+	matOpt.Observer = matRec
+	matOpt.Metrics = &matMet
+	mat, err := sim.Run(tr, matOpt)
+	if err != nil {
+		return nil, fmt.Errorf("check: sharded materialized: %w", err)
+	}
+	d.Shards = matMet.Shards
+	d.FallbackReason = matMet.ShardFallbackReason
+	d.compareResult("sharded", mat, ref)
+	d.compareEvents("sharded", matRec.Events, refRec.Events)
+
+	// Sharded streaming run. Streaming rejects fault injection outright
+	// (RunStream's contract, independent of sharding), so fault configs are
+	// compared on the materialized path only.
+	if opt.Faults.Enabled() {
+		d.StreamShards = d.Shards
+		return d, nil
+	}
+	strRec := &obs.Recorder{}
+	var strMet obs.Metrics
+	strOpt := opt
+	strOpt.Shards = shards
+	strOpt.Observer = strRec
+	strOpt.Metrics = &strMet
+	var rows []sim.StreamRow
+	str, err := sim.RunStream(trace.NewSliceStream(tr), strOpt, func(r sim.StreamRow) error {
+		rows = append(rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("check: sharded streaming: %w", err)
+	}
+	d.StreamShards = strMet.Shards
+	if strMet.ShardFallbackReason != d.FallbackReason {
+		d.addf("stream fallback reason %q vs materialized %q",
+			strMet.ShardFallbackReason, d.FallbackReason)
+	}
+	if len(rows) != len(ref.Jobs) {
+		d.addf("stream row count %d vs reference %d", len(rows), len(ref.Jobs))
+	} else {
+		for i := range rows {
+			if rows[i].Job != ref.Jobs[i] {
+				d.addf("stream row %d job %+v vs reference %+v", i, rows[i].Job, ref.Jobs[i])
+			}
+			if rows[i].Promised != ref.PromisedStart[i] {
+				d.addf("stream row %d promise %v vs reference %v", i, rows[i].Promised, ref.PromisedStart[i])
+			}
+			if len(d.Mismatches) > 20 {
+				d.addf("stopping after 20 per-row mismatches")
+				return d, nil
+			}
+		}
+	}
+	d.compareAggregates("stream", str, ref)
+	d.compareEvents("stream", strRec.Events, refRec.Events)
+	if d.Shards > 1 && strMet.JobsRetired != int64(len(ref.Jobs)) {
+		d.addf("stream retired %d of %d jobs", strMet.JobsRetired, len(ref.Jobs))
+	}
+	return d, nil
+}
+
+// compareResult checks a materialized sharded result — per-job rows first,
+// then the shared aggregate block.
+func (d *ShardDiffReport) compareResult(tag string, got, ref *sim.Result) {
+	if len(got.Jobs) != len(ref.Jobs) {
+		d.addf("%s job count %d vs reference %d", tag, len(got.Jobs), len(ref.Jobs))
+		return
+	}
+	for i := range ref.Jobs {
+		if got.Jobs[i] != ref.Jobs[i] {
+			d.addf("%s job %d %+v vs reference %+v", tag, i, got.Jobs[i], ref.Jobs[i])
+		}
+		if got.PromisedStart[i] != ref.PromisedStart[i] {
+			d.addf("%s job %d promise %v vs reference %v", tag, i, got.PromisedStart[i], ref.PromisedStart[i])
+		}
+		if len(d.Mismatches) > 20 {
+			d.addf("stopping after 20 per-job mismatches")
+			return
+		}
+	}
+	d.compareAggregates(tag, got, ref)
+}
+
+// compareAggregates checks every aggregate the stitcher folds, bit for bit.
+func (d *ShardDiffReport) compareAggregates(tag string, got, ref *sim.Result) {
+	if got.AvgWait != ref.AvgWait {
+		d.addf("%s avg wait %v vs reference %v", tag, got.AvgWait, ref.AvgWait)
+	}
+	if got.AvgBsld != ref.AvgBsld {
+		d.addf("%s avg bsld %v vs reference %v", tag, got.AvgBsld, ref.AvgBsld)
+	}
+	if got.Utilization != ref.Utilization {
+		d.addf("%s utilization %v vs reference %v", tag, got.Utilization, ref.Utilization)
+	}
+	if got.Makespan != ref.Makespan {
+		d.addf("%s makespan %v vs reference %v", tag, got.Makespan, ref.Makespan)
+	}
+	if got.Violations != ref.Violations {
+		d.addf("%s violations %d vs reference %d", tag, got.Violations, ref.Violations)
+	}
+	if got.ViolationDelay != ref.ViolationDelay {
+		d.addf("%s violation delay %v vs reference %v", tag, got.ViolationDelay, ref.ViolationDelay)
+	}
+	if got.Backfilled != ref.Backfilled {
+		d.addf("%s backfilled %d vs reference %d", tag, got.Backfilled, ref.Backfilled)
+	}
+	if got.MaxQueueLen != ref.MaxQueueLen {
+		d.addf("%s max queue %d vs reference %d", tag, got.MaxQueueLen, ref.MaxQueueLen)
+	}
+	if len(got.QueueTimeline) != len(ref.QueueTimeline) {
+		d.addf("%s timeline length %d vs reference %d", tag, len(got.QueueTimeline), len(ref.QueueTimeline))
+		return
+	}
+	for i := range got.QueueTimeline {
+		if got.QueueTimeline[i] != ref.QueueTimeline[i] {
+			d.addf("%s timeline[%d] %+v vs reference %+v", tag, i, got.QueueTimeline[i], ref.QueueTimeline[i])
+			return
+		}
+	}
+}
+
+// compareEvents checks the merged decision-event stream, element for
+// element in order.
+func (d *ShardDiffReport) compareEvents(tag string, got, ref []obs.Event) {
+	if len(got) != len(ref) {
+		d.addf("%s event count %d vs reference %d", tag, len(got), len(ref))
+		return
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			d.addf("%s event %d %+v vs reference %+v", tag, i, got[i], ref[i])
+			return
+		}
+	}
+}
+
+// VerifySharded is DiffSharded reduced to an error, mirroring Verify.
+func VerifySharded(tr *trace.Trace, opt sim.Options, shards int) error {
+	d, err := DiffSharded(tr, opt, shards)
+	if err != nil {
+		return err
+	}
+	return d.Err()
+}

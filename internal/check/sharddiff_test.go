@@ -1,0 +1,143 @@
+package check
+
+import (
+	"testing"
+
+	"crosssched/internal/fault"
+	"crosssched/internal/sim"
+	"crosssched/internal/synth"
+	"crosssched/internal/trace"
+)
+
+// verifyVCWide is VerifyVC stretched over more partitions than any shard
+// count the sweep requests, so shards own multiple partitions each and the
+// partition→shard folding (p % nShards) is exercised, not just the 1:1 case.
+func verifyVCWide(days float64) *synth.Profile {
+	p := synth.VerifyVC(days)
+	p.Sys.Name = "VerifyVCWide"
+	p.Sys.TotalCores = 112
+	p.Sys.VirtualClusters = 7
+	return p
+}
+
+// TestShardedDifferentialSweep: for every eligible policy x backfill
+// combination, the partition-sharded engine — both the materialized path and
+// the streaming path — must be float-for-float identical to the single-shard
+// run: per-row waits and promises, every aggregate, the queue timeline, and
+// the merged decision-event stream. The sweep also pins that eligible
+// configurations really shard (no silent fallback) at several shard counts,
+// including counts above the partition count (which must clamp).
+func TestShardedDifferentialSweep(t *testing.T) {
+	days := 0.5
+	if testing.Short() {
+		days = 0.2
+	}
+	profiles := []*synth.Profile{synth.VerifyVC(days), verifyVCWide(days)}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Sys.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := verifyTrace(t, p, 7)
+			t.Logf("%s: %d jobs over %d partitions", p.Sys.Name, tr.Len(), tr.System.VirtualClusters)
+			nParts := tr.System.VirtualClusters
+			for _, shards := range []int{2, 3, nParts, nParts + 5} {
+				for _, opt := range Combos(0.15) {
+					if opt.Policy == sim.Fair {
+						continue // pinned to fall back in TestShardedFallbackPins
+					}
+					if opt.Backfill == sim.AdaptiveRelaxed {
+						// Eligible only with a fixed queue-length normalizer.
+						opt.MaxQueueLen = 12
+					}
+					d, err := DiffSharded(tr, opt, shards)
+					if err != nil {
+						t.Fatalf("shards=%d %s + %s: %v", shards, opt.Policy, opt.Backfill, err)
+					}
+					if err := d.Err(); err != nil {
+						t.Errorf("shards=%d %s + %s: %v", shards, opt.Policy, opt.Backfill, err)
+					}
+					want := int64(shards)
+					if shards > nParts {
+						want = int64(nParts)
+					}
+					if d.Shards != want || d.StreamShards != want {
+						t.Errorf("shards=%d %s + %s: ran on %d/%d shards, want %d (fallback %q)",
+							shards, opt.Policy, opt.Backfill, d.Shards, d.StreamShards, want, d.FallbackReason)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedOptionVariants covers eligible option axes the sweep holds
+// fixed: oracle runtimes and a fixed-normalizer adaptive config under a
+// dynamic policy.
+func TestShardedOptionVariants(t *testing.T) {
+	tr := verifyTrace(t, synth.VerifyVC(0.3), 11)
+	variants := []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"oracle-runtime", sim.Options{Policy: sim.FCFS, Backfill: sim.EASY, UseActualRuntime: true}},
+		{"adaptive-fixed-maxq", sim.Options{Policy: sim.SJF, Backfill: sim.AdaptiveRelaxed,
+			RelaxFactor: 0.2, MaxQueueLen: 12}},
+		{"conservative-f3", sim.Options{Policy: sim.F3, Backfill: sim.Conservative}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			if err := VerifySharded(tr, v.opt, 3); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestShardedFallbackPins: configurations with cross-partition coupling must
+// fall back to the single-shard path — observably, with a reason in the
+// metrics — and still produce the exact single-shard result.
+func TestShardedFallbackPins(t *testing.T) {
+	tr := verifyTrace(t, synth.VerifyVC(0.2), 9)
+	single := verifyTrace(t, synth.VerifyHPC(0.2), 9)
+	flt, err := fault.ParseSpec("mtbf=20000,mttr=4000,frac=0.2,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		opt  sim.Options
+	}{
+		{"fair-share", tr, sim.Options{Policy: sim.Fair, Backfill: sim.EASY}},
+		{"faults", tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY, Faults: flt}},
+		{"adaptive-global-queue", tr, sim.Options{Policy: sim.FCFS, Backfill: sim.AdaptiveRelaxed, RelaxFactor: 0.2}},
+		{"custom-score", tr, sim.Options{Backfill: sim.EASY,
+			CustomScore: func(reqTime float64, procs int, submit, now float64) float64 {
+				return reqTime * float64(procs)
+			}}},
+		{"walltime-predictor", tr, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY,
+			WalltimePredictor: func(j trace.Job) float64 { return j.Run*1.2 + 60 }}},
+		{"single-partition", single, sim.Options{Policy: sim.FCFS, Backfill: sim.EASY}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			d, err := DiffSharded(c.tr, c.opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Err(); err != nil {
+				t.Error(err)
+			}
+			if d.FallbackReason == "" {
+				t.Errorf("expected a fallback reason, got none (ran on %d shards)", d.Shards)
+			}
+			if d.Shards != 1 || d.StreamShards != 1 {
+				t.Errorf("coupled config ran on %d/%d shards, want 1 (reason %q)",
+					d.Shards, d.StreamShards, d.FallbackReason)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package check
+
+import (
+	"testing"
+)
+
+// FuzzShardedSim peels one byte for the shard count (1..8, deliberately
+// exceeding the partition counts decodeFuzzInput can produce so the
+// effective-shard clamp is fuzzed too) and feeds the rest through the same
+// decoder as FuzzSimulator, then runs the sharded differential gate: the
+// partition-sharded materialized and streaming paths must reproduce the
+// single-shard reference float for float, or observably fall back.
+func FuzzShardedSim(f *testing.F) {
+	// FuzzSimulator's seeds, each prefixed with a shard byte: forced
+	// single shard, shard count == partitions, and shards > partitions.
+	f.Add(append([]byte{0}, []byte{0, 1, 0, 6, 10, 0, 3, 9, 8, 2, 0, 40, 1, 4, 4, 3, 0, 0, 0, 20, 20, 1, 1, 9}...))
+	f.Add(append([]byte{2}, []byte{1, 3, 2, 4, 20, 1, 5, 12, 12, 7, 2, 30, 0, 0, 0, 4, 1, 0, 9, 30, 3, 2, 0, 64}...))
+	f.Add(append([]byte{7}, []byte{8, 4, 1, 8, 10, 2, 2, 16, 16, 1, 0, 16, 2, 8, 8, 5, 0, 32, 1, 1, 1, 0, 0, 0}...))
+	f.Add(append([]byte{3}, []byte{3, 2, 0, 2, 0, 3, 0, 255, 255, 13, 1, 1, 0, 0, 200, 2, 0, 5}...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		shards := 1 + int(data[0])%8
+		tr, opt := decodeFuzzInput(data[1:])
+		if tr == nil {
+			return
+		}
+		d, err := DiffSharded(tr, opt, shards)
+		if err != nil {
+			t.Fatalf("%s + %s × %d shards on %d jobs: %v",
+				opt.Policy, opt.Backfill, shards, tr.Len(), err)
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("%s + %s × %d shards on %d jobs: %v",
+				opt.Policy, opt.Backfill, shards, tr.Len(), err)
+		}
+		if d.Shards != d.StreamShards {
+			t.Fatalf("materialized ran %d shards, streaming %d", d.Shards, d.StreamShards)
+		}
+	})
+}

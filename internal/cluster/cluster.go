@@ -91,6 +91,17 @@ func (c *Cluster) Reset() {
 	c.busyCoreSeconds = 0
 }
 
+// Clone returns an independent copy of the cluster, including the
+// utilization integral, so a paused simulation can be forked (sim's
+// checkpoint/what-if machinery) without the copies sharing any state.
+func (c *Cluster) Clone() *Cluster {
+	d := *c
+	d.free = append([]int(nil), c.free...)
+	d.caps = append([]int(nil), c.caps...)
+	d.down = append([]int(nil), c.down...)
+	return &d
+}
+
 // Total returns the total core count.
 func (c *Cluster) Total() int { return c.total }
 

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/trace"
+)
+
+// Checkpoint is a paused simulation that can be extended with future
+// arrivals, advanced further, and forked into what-if runs. Because
+// runUntil's pause leaves the simulator in exactly the state a full run
+// passes through, a fork run to completion is float-for-float identical to
+// a cold run of the same (possibly extended) trace under the same options —
+// the property the digital twin's warm-started what-if forks rely on: the
+// twin keeps one checkpoint per candidate configuration at the session
+// clock and forks it per query instead of replaying the whole submission
+// log from t=0 every time.
+//
+// All methods are safe for concurrent use. WhatIf holds the lock only while
+// cloning; concurrent forks then run independently.
+type Checkpoint struct {
+	mu      sync.Mutex
+	opt     Options
+	sys     trace.System
+	jobs    []trace.Job // owned, append-only
+	nParts  int
+	caps    []int
+	s       simulator // owns its cluster; never pooled
+	pauseAt float64
+	broken  error // a failed advance poisons the checkpoint
+}
+
+// RunToCheckpoint validates tr, runs it under opt up to (exclusively)
+// pauseAt, and returns the paused simulation. Fault injection cannot be
+// checkpointed (its RNG and per-job attempt state are not cloneable);
+// Observer, Metrics, and Shards are ignored — forks are headless replays.
+// The trace is copied; the caller's slice is not retained.
+func RunToCheckpoint(tr *trace.Trace, opt Options, pauseAt float64) (*Checkpoint, error) {
+	if opt.Faults.Enabled() {
+		return nil, fmt.Errorf("sim: checkpoints do not support fault injection")
+	}
+	opt.Observer = nil
+	opt.Metrics = nil
+	opt.Shards = 0
+	if opt.BsldTau <= 0 {
+		opt.BsldTau = 10
+	}
+	if opt.RelaxFactor == 0 && (opt.Backfill == Relaxed || opt.Backfill == AdaptiveRelaxed) {
+		opt.RelaxFactor = 0.10
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	nParts := tr.System.VirtualClusters
+	if nParts < 1 {
+		nParts = 1
+	}
+	caps := cluster.EvenPartitions(tr.System.TotalCores, nParts)
+	cl, err := cluster.NewPartitioned(caps)
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid cluster shape (%d cores, %d partitions): %w",
+			tr.System.TotalCores, nParts, err)
+	}
+	for i := range tr.Jobs {
+		p := partitionOf(&tr.Jobs[i], nParts)
+		if tr.Jobs[i].Procs > caps[p] {
+			return nil, fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
+				tr.Jobs[i].ID, tr.Jobs[i].Procs, p, caps[p])
+		}
+	}
+	ck := &Checkpoint{
+		opt:     opt,
+		sys:     tr.System,
+		jobs:    append([]trace.Job(nil), tr.Jobs...),
+		nParts:  nParts,
+		caps:    caps,
+		pauseAt: pauseAt,
+	}
+	own := &trace.Trace{System: tr.System, Jobs: ck.jobs}
+	ck.s.reset(context.Background(), own, opt, cl, nParts)
+	if err := ck.s.runUntil(pauseAt); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// PausedAt returns the checkpoint's pause time: every event strictly before
+// it has been processed.
+func (ck *Checkpoint) PausedAt() float64 {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.pauseAt
+}
+
+// Len returns the number of jobs in the checkpoint's trace.
+func (ck *Checkpoint) Len() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return len(ck.jobs)
+}
+
+// Extend appends future arrivals to the checkpoint's trace. The jobs must
+// continue the existing submit order and arrive at or after the pause time
+// (events before it have already been processed and cannot be revised); an
+// append-only log whose writes are clamped to the advancing clock — the
+// twin's submission log — satisfies this by construction.
+func (ck *Checkpoint) Extend(jobs []trace.Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.broken != nil {
+		return ck.broken
+	}
+	last := ck.pauseAt
+	if n := len(ck.jobs); n > 0 && ck.jobs[n-1].Submit > last {
+		last = ck.jobs[n-1].Submit
+	}
+	for i := range jobs {
+		j := &jobs[i]
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("sim: checkpoint extend: %w", err)
+		}
+		if j.Submit < last {
+			return fmt.Errorf("sim: checkpoint extend: job %d at %v arrives before %v (already simulated)",
+				j.ID, j.Submit, last)
+		}
+		last = j.Submit
+		p := partitionOf(j, ck.nParts)
+		if j.Procs > ck.caps[p] {
+			return fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
+				j.ID, j.Procs, p, ck.caps[p])
+		}
+	}
+	ck.jobs = append(ck.jobs, jobs...)
+	s := &ck.s
+	s.jobs = ck.jobs
+	// Grow the per-arrival arrays alongside. The pending arena may move;
+	// queue entries point into it and must be re-anchored by arrival index
+	// (idxBase is always 0 here — checkpoints are materialized).
+	oldArena := s.pendings
+	s.pendings = append(s.pendings, make([]pending, len(jobs))...)
+	if len(oldArena) > 0 && &oldArena[0] != &s.pendings[0] {
+		for p := range s.parts {
+			q := &s.parts[p].q
+			for i, pj := range q.buf[q.head:] {
+				q.buf[q.head+i] = &s.pendings[pj.idx]
+			}
+		}
+	}
+	s.waits = append(s.waits, make([]float64, len(jobs))...)
+	for range jobs {
+		s.promised = append(s.promised, -1)
+	}
+	return nil
+}
+
+// AdvanceTo moves the pause time forward to t, processing every event
+// strictly before it. Times at or before the current pause are a no-op, so
+// concurrent callers with different clocks compose (the later one wins).
+func (ck *Checkpoint) AdvanceTo(t float64) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.broken != nil {
+		return ck.broken
+	}
+	if t <= ck.pauseAt {
+		return nil
+	}
+	if err := ck.s.runUntil(t); err != nil {
+		ck.broken = fmt.Errorf("sim: checkpoint advance failed: %w", err)
+		return ck.broken
+	}
+	ck.pauseAt = t
+	return nil
+}
+
+// WhatIf forks the paused simulation and runs the fork to completion,
+// returning the full-trace Result — identical to a cold run of the
+// checkpoint's current trace under its options. The checkpoint itself is
+// not advanced; forks are independent and may run concurrently.
+func (ck *Checkpoint) WhatIf(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ck.mu.Lock()
+	if ck.broken != nil {
+		ck.mu.Unlock()
+		return nil, ck.broken
+	}
+	fork := &simulator{}
+	cloneSimulator(fork, &ck.s, ctx)
+	ck.mu.Unlock()
+
+	if err := fork.runUntil(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	if fork.started != fork.next {
+		return nil, fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", fork.started, fork.next)
+	}
+	return fork.result(nil)
+}
+
+// cloneSimulator copies a paused materialized simulator into dst so the two
+// can run independently. Authoritative state — the pending arena, queues,
+// completion heap, cluster, fair-share accounts, per-arrival arrays, and
+// every counter — is deep-copied; pure caches (score sort, profile, shadow,
+// backfill-scan memo, conservative plan) are dropped instead, which the
+// cache invariants already prove changes no scheduling decision, only
+// re-derivation work. dst must be fresh (zero) storage.
+func cloneSimulator(dst, src *simulator, ctx context.Context) {
+	dst.opt = src.opt
+	dst.jobs = src.jobs // read-only; Extend appends only beyond this header's len
+	dst.cl = src.cl.Clone()
+	dst.now = src.now
+	dst.next = src.next
+	dst.idxBase = 0
+	dst.ctx = ctx
+	dst.done = ctx.Done()
+	dst.met = src.met
+
+	dst.pendings = append([]pending(nil), src.pendings...)
+	dst.compl.items = append([]running(nil), src.compl.items...)
+	dst.waits = append([]float64(nil), src.waits...)
+	dst.promised = append([]float64(nil), src.promised...)
+	dst.timeline = append(make([]QueueSample, 0, cap(src.timeline)), src.timeline...)
+	dst.touched = make([]bool, len(src.parts))
+
+	dst.parts = make([]partState, len(src.parts))
+	for p := range src.parts {
+		sp, dp := &src.parts[p], &dst.parts[p]
+		// Queue: mirrors copy verbatim; entry pointers re-anchor into the
+		// cloned arena by arrival index.
+		dp.q.head = sp.q.head
+		dp.q.buf = make([]*pending, len(sp.q.buf))
+		dp.q.stamps = append([]uint64(nil), sp.q.stamps...)
+		dp.q.procs = append([]int32(nil), sp.q.procs...)
+		for i := sp.q.head; i < len(sp.q.buf); i++ {
+			dp.q.buf[i] = &dst.pendings[sp.q.buf[i].idx]
+		}
+		dp.avail.ends = append([]float64(nil), sp.avail.ends...)
+		dp.avail.procs = append([]int(nil), sp.avail.procs...)
+		dp.avail.ver = sp.avail.ver
+		// fitBound is authoritative (a sound lower bound the original run
+		// would carry forward identically); the caches restart cold.
+		dp.fitBound = sp.fitBound
+		dp.plan.reset()
+		// Bump past every stamp copied with the arena so no stale backfill
+		// memo survives into the fork.
+		dp.scanGen = sp.scanGen + 1
+	}
+
+	if src.fair != nil {
+		dst.fair = src.fair.Clone()
+	}
+	dst.fairVer = src.fairVer
+
+	dst.queued = src.queued
+	dst.violations = src.violations
+	dst.violationDelay = src.violationDelay
+	dst.backfilled = src.backfilled
+	dst.maxQueueSeen = src.maxQueueSeen
+	dst.started = src.started
+	dst.makespan = src.makespan
+}

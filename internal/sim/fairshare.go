@@ -48,6 +48,24 @@ func (f *FairshareState) Reset(halfLife float64) {
 	clear(f.last)
 }
 
+// Clone returns an independent copy of every usage account, so a paused
+// simulation can be forked (checkpoint.go) without the copies sharing
+// fair-share state.
+func (f *FairshareState) Clone() *FairshareState {
+	d := &FairshareState{
+		HalfLife: f.HalfLife,
+		usage:    make(map[int]float64, len(f.usage)),
+		last:     make(map[int]float64, len(f.last)),
+	}
+	for u, v := range f.usage {
+		d.usage[u] = v
+	}
+	for u, v := range f.last {
+		d.last[u] = v
+	}
+	return d
+}
+
 // Usage returns user's decayed usage as of time now.
 func (f *FairshareState) Usage(user int, now float64) float64 {
 	u, ok := f.usage[user]

@@ -1,0 +1,1298 @@
+// Partition-sharded parallel simulation with deterministic stitch-up.
+//
+// When a configuration has no cross-partition coupling, the simulation
+// factors exactly: each partition's queue, reservations, and cluster state
+// evolve independently, so the trace can be split by partition, each shard
+// simulated on its own pooled Runner, and the outputs stitched back together
+// float-for-float identical to the single-shard run. The stitcher leans on
+// three invariants:
+//
+//   - Wave alignment. An event-loop iteration at time t processes every
+//     completion with real == t and every arrival with submit <= t, and may
+//     spawn further iterations at the same t (zero-runtime jobs complete the
+//     instant they start). The k-th consecutive iteration at time t of a
+//     shard corresponds to the k-th consecutive global iteration at t: the
+//     stitcher pops one iteration record per shard per "wave" at the minimum
+//     pending time, and the wave sequence reproduces the global iteration
+//     sequence exactly (Metrics.Events is the wave count).
+//
+//   - Canonical orders. Within one iteration, completions pop in ascending
+//     arrival index (the completion heap's tiebreak), arrivals are admitted
+//     in ascending arrival index, and scheduling visits partitions in
+//     ascending partition index. All three orders interleave across shards
+//     by a stable k-way merge: completions and submits by global arrival
+//     index, schedule-phase decisions (and the promise-violation float fold)
+//     by partition index. Per-job rows retire in global arrival order via a
+//     prefix rule over the merged completion state.
+//
+//   - Exact float replay. Aggregates whose value depends on float summation
+//     order (AvgWait, AvgBsld, ViolationDelay, the busy-core-seconds
+//     integral behind Utilization) are folded by the stitcher with the same
+//     operations in the same order as the single-shard code paths
+//     (result/retireStream, cluster.advance), never by combining per-shard
+//     partial sums.
+//
+// The streaming path adds a watermark protocol so an unbounded trace can be
+// demultiplexed without unbounded buffering: a reader goroutine chunks jobs
+// to per-shard channels and floods a submit-time watermark to every shard on
+// a fixed stride; a shard whose next arrival is not yet known may still
+// process completions below its watermark horizon (horizonStream.NextBefore)
+// and, when it must block, publishes a "stall floor" — a proven lower bound
+// on its next record's time — so the stitcher can merge everything strictly
+// below the floor while the shard waits. Floors rise as watermarks advance,
+// which both bounds the stitcher's buffers (no shard can run further ahead
+// than the reader) and guarantees liveness (every blocked state is broken by
+// the reader's stride flush or end-of-stream).
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"crosssched/internal/cluster"
+	"crosssched/internal/obs"
+	"crosssched/internal/par"
+	"crosssched/internal/trace"
+)
+
+const (
+	// shardChunk is the reader's per-shard batching unit and its watermark
+	// stride: every shardChunk jobs read, every shard receives the current
+	// watermark even if it received no jobs.
+	shardChunk = 64
+	// shardFlushIters caps how many iteration records a streaming shard
+	// accumulates before flushing a batch to the stitcher.
+	shardFlushIters = 256
+)
+
+// shardFallback reports why the configuration cannot be partition-sharded,
+// or "" when it is eligible. Every rejected configuration couples partitions
+// through shared mutable state (or through caller callbacks whose purity the
+// engine cannot assume), which would make per-shard replay diverge from the
+// global run.
+func shardFallback(opt *Options, nParts int) string {
+	switch {
+	case nParts < 2:
+		return "trace has a single partition"
+	case opt.Policy == Fair:
+		return "fair-share usage accounts are shared across partitions"
+	case opt.Faults.Enabled():
+		return "fault injection draws from cross-partition schedules and RNG streams"
+	case opt.Backfill == AdaptiveRelaxed && opt.MaxQueueLen <= 0:
+		return "adaptive backfill normalizes by the observed global queue length"
+	case opt.CustomScore != nil:
+		return "custom score callback (cross-shard purity not assumed)"
+	case opt.WalltimePredictor != nil:
+		return "walltime predictor callback (cross-shard purity not assumed)"
+	}
+	return ""
+}
+
+// shardItem is one trace job annotated with its global arrival index.
+type shardItem struct {
+	job  trace.Job
+	gidx int
+}
+
+// shardMsgIn is one reader-to-shard message: a chunk of jobs plus the
+// watermark (submit time of the last job the reader consumed). Carrying the
+// watermark in-band makes the horizon guarantee race-free: when a shard sees
+// wm, every job it has not yet received — on this channel or still buffered
+// in the reader — has Submit >= wm.
+type shardMsgIn struct {
+	jobs []shardItem
+	wm   float64
+	err  error
+}
+
+// iterRec is one event-loop iteration of one shard, as recorded by its tap:
+// everything the stitcher needs to replay the iteration's contribution to
+// the global fold. The count fields index into the batch's flat rows/viol/ev
+// arrays.
+type iterRec struct {
+	t                         float64
+	queuedArr                 int32 // shard queue length after arrivals (max-queue fold)
+	queuedSched               int32 // shard queue length after scheduling (timeline fold)
+	busy                      int32 // shard busy cores after the iteration's ops
+	nRows, nViol              int32
+	nCompEv, nSubEv, nSchedEv int32
+	ops                       bool // any allocate/release this iteration (busy-integral fold)
+}
+
+// shardRow is a retired row annotated with its global arrival index.
+type shardRow struct {
+	gidx int
+	row  StreamRow
+}
+
+// shardViolation is one promise violation: the partition orders the
+// cross-shard fold, the delay is the float added to ViolationDelay.
+type shardViolation struct {
+	part  int32
+	delay float64
+}
+
+// shardBatch is a shard-to-stitcher message: a run of complete iteration
+// records with their flat payload arrays, and/or a stall floor, and/or the
+// shard's final state.
+type shardBatch struct {
+	shard int
+	iters []iterRec
+	rows  []shardRow
+	viol  []shardViolation
+	ev    []obs.Event
+	evKey []int // global arrival index per event; -1 for schedule-phase events
+
+	// floor, when hasFloor, is a guarantee that every record this shard has
+	// not yet sent has time >= floor.
+	floor    float64
+	hasFloor bool
+
+	// done marks the shard's last message; err/met/makespan carry its final
+	// state.
+	done     bool
+	err      error
+	met      obs.Metrics
+	makespan float64
+}
+
+// shardTap records, from inside a shard's event loop, the per-iteration
+// facts the stitcher needs. Its hooks are called at fixed points of
+// simulator.runUntil (begin, per-completion, per-arrival, after arrivals,
+// per-violation, per-dispatch, end); it doubles as the shard's obs.Observer
+// (capturing the decision stream with merge keys) and as its StreamSink
+// (tagging retired rows with global indices). Iteration data is staged in
+// cur* scratch and committed to the batch only at endIter, so a batch can be
+// flushed mid-iteration (stall) without tearing a record.
+type shardTap struct {
+	shard int
+	evOn  bool
+	// send flushes a batch to the stitcher; nil on the materialized path,
+	// where the batch just accumulates and is handed over at the end.
+	send  func(*shardBatch) error
+	batch *shardBatch
+
+	// gidxs maps local arrival index -> global arrival index, a deque:
+	// noteAdmit appends (stream order == local arrival order), row retires
+	// pop the front (rows retire in local arrival order). glo is the local
+	// index of gidxs[ghead].
+	gidxs []int
+	ghead int
+	glo   int
+
+	cur     iterRec
+	open    bool // between beginIter and endIter
+	stalled bool // a stall was published; flush eagerly at next endIter
+	// lastFloor is the highest stall floor published; floors are monotone
+	// per shard, so equal recomputations are not re-sent.
+	lastFloor float64
+	key       int // gidx staged by completion/arrived for the next Observe
+
+	curEv   []obs.Event
+	curKey  []int
+	curRows []shardRow
+	curViol []shardViolation
+}
+
+func newShardTap(shard int, evOn bool, send func(*shardBatch) error) *shardTap {
+	return &shardTap{
+		shard:     shard,
+		evOn:      evOn,
+		send:      send,
+		batch:     &shardBatch{shard: shard},
+		lastFloor: math.Inf(-1),
+	}
+}
+
+// noteAdmit records the global index of the next job pulled from the shard's
+// stream (called by the stream itself, in delivery order).
+func (t *shardTap) noteAdmit(gidx int) {
+	if t.ghead > 64 && t.ghead*2 > len(t.gidxs) {
+		n := copy(t.gidxs, t.gidxs[t.ghead:])
+		t.gidxs = t.gidxs[:n]
+		t.ghead = 0
+	}
+	t.gidxs = append(t.gidxs, gidx)
+}
+
+// gidxAt translates a live local arrival index to its global index.
+func (t *shardTap) gidxAt(local int) int { return t.gidxs[t.ghead+(local-t.glo)] }
+
+func (t *shardTap) beginIter(tm float64) {
+	t.cur = iterRec{t: tm}
+	t.open = true
+}
+
+func (t *shardTap) completion(local int) {
+	t.cur.ops = true
+	if t.evOn {
+		t.key = t.gidxAt(local)
+	}
+}
+
+func (t *shardTap) arrived(local int) {
+	if t.evOn {
+		t.key = t.gidxAt(local)
+	}
+}
+
+func (t *shardTap) afterArrivals(queued int) { t.cur.queuedArr = int32(queued) }
+
+func (t *shardTap) violation(part int32, delay float64) {
+	t.curViol = append(t.curViol, shardViolation{part: part, delay: delay})
+}
+
+func (t *shardTap) dispatched() { t.cur.ops = true }
+
+// Observe implements obs.Observer: completion and submit events take the
+// gidx staged by the matching completion/arrived hook as their merge key;
+// schedule-phase events merge by their Part field instead. Within an
+// iteration the three classes are emitted contiguously in that order, so the
+// stitcher consumes them as counted segments.
+func (t *shardTap) Observe(e obs.Event) {
+	k := -1
+	switch e.Kind {
+	case obs.JobComplete:
+		t.cur.nCompEv++
+		k = t.key
+	case obs.JobSubmit:
+		t.cur.nSubEv++
+		k = t.key
+	default:
+		t.cur.nSchedEv++
+	}
+	t.curEv = append(t.curEv, e)
+	t.curKey = append(t.curKey, k)
+}
+
+// row is the shard's StreamSink: rows retire in local arrival order, so the
+// gidx deque's front is always the retiring row's global index.
+func (t *shardTap) row(r StreamRow) error {
+	g := t.gidxs[t.ghead]
+	t.ghead++
+	t.glo++
+	t.curRows = append(t.curRows, shardRow{gidx: g, row: r})
+	return nil
+}
+
+// endIter commits the staged iteration to the batch and flushes when the
+// batch is full or a stall left the stitcher waiting for this record.
+func (t *shardTap) endIter(queued, busy int) error {
+	t.cur.queuedSched = int32(queued)
+	t.cur.busy = int32(busy)
+	t.cur.nRows = int32(len(t.curRows))
+	t.cur.nViol = int32(len(t.curViol))
+	b := t.batch
+	b.iters = append(b.iters, t.cur)
+	b.rows = append(b.rows, t.curRows...)
+	b.viol = append(b.viol, t.curViol...)
+	b.ev = append(b.ev, t.curEv...)
+	b.evKey = append(b.evKey, t.curKey...)
+	t.curRows = t.curRows[:0]
+	t.curViol = t.curViol[:0]
+	t.curEv = t.curEv[:0]
+	t.curKey = t.curKey[:0]
+	t.open = false
+	if t.send != nil && (t.stalled || len(b.iters) >= shardFlushIters) {
+		return t.flush(false, 0)
+	}
+	return nil
+}
+
+// stall publishes a floor while the shard blocks for input: no record it has
+// not yet sent can have time < min(need, horizon, current open iteration's
+// time). Complete iterations are flushed first so the stitcher can merge
+// everything below the floor.
+func (t *shardTap) stall(need, horizon float64) error {
+	if t.send == nil {
+		return nil
+	}
+	floor := need
+	if horizon < floor {
+		floor = horizon
+	}
+	if t.open && t.cur.t < floor {
+		floor = t.cur.t
+	}
+	t.stalled = true
+	if floor > t.lastFloor {
+		t.lastFloor = floor
+		return t.flush(true, floor)
+	}
+	return t.flush(false, 0)
+}
+
+// flush sends the accumulated batch (and/or a floor) to the stitcher.
+func (t *shardTap) flush(hasFloor bool, floor float64) error {
+	b := t.batch
+	if len(b.iters) == 0 && !hasFloor {
+		return nil
+	}
+	b.hasFloor, b.floor = hasFloor, floor
+	t.batch = &shardBatch{shard: t.shard}
+	if len(b.iters) > 0 {
+		t.stalled = false
+	}
+	return t.send(b)
+}
+
+// finishBatch marks the tap's current batch as the shard's final message.
+func (t *shardTap) finishBatch(res *Result, err error, met obs.Metrics) {
+	b := t.batch
+	b.done = true
+	b.err = err
+	b.met = met
+	if res != nil {
+		b.makespan = res.Makespan
+	}
+}
+
+// gidxSliceStream feeds a shard its slice of a materialized trace, noting
+// each job's global index with the tap as it is handed out.
+type gidxSliceStream struct {
+	sys  trace.System
+	jobs []trace.Job
+	idx  []int
+	pos  int
+	tap  *shardTap
+}
+
+func (st *gidxSliceStream) System() trace.System { return st.sys }
+
+func (st *gidxSliceStream) Next() (trace.Job, error) {
+	if st.pos >= len(st.idx) {
+		return trace.Job{}, io.EOF
+	}
+	g := st.idx[st.pos]
+	st.pos++
+	st.tap.noteAdmit(g)
+	return st.jobs[g], nil
+}
+
+// shardChanStream feeds a streaming shard from its reader channel. It
+// implements horizonStream: NextBefore lets the shard's event loop proceed
+// on completions below the watermark horizon without blocking for an arrival
+// that may sit arbitrarily far behind other shards' traffic, and publishes
+// stall floors through the tap while it genuinely must block.
+type shardChanStream struct {
+	sys  trace.System
+	ch   <-chan shardMsgIn
+	ictx context.Context
+	tap  *shardTap
+
+	buf     []shardItem
+	head    int
+	horizon float64 // every undelivered job has Submit >= horizon
+	eof     bool
+	err     error
+}
+
+func (st *shardChanStream) System() trace.System { return st.sys }
+
+func (st *shardChanStream) absorb(m shardMsgIn) {
+	if m.err != nil && st.err == nil {
+		st.err = m.err
+	}
+	if m.wm > st.horizon {
+		st.horizon = m.wm
+	}
+	if len(m.jobs) > 0 {
+		if st.head == len(st.buf) {
+			st.buf = st.buf[:0]
+			st.head = 0
+		} else if st.head > 64 && st.head*2 > len(st.buf) {
+			n := copy(st.buf, st.buf[st.head:])
+			st.buf = st.buf[:n]
+			st.head = 0
+		}
+		st.buf = append(st.buf, m.jobs...)
+	}
+}
+
+// NextBefore returns the shard's next job, or ok == false once the horizon
+// proves no undelivered job has Submit <= need. It blocks — publishing stall
+// floors — until it can do one or the other.
+func (st *shardChanStream) NextBefore(need float64) (trace.Job, bool, error) {
+	for {
+		if st.head < len(st.buf) {
+			it := st.buf[st.head]
+			st.head++
+			st.tap.noteAdmit(it.gidx)
+			return it.job, true, nil
+		}
+		if st.err != nil {
+			return trace.Job{}, false, st.err
+		}
+		if st.eof {
+			return trace.Job{}, false, io.EOF
+		}
+		if st.horizon > need {
+			// Undelivered jobs have Submit >= horizon > need: the strict
+			// compare matters, because an arrival at exactly the pending
+			// completion's time belongs to the same iteration.
+			return trace.Job{}, false, nil
+		}
+		if err := st.tap.stall(need, st.horizon); err != nil {
+			return trace.Job{}, false, err
+		}
+		select {
+		case m, ok := <-st.ch:
+			if !ok {
+				st.eof = true
+				continue
+			}
+			st.absorb(m)
+		case <-st.ictx.Done():
+			return trace.Job{}, false, st.ictx.Err()
+		}
+	}
+}
+
+// Next blocks for the next job unconditionally (NextBefore with an infinite
+// need can only yield a job or EOF). The engine's fill() always uses
+// NextBefore on this stream; Next completes the trace.Stream interface.
+func (st *shardChanStream) Next() (trace.Job, error) {
+	j, ok, err := st.NextBefore(math.Inf(1))
+	if err != nil {
+		return trace.Job{}, err
+	}
+	if !ok {
+		return trace.Job{}, io.EOF
+	}
+	return j, nil
+}
+
+// shardStreamReader demultiplexes the source stream to the per-shard
+// channels: jobs chunked per shard, the watermark flooded to every shard on
+// a fixed stride so no shard's horizon can lag the reader by more than
+// shardChunk jobs. It enforces the global stream contract (validity, submit
+// order) before splitting, since no single shard sees enough to check it.
+func shardStreamReader(ictx context.Context, src trace.Stream, nParts, nShards int, chans []chan shardMsgIn) {
+	done := ictx.Done()
+	send := func(sh int, m shardMsgIn) bool {
+		select {
+		case chans[sh] <- m:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	pend := make([][]shardItem, nShards)
+	var lastSubmit float64
+	fail := func(err error) {
+		for sh := range chans {
+			m := shardMsgIn{jobs: pend[sh], wm: lastSubmit, err: err}
+			pend[sh] = nil
+			if !send(sh, m) {
+				return
+			}
+			close(chans[sh])
+		}
+	}
+	gidx := 0
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+		if verr := j.Validate(); verr != nil {
+			fail(fmt.Errorf("sim: stream: %w", verr))
+			return
+		}
+		if j.Submit < lastSubmit {
+			fail(fmt.Errorf("sim: stream: job %d out of submit order (%v after %v)", j.ID, j.Submit, lastSubmit))
+			return
+		}
+		lastSubmit = j.Submit
+		sh := partitionOf(&j, nParts) % nShards
+		if pend[sh] == nil {
+			pend[sh] = make([]shardItem, 0, shardChunk)
+		}
+		pend[sh] = append(pend[sh], shardItem{job: j, gidx: gidx})
+		gidx++
+		if len(pend[sh]) >= shardChunk {
+			m := shardMsgIn{jobs: pend[sh], wm: j.Submit}
+			pend[sh] = nil
+			if !send(sh, m) {
+				return
+			}
+		}
+		if gidx%shardChunk == 0 {
+			for s := range chans {
+				m := shardMsgIn{jobs: pend[s], wm: j.Submit}
+				pend[s] = nil
+				if !send(s, m) {
+					return
+				}
+			}
+		}
+	}
+	for sh := range chans {
+		if len(pend[sh]) > 0 {
+			if !send(sh, shardMsgIn{jobs: pend[sh], wm: lastSubmit}) {
+				return
+			}
+		}
+		close(chans[sh])
+	}
+}
+
+// shardCursor is the stitcher's per-shard state: deques of pending records
+// (appended by batches, consumed by waves) plus the shard's last published
+// floor and last consumed queue/busy values.
+type shardCursor struct {
+	iters []iterRec
+	ihead int
+	rows  []shardRow
+	rhead int
+	viol  []shardViolation
+	vhead int
+	ev    []obs.Event
+	evKey []int
+	ehead int
+
+	floor    float64
+	done     bool
+	err      error
+	met      obs.Metrics
+	makespan float64
+
+	lastQueued int // queuedSched of the last consumed iteration
+	lastBusy   int // busy of the last consumed iteration
+}
+
+// appendDeque appends records to a head-indexed deque, compacting the
+// consumed prefix amortized-O(1) (same rule as jobQueue.push).
+func appendDeque[T any](buf []T, head int, more []T) ([]T, int) {
+	if head == len(buf) {
+		buf = buf[:0]
+		head = 0
+	} else if head > 64 && head*2 > len(buf) {
+		n := copy(buf, buf[head:])
+		buf = buf[:n]
+		head = 0
+	}
+	return append(buf, more...), head
+}
+
+// rowHeap is a min-heap of retired rows by global index, buffering rows that
+// retired in their shard before the global prefix reached them.
+type rowHeap struct{ items []shardRow }
+
+func (h *rowHeap) len() int       { return len(h.items) }
+func (h *rowHeap) min() *shardRow { return &h.items[0] }
+
+func (h *rowHeap) push(r shardRow) {
+	h.items = append(h.items, r)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.gidx >= h.items[parent].gidx {
+			break
+		}
+		h.items[i] = h.items[parent]
+		i = parent
+	}
+	h.items[i] = r
+}
+
+func (h *rowHeap) pop() shardRow {
+	top := h.items[0]
+	n := len(h.items) - 1
+	moved := h.items[n]
+	h.items = h.items[:n]
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.items[r].gidx < h.items[l].gidx {
+			c = r
+		}
+		if h.items[c].gidx >= moved.gidx {
+			break
+		}
+		h.items[i] = h.items[c]
+		i = c
+	}
+	h.items[i] = moved
+	return top
+}
+
+// stepState is the stitcher's per-step outcome.
+type stepState int
+
+const (
+	stepNeed stepState = iota // need another shard message before deciding
+	stepWave                  // merged one wave
+	stepDone                  // every shard done and drained
+)
+
+// stitcher folds per-shard record streams back into the single global run.
+// All of its work happens on one goroutine (the caller's): observers and
+// sinks see the merged stream exactly as a single-shard run would emit it.
+type stitcher struct {
+	nShards    int
+	totalCores int
+	tau        float64
+	obsv       obs.Observer
+	sink       StreamSink
+
+	// collect mode (materialized runs): rows land in jobs/promised by global
+	// index instead of going to a sink.
+	collect  bool
+	jobs     []trace.Job
+	promised []float64
+
+	cur []shardCursor
+
+	waves          int64
+	maxQueue       int
+	gQueued        int // sum of lastQueued across shards
+	gBusy          int // sum of lastBusy across shards
+	lastAdvance    float64
+	busyCS         float64
+	timeline       []QueueSample
+	violations     int
+	violationDelay float64
+
+	rows             rowHeap
+	nextRow          int
+	sumWait, sumBsld float64
+
+	// wave scratch
+	waveShards []int
+	segPos     []int
+	segEnd     []int
+}
+
+func newStitcher(nShards, totalCores int, tau float64, obsv obs.Observer, sink StreamSink, timelineCap int) *stitcher {
+	st := &stitcher{
+		nShards:    nShards,
+		totalCores: totalCores,
+		tau:        tau,
+		obsv:       obsv,
+		sink:       sink,
+		cur:        make([]shardCursor, nShards),
+		timeline:   make([]QueueSample, 0, timelineCap),
+		waveShards: make([]int, 0, nShards),
+		segPos:     make([]int, nShards),
+		segEnd:     make([]int, nShards),
+	}
+	for i := range st.cur {
+		st.cur[i].floor = math.Inf(-1)
+	}
+	return st
+}
+
+// setCollect switches the stitcher to materialized mode: n jobs land in
+// Result.Jobs/PromisedStart (shaped exactly like result()'s output).
+func (st *stitcher) setCollect(n int) {
+	st.collect = true
+	if n > 0 {
+		st.jobs = make([]trace.Job, n)
+	}
+	st.promised = make([]float64, n)
+}
+
+// absorb merges one shard batch into the cursor state.
+func (st *stitcher) absorb(b *shardBatch) {
+	if b == nil {
+		return
+	}
+	c := &st.cur[b.shard]
+	if len(b.iters) > 0 {
+		c.iters, c.ihead = appendDeque(c.iters, c.ihead, b.iters)
+		c.rows, c.rhead = appendDeque(c.rows, c.rhead, b.rows)
+		c.viol, c.vhead = appendDeque(c.viol, c.vhead, b.viol)
+		if c.ehead == len(c.ev) {
+			c.ev = c.ev[:0]
+			c.evKey = c.evKey[:0]
+			c.ehead = 0
+		} else if c.ehead > 64 && c.ehead*2 > len(c.ev) {
+			n := copy(c.ev, c.ev[c.ehead:])
+			copy(c.evKey, c.evKey[c.ehead:])
+			c.ev = c.ev[:n]
+			c.evKey = c.evKey[:n]
+			c.ehead = 0
+		}
+		c.ev = append(c.ev, b.ev...)
+		c.evKey = append(c.evKey, b.evKey...)
+	}
+	if b.hasFloor && b.floor > c.floor {
+		c.floor = b.floor
+	}
+	if b.done {
+		c.done = true
+		c.err = b.err
+		c.met = b.met
+		c.makespan = b.makespan
+	}
+}
+
+// step merges the next wave if the pending state proves which shards
+// participate; otherwise it reports that more shard input is needed, or that
+// everything has drained.
+func (st *stitcher) step() (stepState, error) {
+	tmin := math.Inf(1)
+	for i := range st.cur {
+		c := &st.cur[i]
+		if c.ihead < len(c.iters) && c.iters[c.ihead].t < tmin {
+			tmin = c.iters[c.ihead].t
+		}
+	}
+	allDone := true
+	for i := range st.cur {
+		c := &st.cur[i]
+		if !c.done {
+			allDone = false
+			// A shard with no pending record can only be excluded from the
+			// wave when its floor proves its next record is strictly later.
+			if c.ihead == len(c.iters) && !(c.floor > tmin) {
+				return stepNeed, nil
+			}
+		}
+	}
+	if math.IsInf(tmin, 1) {
+		if allDone {
+			return stepDone, nil
+		}
+		return stepNeed, nil
+	}
+	if err := st.runWave(tmin); err != nil {
+		return stepWave, err
+	}
+	return stepWave, nil
+}
+
+// runWave consumes one iteration record from every shard whose head is at
+// tmin, replaying the global iteration they jointly formed.
+func (st *stitcher) runWave(tmin float64) error {
+	ws := st.waveShards[:0]
+	for i := range st.cur {
+		c := &st.cur[i]
+		if c.ihead < len(c.iters) && c.iters[c.ihead].t == tmin {
+			ws = append(ws, i)
+		}
+	}
+	st.waveShards = ws
+	st.waves++
+
+	// Queue-length folds: participating shards contribute this iteration's
+	// counts, everyone else their last known count.
+	qArr, qSched, busyPre := st.gQueued, st.gQueued, st.gBusy
+	opsAny := false
+	for _, i := range ws {
+		c := &st.cur[i]
+		ir := &c.iters[c.ihead]
+		qArr += int(ir.queuedArr) - c.lastQueued
+		qSched += int(ir.queuedSched) - c.lastQueued
+		if ir.ops {
+			opsAny = true
+		}
+	}
+
+	if st.obsv != nil {
+		st.emitWave(ws)
+	}
+	st.foldViolations(ws)
+
+	if qArr > st.maxQueue {
+		st.maxQueue = qArr
+	}
+	// The global cluster advances its busy integral at an iteration's first
+	// allocate/release, using the busy count carried over from the previous
+	// ops iteration; later ops at the same time add nothing. Same fold, same
+	// floats.
+	if opsAny && tmin > st.lastAdvance {
+		st.busyCS += float64(busyPre) * (tmin - st.lastAdvance)
+		st.lastAdvance = tmin
+	}
+	st.timeline = append(st.timeline, QueueSample{Time: tmin, Length: qSched})
+	if len(st.timeline) >= 2*maxTimelineSamples {
+		kept := st.timeline[:0]
+		for i := 0; i < len(st.timeline); i += 2 {
+			kept = append(kept, st.timeline[i])
+		}
+		st.timeline = kept
+	}
+
+	if err := st.drainRows(ws); err != nil {
+		return err
+	}
+
+	for _, i := range ws {
+		c := &st.cur[i]
+		ir := &c.iters[c.ihead]
+		st.gQueued += int(ir.queuedSched) - c.lastQueued
+		st.gBusy += int(ir.busy) - c.lastBusy
+		c.lastQueued = int(ir.queuedSched)
+		c.lastBusy = int(ir.busy)
+		c.rhead += int(ir.nRows)
+		c.vhead += int(ir.nViol)
+		c.ehead += int(ir.nCompEv + ir.nSubEv + ir.nSchedEv)
+		c.ihead++
+		// The shard's next record cannot be earlier than this one.
+		if c.ihead == len(c.iters) && !c.done && tmin > c.floor {
+			c.floor = tmin
+		}
+	}
+	return nil
+}
+
+// emitWave replays the wave's decision events in global order: completions
+// merged by arrival index, then submits merged by arrival index, then
+// schedule-phase events merged by partition (partitions are disjoint across
+// shards, so a per-event selection by Part reproduces the global ascending
+// partition sweep with each shard's intra-partition order intact).
+func (st *stitcher) emitWave(ws []int) {
+	// Segment 0: completions; segment 1: submits (both keyed by gidx).
+	base := st.segPos[:len(ws)]
+	end := st.segEnd[:len(ws)]
+	for k, i := range ws {
+		base[k] = st.cur[i].ehead
+	}
+	for seg := 0; seg < 2; seg++ {
+		for k, i := range ws {
+			c := &st.cur[i]
+			ir := &c.iters[c.ihead]
+			n := int(ir.nCompEv)
+			if seg == 1 {
+				n = int(ir.nSubEv)
+			}
+			end[k] = base[k] + n
+		}
+		for {
+			best, bestKey := -1, 0
+			for k, i := range ws {
+				if base[k] >= end[k] {
+					continue
+				}
+				key := st.cur[i].evKey[base[k]]
+				if best < 0 || key < bestKey {
+					best, bestKey = k, key
+				}
+			}
+			if best < 0 {
+				break
+			}
+			st.obsv.Observe(st.cur[ws[best]].ev[base[best]])
+			base[best]++
+		}
+	}
+	// Segment 2: schedule-phase events by partition.
+	for k, i := range ws {
+		end[k] = base[k] + int(st.cur[i].iters[st.cur[i].ihead].nSchedEv)
+	}
+	for {
+		best, bestPart := -1, 0
+		for k, i := range ws {
+			if base[k] >= end[k] {
+				continue
+			}
+			p := st.cur[i].ev[base[k]].Part
+			if best < 0 || p < bestPart {
+				best, bestPart = k, p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.obsv.Observe(st.cur[ws[best]].ev[base[best]])
+		base[best]++
+	}
+}
+
+// foldViolations adds the wave's promise-violation delays in global order
+// (ascending partition; within a partition, shard emission order), exactly
+// as the global schedule sweep would have accumulated them.
+func (st *stitcher) foldViolations(ws []int) {
+	pos := st.segPos[:len(ws)]
+	end := st.segEnd[:len(ws)]
+	any := false
+	for k, i := range ws {
+		c := &st.cur[i]
+		pos[k] = c.vhead
+		end[k] = c.vhead + int(c.iters[c.ihead].nViol)
+		if end[k] > pos[k] {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for {
+		best := -1
+		var bestPart int32
+		for k, i := range ws {
+			if pos[k] >= end[k] {
+				continue
+			}
+			p := st.cur[i].viol[pos[k]].part
+			if best < 0 || p < bestPart {
+				best, bestPart = k, p
+			}
+		}
+		if best < 0 {
+			return
+		}
+		v := st.cur[ws[best]].viol[pos[best]]
+		st.violations++
+		st.violationDelay += v.delay
+		pos[best]++
+	}
+}
+
+// drainRows buffers the wave's retired rows and flushes the globally
+// contiguous prefix in arrival order, folding the aggregate sums with
+// retireStream's exact float operations.
+func (st *stitcher) drainRows(ws []int) error {
+	for _, i := range ws {
+		c := &st.cur[i]
+		n := int(c.iters[c.ihead].nRows)
+		for _, r := range c.rows[c.rhead : c.rhead+n] {
+			st.rows.push(r)
+		}
+	}
+	for st.rows.len() > 0 && st.rows.min().gidx == st.nextRow {
+		r := st.rows.pop()
+		w := r.row.Job.Wait
+		st.sumWait += w
+		run := r.row.Job.Run
+		rr := run
+		if rr < st.tau {
+			rr = st.tau
+		}
+		if rr <= 0 {
+			st.sumBsld++
+		} else {
+			bsld := (w + run) / rr
+			if bsld < 1 {
+				bsld = 1
+			}
+			st.sumBsld += bsld
+		}
+		if st.collect {
+			st.jobs[r.gidx] = r.row.Job
+			st.promised[r.gidx] = r.row.Promised
+		}
+		if st.sink != nil {
+			if err := st.sink(r.row); err != nil {
+				return fmt.Errorf("sim: stream sink failed after %d rows: %w", st.nextRow, err)
+			}
+		}
+		st.nextRow++
+	}
+	return nil
+}
+
+// firstErr returns the lowest-shard-index error, if any shard failed.
+func (st *stitcher) firstErr() error {
+	for i := range st.cur {
+		if st.cur[i].err != nil {
+			return st.cur[i].err
+		}
+	}
+	return nil
+}
+
+// finish assembles the merged Result.
+func (st *stitcher) finish() (*Result, error) {
+	if n := st.rows.len(); n > 0 {
+		return nil, fmt.Errorf("sim: sharded stitch left %d rows unmerged (next expected arrival index %d, have %d)",
+			n, st.nextRow, st.rows.min().gidx)
+	}
+	if st.collect && st.nextRow != len(st.jobs) {
+		return nil, fmt.Errorf("sim: sharded stitch merged %d of %d rows", st.nextRow, len(st.jobs))
+	}
+	makespan := 0.0
+	for i := range st.cur {
+		if st.cur[i].makespan > makespan {
+			makespan = st.cur[i].makespan
+		}
+	}
+	var backfilled int64
+	for i := range st.cur {
+		backfilled += st.cur[i].met.Backfilled
+	}
+	res := &Result{
+		Jobs:           st.jobs,
+		PromisedStart:  st.promised,
+		Violations:     st.violations,
+		ViolationDelay: st.violationDelay,
+		Backfilled:     int(backfilled),
+		MaxQueueLen:    st.maxQueue,
+		Makespan:       makespan,
+		QueueTimeline:  st.timeline,
+	}
+	if n := float64(st.nextRow); n > 0 {
+		res.AvgWait = st.sumWait / n
+		res.AvgBsld = st.sumBsld / n
+	}
+	if makespan > 0 {
+		// cluster.Utilization's fold: the integral's last advance always
+		// lands exactly at the final completion (== makespan), so only the
+		// closing division remains.
+		res.Utilization = st.busyCS / (float64(st.totalCores) * makespan)
+	}
+	return res, nil
+}
+
+// metrics aggregates the merged run's counters. Events is the wave count
+// (== the global run's iteration count); order-free counters are summed.
+// The window gauges are only meaningful on the streaming path, where
+// MaxWindowJobs sums the per-shard peaks (a conservative bound on peak
+// resident jobs, since shard peaks need not coincide).
+func (st *stitcher) metrics(streaming bool) obs.Metrics {
+	m := obs.Metrics{Events: st.waves, Shards: int64(st.nShards)}
+	for i := range st.cur {
+		c := &st.cur[i].met
+		m.Arrivals += c.Arrivals
+		m.Completions += c.Completions
+		m.SchedulePasses += c.SchedulePasses
+		m.ScoreSorts += c.ScoreSorts
+		m.ScoreCacheHits += c.ScoreCacheHits
+		m.JobsStarted += c.JobsStarted
+		m.Backfilled += c.Backfilled
+		m.Violations += c.Violations
+		m.ConsPasses += c.ConsPasses
+		m.ConsKeptJobs += c.ConsKeptJobs
+		m.ConsPlannedJobs += c.ConsPlannedJobs
+		if streaming {
+			m.MaxWindowJobs += c.MaxWindowJobs
+			m.JobsRetired += c.JobsRetired
+		}
+	}
+	return m
+}
+
+// runShardedTrace is the materialized sharded driver: split the trace by
+// partition, run every shard to completion in parallel (each accumulating
+// one batch), then stitch single-threaded. Callers have already verified
+// eligibility via shardFallback.
+func runShardedTrace(ctx context.Context, tr *trace.Trace, opt Options, nParts int) (*Result, error) {
+	nShards := opt.Shards
+	if nShards > nParts {
+		nShards = nParts
+	}
+	var began time.Time
+	if opt.Metrics != nil {
+		began = time.Now()
+	}
+
+	// Validate partition fit up front, in trace order, so the failing job —
+	// and the error — match the single-shard run's fail-fast check.
+	caps := cluster.EvenPartitions(tr.System.TotalCores, nParts)
+	for i := range tr.Jobs {
+		p := partitionOf(&tr.Jobs[i], nParts)
+		if tr.Jobs[i].Procs > caps[p] {
+			return nil, fmt.Errorf("sim: job %d needs %d cores but partition %d has %d",
+				tr.Jobs[i].ID, tr.Jobs[i].Procs, p, caps[p])
+		}
+	}
+
+	gidxs := make([][]int, nShards)
+	for i := range tr.Jobs {
+		sh := partitionOf(&tr.Jobs[i], nParts) % nShards
+		gidxs[sh] = append(gidxs[sh], i)
+	}
+
+	evOn := opt.Observer != nil
+	batches := make([]*shardBatch, nShards)
+	err := par.ForEach(ctx, nShards, func(wctx context.Context, i int) error {
+		r := runnerPool.Get().(*Runner)
+		defer runnerPool.Put(r)
+		var met obs.Metrics
+		sOpt := opt
+		sOpt.Shards = 0
+		sOpt.Observer = nil
+		sOpt.Metrics = &met
+		tap := newShardTap(i, evOn, nil)
+		src := &gidxSliceStream{sys: tr.System, jobs: tr.Jobs, idx: gidxs[i], tap: tap}
+		res, runErr := r.runStream(wctx, src, sOpt, tap.row, tap, "")
+		if runErr != nil {
+			return runErr
+		}
+		tap.finishBatch(res, nil, met)
+		batches[i] = tap.batch
+		return nil
+	})
+	if err != nil {
+		if opt.Metrics != nil {
+			*opt.Metrics = obs.Metrics{
+				Shards:      int64(nShards),
+				WallSeconds: time.Since(began).Seconds(),
+				Canceled:    ctx.Err() != nil,
+			}
+		}
+		return nil, err
+	}
+
+	timelineCap := 2 * len(tr.Jobs)
+	if timelineCap > 2*maxTimelineSamples {
+		timelineCap = 2 * maxTimelineSamples
+	}
+	st := newStitcher(nShards, tr.System.TotalCores, opt.BsldTau, opt.Observer, nil, timelineCap)
+	st.setCollect(len(tr.Jobs))
+	for i := range batches {
+		st.absorb(batches[i])
+	}
+	for {
+		state, stepErr := st.step()
+		if stepErr != nil {
+			return nil, stepErr
+		}
+		if state == stepDone {
+			break
+		}
+		if state == stepNeed {
+			return nil, fmt.Errorf("sim: sharded stitch stalled with all shards complete")
+		}
+	}
+	res, err := st.finish()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Metrics != nil {
+		m := st.metrics(false)
+		m.WallSeconds = time.Since(began).Seconds()
+		*opt.Metrics = m
+	}
+	return res, nil
+}
+
+// runShardedStream is the streaming sharded driver: a reader goroutine
+// demultiplexes the source to per-shard channels, one worker goroutine per
+// shard runs the windowed engine over its channel stream, and the stitcher —
+// on the caller's goroutine, so observers and sinks keep their single-
+// goroutine contract — merges batches as they arrive. Callers have already
+// verified eligibility via shardFallback.
+func runShardedStream(ctx context.Context, src trace.Stream, opt Options, sink StreamSink) (*Result, error) {
+	sys := src.System()
+	nParts := sys.VirtualClusters
+	nShards := opt.Shards
+	if nShards > nParts {
+		nShards = nParts
+	}
+	evOn := opt.Observer != nil
+	var began time.Time
+	if opt.Metrics != nil {
+		began = time.Now()
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobChs := make([]chan shardMsgIn, nShards)
+	for i := range jobChs {
+		jobChs[i] = make(chan shardMsgIn, 4)
+	}
+	msgCh := make(chan *shardBatch, 2*nShards)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		shardStreamReader(ictx, src, nParts, nShards, jobChs)
+	}()
+	go func() {
+		defer close(msgCh)
+		// Workers must all run concurrently (a parked shard would stop
+		// draining its channel and wedge the reader), so the pool size is
+		// pinned to the shard count regardless of GOMAXPROCS or ctx limits.
+		// Errors travel in-band as done batches; a worker never fails its
+		// ForEach task, so ForEach cannot strand a sibling unstarted.
+		pool := par.Pool{Workers: nShards}
+		_ = pool.ForEach(ictx, nShards, func(_ context.Context, i int) error {
+			runShardStreamWorker(ictx, i, sys, opt, evOn, jobChs[i], msgCh)
+			return nil
+		})
+	}()
+
+	st := newStitcher(nShards, sys.TotalCores, opt.BsldTau, opt.Observer, sink, 2*maxTimelineSamples)
+	res, runErr := st.drainLoop(ictx, msgCh)
+	cancel()
+	for range msgCh {
+	}
+	<-readerDone
+	if opt.Metrics != nil {
+		m := st.metrics(true)
+		m.WallSeconds = time.Since(began).Seconds()
+		m.Canceled = runErr != nil && ctx.Err() != nil
+		*opt.Metrics = m
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// drainLoop pumps shard messages into the stitcher until every shard is done
+// (or one fails, which aborts the run — a failed shard stops consuming its
+// channel, so continuing would wedge the pipeline).
+func (st *stitcher) drainLoop(ictx context.Context, msgCh <-chan *shardBatch) (*Result, error) {
+	for {
+		state, err := st.step()
+		if err != nil {
+			return nil, err
+		}
+		switch state {
+		case stepDone:
+			if err := st.firstErr(); err != nil {
+				return nil, err
+			}
+			return st.finish()
+		case stepNeed:
+			b, ok := <-msgCh
+			if !ok {
+				if err := ictx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: sharded run canceled: %w", err)
+				}
+				return nil, fmt.Errorf("sim: sharded workers exited without completing")
+			}
+			st.absorb(b)
+			if b.done && b.err != nil {
+				return nil, b.err
+			}
+		}
+	}
+}
+
+// runShardStreamWorker runs one shard of a streaming sharded run: a pooled
+// Runner over the shard's channel stream, reporting batches to msgCh and
+// always terminating with a done batch.
+func runShardStreamWorker(ictx context.Context, shard int, sys trace.System, opt Options, evOn bool, jobCh <-chan shardMsgIn, msgCh chan<- *shardBatch) {
+	r := runnerPool.Get().(*Runner)
+	defer runnerPool.Put(r)
+	var met obs.Metrics
+	sOpt := opt
+	sOpt.Shards = 0
+	sOpt.Observer = nil
+	sOpt.Metrics = &met
+	send := func(b *shardBatch) error {
+		select {
+		case msgCh <- b:
+			return nil
+		case <-ictx.Done():
+			return ictx.Err()
+		}
+	}
+	tap := newShardTap(shard, evOn, send)
+	src := &shardChanStream{sys: sys, ch: jobCh, ictx: ictx, tap: tap}
+	res, err := r.runStream(ictx, src, sOpt, tap.row, tap, "")
+	tap.finishBatch(res, err, met)
+	// A failed send means the run is being torn down; the stitcher is gone.
+	select {
+	case msgCh <- tap.batch:
+	case <-ictx.Done():
+	}
+}

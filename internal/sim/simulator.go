@@ -59,6 +59,18 @@ type Options struct {
 	// when the run finishes — including a canceled run, so partial
 	// progress stays visible.
 	Metrics *obs.Metrics
+	// Shards asks Run/RunStream to split the trace by partition and
+	// simulate up to Shards shards in parallel (each on its own pooled
+	// Runner), deterministically stitching the results back together so
+	// every output — per-job rows, aggregates folded in result()'s float
+	// order, the queue timeline, and the decision-event stream — is
+	// float-for-float identical to the single-shard run. Values <= 1 mean
+	// single-shard. Configurations that couple partitions (the Fair
+	// policy's shared usage accounts, fault injection, an adaptive
+	// backfill normalized by the observed global queue length, or caller
+	// callbacks whose purity cannot be assumed) automatically fall back
+	// to the single-shard path; Metrics.ShardFallbackReason reports why.
+	Shards int
 	// Faults, when non-nil and enabled, injects capacity and job faults
 	// into the run (see internal/fault): partitions lose cores over
 	// outage windows (running jobs on the lost cores are interrupted) and
@@ -162,11 +174,25 @@ type running struct {
 }
 
 // completionHeap is a typed binary min-heap of running jobs ordered by
-// actual completion time. It replaces the container/heap implementation:
-// pushing a value no longer boxes it into an interface{}, so the per-start
-// heap allocation is gone.
+// (actual completion time, arrival index). It replaces the container/heap
+// implementation: pushing a value no longer boxes it into an interface{},
+// so the per-start heap allocation is gone.
+//
+// The arrival-index tiebreak makes the pop order of simultaneous
+// completions canonical (ascending job index) instead of an artifact of
+// heap arrangement. That canonical order is what lets the sharded engine
+// merge per-shard completion streams back into the exact single-shard
+// order: within one event time every shard's completions pop in ascending
+// index, so a k-way index merge reproduces the global sequence.
 type completionHeap struct {
 	items []running
+}
+
+func (h *completionHeap) less(a, b *running) bool {
+	if a.real != b.real {
+		return a.real < b.real
+	}
+	return a.idx < b.idx
 }
 
 func (h *completionHeap) len() int { return len(h.items) }
@@ -176,15 +202,13 @@ func (h *completionHeap) min() *running { return &h.items[0] }
 
 // push and pop sift with a moving hole rather than pairwise swaps: the
 // element being sifted is written once at its final slot instead of twice
-// per level. The comparison sequence — and therefore the array arrangement,
-// which is observable through completion tie order — is identical to the
-// classic swap formulation.
+// per level.
 func (h *completionHeap) push(r running) {
 	h.items = append(h.items, r)
 	i := len(h.items) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].real <= r.real {
+		if !h.less(&r, &h.items[parent]) {
 			break
 		}
 		h.items[i] = h.items[parent]
@@ -208,10 +232,10 @@ func (h *completionHeap) pop() running {
 			break
 		}
 		c := l
-		if r < n && h.items[r].real < h.items[l].real {
+		if r < n && h.less(&h.items[r], &h.items[l]) {
 			c = r
 		}
-		if h.items[c].real >= moved.real {
+		if !h.less(&h.items[c], &moved) {
 			break
 		}
 		h.items[i] = h.items[c]
@@ -423,6 +447,13 @@ type simulator struct {
 	flt      *simFault
 	fltState simFault
 
+	// tap is non-nil only when this simulator runs as one shard of a
+	// sharded run (see shard.go): it records the per-iteration facts the
+	// stitcher needs to reconstruct the global run exactly. The nil checks
+	// at its call sites cost one compare each on ordinary runs.
+	tap *shardTap
+
+	next           int // next arrival index (a field so checkpoints can pause/resume)
 	queued         int // total jobs waiting across partitions
 	touched        []bool
 	waits          []float64
@@ -471,14 +502,20 @@ func RunContext(ctx context.Context, tr *trace.Trace, opt Options) (*Result, err
 
 // partition maps a job to its cluster partition index.
 func (s *simulator) partition(j *trace.Job) int {
-	if s.cl.Partitions() == 1 {
+	return partitionOf(j, s.cl.Partitions())
+}
+
+// partitionOf is the partition mapping shared by the simulator and the
+// sharded trace splitter (shard.go), which must agree exactly.
+func partitionOf(j *trace.Job, nParts int) int {
+	if nParts == 1 {
 		return 0
 	}
-	if j.VC >= 0 && j.VC < s.cl.Partitions() {
+	if j.VC >= 0 && j.VC < nParts {
 		return j.VC
 	}
 	// jobs without a VC in a partitioned system land by user hash
-	return j.User % s.cl.Partitions()
+	return j.User % nParts
 }
 
 // job returns the trace job with arrival index idx. idxBase is always 0 on
@@ -486,18 +523,36 @@ func (s *simulator) partition(j *trace.Job) int {
 // path it translates the global arrival index into the sliding window.
 func (s *simulator) job(idx int) *trace.Job { return &s.jobs[idx-s.idxBase] }
 
+// run drives the event loop to completion and applies the final
+// every-arrival-started invariant check.
 func (s *simulator) run() error {
-	next := 0 // next arrival index
+	if err := s.runUntil(math.Inf(1)); err != nil {
+		return err
+	}
+	// s.next == len(s.jobs) on the materialized path here, so the check is
+	// the same on both paths: every arrival must have started.
+	if s.started != s.next {
+		return fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", s.started, s.next)
+	}
+	return nil
+}
+
+// runUntil advances the event loop until the trace is drained or the next
+// event time reaches pause (exclusive: every iteration with t < pause is
+// processed, none at or past it). Pausing leaves the simulator in a
+// consistent mid-run state that a later runUntil call — or a Checkpoint
+// clone (see checkpoint.go) — can resume from; runUntil(+Inf) is a full run.
+func (s *simulator) runUntil(pause float64) error {
 	for {
 		// The streaming intake holds one job of lookahead: the next
 		// arrival's submit time competes with completions for the next
 		// event time, so it must be known before the clock can advance.
 		if s.in != nil {
-			if err := s.in.fill(); err != nil {
-				return s.streamReadError(next, err)
+			if err := s.in.fill(s); err != nil {
+				return s.streamReadError(s.next, err)
 			}
 		}
-		more := next < len(s.jobs)
+		more := s.next < len(s.jobs)
 		if s.in != nil {
 			more = s.in.lookOK
 		}
@@ -509,20 +564,19 @@ func (s *simulator) run() error {
 			if err := s.ctx.Err(); err != nil {
 				total := len(s.jobs)
 				if s.in != nil {
-					total = next // arrivals seen so far; the stream is open-ended
+					total = s.next // arrivals seen so far; the stream is open-ended
 				}
 				return fmt.Errorf("sim: run canceled at t=%v after %d events (%d/%d jobs started): %w",
 					s.now, s.met.Events, s.started, total, err)
 			}
 		}
-		s.met.Events++
 		// choose the next event time
 		t := math.Inf(1)
 		if more {
 			if s.in != nil {
 				t = s.in.look.Submit
 			} else {
-				t = s.jobs[next].Submit
+				t = s.jobs[s.next].Submit
 			}
 		}
 		if s.compl.len() > 0 && s.compl.min().real < t {
@@ -533,7 +587,14 @@ func (s *simulator) run() error {
 				t = ft
 			}
 		}
+		if t >= pause {
+			return nil
+		}
+		s.met.Events++
 		s.now = t
+		if s.tap != nil {
+			s.tap.beginIter(t)
+		}
 
 		touched := s.touched
 		for i := range touched {
@@ -575,6 +636,9 @@ func (s *simulator) run() error {
 				s.flt.goodput += (r.real - s.flt.lastStart[r.idx]) * float64(procs)
 			}
 			s.met.Completions++
+			if s.tap != nil {
+				s.tap.completion(int(r.idx))
+			}
 			if s.in != nil {
 				// Mark for prefix retirement (faults are rejected on the
 				// streaming path, so every heap pop lands here).
@@ -600,7 +664,7 @@ func (s *simulator) run() error {
 			var pj *pending
 			if s.in != nil {
 				var err error
-				j, pj, err = s.streamArrival(next, t)
+				j, pj, err = s.streamArrival(s.next, t)
 				if err != nil {
 					return err
 				}
@@ -608,11 +672,11 @@ func (s *simulator) run() error {
 					break // next arrival is later than t (or stream drained)
 				}
 			} else {
-				if next >= len(s.jobs) || s.jobs[next].Submit > t {
+				if s.next >= len(s.jobs) || s.jobs[s.next].Submit > t {
 					break
 				}
-				j = &s.jobs[next]
-				pj = &s.pendings[next]
+				j = &s.jobs[s.next]
+				pj = &s.pendings[s.next]
 			}
 			p := s.partition(j)
 			reqTime := j.Walltime
@@ -629,23 +693,29 @@ func (s *simulator) run() error {
 				}
 			}
 			*pj = pending{
-				idx: next, user: j.User, submit: j.Submit, procs: j.Procs,
+				idx: s.next, user: j.User, submit: j.Submit, procs: j.Procs,
 				part: p, reqTime: reqTime, run: run, promised: -1,
 			}
 			s.enqueue(p, pj)
 			s.queued++
 			touched[p] = true
 			s.met.Arrivals++
+			if s.tap != nil {
+				s.tap.arrived(s.next)
+			}
 			if s.obsv != nil {
 				s.obsv.Observe(obs.Event{
 					Kind: obs.JobSubmit, Time: j.Submit, Job: j.ID,
 					Part: p, Procs: j.Procs, Detail: reqTime,
 				})
 			}
-			next++
+			s.next++
 		}
 		if s.queued > s.maxQueueSeen {
 			s.maxQueueSeen = s.queued
+		}
+		if s.tap != nil {
+			s.tap.afterArrivals(s.queued)
 		}
 		// Partitions are scheduled in index order: the Fair policy's usage
 		// accounts are shared across partitions, so iteration order is
@@ -666,11 +736,11 @@ func (s *simulator) run() error {
 				return err
 			}
 		}
-	}
-	// next == len(s.jobs) on the materialized path here, so the check is the
-	// same on both paths: every arrival must have started.
-	if s.started != next {
-		return fmt.Errorf("sim: only %d/%d jobs started (scheduler stuck)", s.started, next)
+		if s.tap != nil {
+			if err := s.tap.endIter(s.queued, s.cl.Busy()); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -842,9 +912,15 @@ func (s *simulator) start(p, pos int) {
 	if first && j.promised >= 0 && s.now > j.promised+1e-9 {
 		s.violations++
 		s.violationDelay += s.now - j.promised
+		if s.tap != nil {
+			s.tap.violation(int32(p), s.now-j.promised)
+		}
 	}
 	if pos > 0 {
 		s.backfilled++
+	}
+	if s.tap != nil {
+		s.tap.dispatched()
 	}
 	if s.fair != nil {
 		s.fair.Charge(j.user, s.now, float64(j.procs)*j.run)

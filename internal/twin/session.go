@@ -36,6 +36,12 @@ type SessionConfig struct {
 	// simulated seconds per wall-clock second via the manager's ticker.
 	// Zero means the clock only moves on explicit Advance calls.
 	TickRate float64
+	// ColdWhatIf disables warm-started what-if forks: every candidate
+	// replays the full submission log from t=0 instead of forking a
+	// checkpoint held at the session clock. The reports are byte-identical
+	// either way (the checkpoint contract); the switch exists for A/B
+	// latency measurement and as an escape hatch.
+	ColdWhatIf bool
 }
 
 // JobSpec is one submitted job, the wire form of a trace.Job the client
@@ -75,6 +81,14 @@ type Session struct {
 	replay  *replayState // nil when invalidated by a submission
 	hub     *obs.Hub
 	closed  bool
+
+	// warm holds one paused simulation per fault-free candidate
+	// configuration (keyed policy|backfill|relax), kept at the session
+	// clock so a what-if forks it instead of replaying from t=0. Guarded
+	// by its own mutex: warming up serializes, but forks run outside it
+	// and never block Submit/Advance on s.mu.
+	warmMu sync.Mutex
+	warm   map[string]*sim.Checkpoint
 }
 
 // replayState caches one baseline replay of the submission log.
@@ -406,5 +420,8 @@ func (s *Session) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.warmMu.Lock()
+	s.warm = nil // drop the checkpoint table; each holds a full simulator
+	s.warmMu.Unlock()
 	s.hub.Close()
 }

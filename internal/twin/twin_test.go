@@ -544,3 +544,111 @@ func TestWhatIfMatchesDirectSimulation(t *testing.T) {
 			got.AvgWait, got.AvgBsld, got.Utilization, direct.AvgWait, direct.AvgBsld, direct.Utilization)
 	}
 }
+
+// TestWhatIfWarmMatchesCold is the warm-start regression pin: two sessions
+// fed identically — one forking warm checkpoints (default), one forced to
+// cold full replays — must produce byte-identical what-if reports through
+// repeated submit/advance/query cycles, at every worker count. The warm
+// session is queried twice per cycle so the second query exercises the
+// extend-and-advance path on checkpoints the first one created.
+func TestWhatIfWarmMatchesCold(t *testing.T) {
+	cands := []Candidate{
+		{}, // baseline config itself
+		{Policy: "sjf", Backfill: "easy"},
+		{Policy: "wfp3", Backfill: "conservative"},
+		{Policy: "f2", Backfill: "relaxed", RelaxFactor: 0.25},
+		{Policy: "sjf", Backfill: "easy", Faults: "mtbf=43200,mttr=3600,frac=0.25,recovery=requeue,retry=2"},
+	}
+	cfg := SessionConfig{Cores: 48, Partitions: 3, Policy: sim.FCFS, Backfill: sim.EASY, Seed: 11}
+	for _, workers := range []int{1, 4, 16} {
+		m := testManager(t, Config{})
+		warm, err := m.Create(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldCfg := cfg
+		coldCfg.ColdWhatIf = true
+		cold, err := m.Create(coldCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := par.WithLimit(context.Background(), workers)
+		clock := 0.0
+		for cycle := 0; cycle < 3; cycle++ {
+			jobs := burst(30, clock)
+			if _, err := warm.Submit(jobs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cold.Submit(jobs); err != nil {
+				t.Fatal(err)
+			}
+			clock += 600
+			if err := warm.AdvanceTo(clock); err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.AdvanceTo(clock); err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 2; q++ {
+				wrep, err := warm.WhatIf(ctx, WhatIfRequest{Candidates: cands})
+				if err != nil {
+					t.Fatalf("cycle %d query %d warm: %v", cycle, q, err)
+				}
+				crep, err := cold.WhatIf(ctx, WhatIfRequest{Candidates: cands})
+				if err != nil {
+					t.Fatalf("cycle %d query %d cold: %v", cycle, q, err)
+				}
+				crep.Session = wrep.Session // only intended difference
+				wb, _ := json.Marshal(wrep)
+				cb, _ := json.Marshal(crep)
+				if string(wb) != string(cb) {
+					t.Fatalf("cycle %d query %d workers %d: warm report differs from cold:\n%s\nvs\n%s",
+						cycle, q, workers, wb, cb)
+				}
+			}
+		}
+		// The warm table holds the fault-free candidate configs, not more.
+		warm.warmMu.Lock()
+		nWarm := len(warm.warm)
+		warm.warmMu.Unlock()
+		if nWarm != 4 {
+			t.Fatalf("warm table has %d checkpoints, want 4", nWarm)
+		}
+		cold.warmMu.Lock()
+		nCold := len(cold.warm)
+		cold.warmMu.Unlock()
+		if nCold != 0 {
+			t.Fatalf("cold session grew %d checkpoints, want 0", nCold)
+		}
+		m.Close()
+	}
+}
+
+// TestWhatIfWarmTableCap pins the warm-table budget: distinct candidate
+// configurations beyond MaxCandidates replay cold instead of growing the
+// checkpoint table without bound.
+func TestWhatIfWarmTableCap(t *testing.T) {
+	m := testManager(t, Config{MaxCandidates: 2})
+	s, err := m.Create(SessionConfig{Cores: 16, Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, c := range [][]Candidate{
+		{{Policy: "fcfs"}, {Policy: "sjf"}},
+		{{Policy: "saf"}, {Policy: "f1"}},
+	} {
+		if _, err := s.WhatIf(ctx, WhatIfRequest{Candidates: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.warmMu.Lock()
+	n := len(s.warm)
+	s.warmMu.Unlock()
+	if n != 2 {
+		t.Fatalf("warm table has %d checkpoints, cap is 2", n)
+	}
+}

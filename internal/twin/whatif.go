@@ -3,6 +3,7 @@ package twin
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -160,9 +161,41 @@ func (s *Session) WhatIf(ctx context.Context, req WhatIfRequest) (*Report, error
 		VirtualClusters: s.cfg.Partitions,
 	}, Jobs: jobs}
 
+	// Warm starts: each fault-free candidate forks a checkpoint already
+	// advanced to the clock instead of replaying the log from t=0. A nil
+	// entry (fault injection, cold mode, table full, or a checkpoint raced
+	// past this snapshot) replays cold; the checkpoint contract makes both
+	// paths byte-identical, so mixing them per candidate is invisible in
+	// the report.
+	cks := make([]*sim.Checkpoint, len(opts))
+	nCold := 0
+	for i := range opts {
+		if !s.cfg.ColdWhatIf && !opts[i].Faults.Enabled() {
+			cks[i] = s.warmCheckpoint(opts[i], tr, now)
+		}
+		if cks[i] == nil {
+			nCold++
+		}
+	}
+	// Cold replays additionally shard across the cores the fan-out leaves
+	// idle (ineligible configurations fall back inside the simulator).
+	if shards := runtime.GOMAXPROCS(0) / max(nCold, 1); shards > 1 {
+		for i := range opts {
+			if cks[i] == nil {
+				opts[i].Shards = shards
+			}
+		}
+	}
+
 	results := make([]*sim.Result, len(opts))
 	err := par.ForEach(ctx, len(opts), func(ctx context.Context, i int) error {
-		res, err := sim.RunContext(ctx, tr, opts[i])
+		var res *sim.Result
+		var err error
+		if cks[i] != nil {
+			res, err = cks[i].WhatIf(ctx)
+		} else {
+			res, err = sim.RunContext(ctx, tr, opts[i])
+		}
 		if err != nil {
 			return fmt.Errorf("twin: candidate %d: %w", i, err)
 		}
@@ -250,11 +283,59 @@ func (s *Session) candidateOptions(c Candidate, seed uint64) (sim.Options, error
 	return opt, nil
 }
 
+// warmCheckpoint returns the session's paused simulation for one candidate
+// configuration, caught up to the query snapshot — created on first use,
+// then extended with the log suffix and advanced to the clock. It returns
+// nil when the candidate must replay cold: the table is at capacity, a
+// checkpoint operation failed (the entry is dropped so the next query
+// rebuilds it), or a concurrent query with a longer log already pushed the
+// checkpoint past this snapshot (forking it would cover jobs the snapshot
+// does not).
+//
+// The Extend precondition — suffix jobs arrive at or after the pause time —
+// holds by construction: the pause time is always some earlier session
+// clock, the clock is monotone, and Submit clamps every appended job to at
+// least the clock at append time.
+func (s *Session) warmCheckpoint(opt sim.Options, tr *trace.Trace, now float64) *sim.Checkpoint {
+	key := fmt.Sprintf("%s|%s|%g", opt.Policy, opt.Backfill, opt.RelaxFactor)
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	ck := s.warm[key]
+	if ck == nil {
+		if len(s.warm) >= s.limits.MaxCandidates {
+			return nil // table full: replay cold, keep the hot keys warm
+		}
+		ck, err := sim.RunToCheckpoint(tr, opt, now)
+		if err != nil {
+			return nil
+		}
+		if s.warm == nil {
+			s.warm = make(map[string]*sim.Checkpoint)
+		}
+		s.warm[key] = ck
+		return ck
+	}
+	if ck.Len() > len(tr.Jobs) || ck.PausedAt() > now {
+		return nil
+	}
+	if n := ck.Len(); n < len(tr.Jobs) {
+		if err := ck.Extend(tr.Jobs[n:]); err != nil {
+			delete(s.warm, key)
+			return nil
+		}
+	}
+	if err := ck.AdvanceTo(now); err != nil {
+		delete(s.warm, key)
+		return nil
+	}
+	return ck
+}
+
 // score aggregates one replay over the pending set.
 func score(c Candidate, res *sim.Result, pending []bool, nPending int) Outcome {
 	const tau = 10 // sim's default BsldTau
 	var waitSum, bsldSum float64
-	for i := range res.Jobs {
+	for i := range pending {
 		if !pending[i] {
 			continue
 		}

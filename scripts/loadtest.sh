@@ -11,7 +11,9 @@
 #   workers   concurrent client workers (default: 64)
 #
 # Environment:
-#   RACE=-race   build server and client under the race detector (CI smoke)
+#   RACE=-race       build server and client under the race detector (CI smoke)
+#   TWINLOAD_FLAGS   extra flags passed to twinload verbatim, e.g.
+#                    "-jobs 40 -cold-whatif" for the warm-vs-cold what-if A/B
 #
 # The script reports sessions/sec and what-if latency percentiles (from
 # twinload) plus the server's peak RSS, and exits nonzero if any session
@@ -51,7 +53,8 @@ done
 echo "loadtest: server up at $ADDR (pid $SERVER)" >&2
 
 STATUS=0
-"$TMP/twinload" -url "http://$ADDR" -sessions "$SESSIONS" -submits "$SUBMITS" -workers "$WORKERS" || STATUS=$?
+# shellcheck disable=SC2086
+"$TMP/twinload" -url "http://$ADDR" -sessions "$SESSIONS" -submits "$SUBMITS" -workers "$WORKERS" ${TWINLOAD_FLAGS:-} || STATUS=$?
 
 # Peak RSS: the acceptance bar is "bounded", so surface the number.
 if [ -r "/proc/$SERVER/status" ]; then
