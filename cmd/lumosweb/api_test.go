@@ -27,7 +27,7 @@ func twinServer(t *testing.T, cfg twin.Config) (*httptest.Server, *twin.Manager)
 	mgr := twin.NewManager(cfg)
 	t.Cleanup(mgr.Close)
 	mux := http.NewServeMux()
-	registerTwinAPI(mux, mgr)
+	registerTwinAPI(mux, mgr, apiConfig{})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv, mgr
@@ -296,7 +296,7 @@ func TestTwinSSEBackpressure(t *testing.T) {
 	mgr := twin.NewManager(cfg)
 	t.Cleanup(mgr.Close)
 	mux := http.NewServeMux()
-	registerTwinAPI(mux, mgr)
+	registerTwinAPI(mux, mgr, apiConfig{})
 
 	s, err := mgr.Create(twin.SessionConfig{Cores: 16})
 	if err != nil {
@@ -424,4 +424,301 @@ func TestTwinSessionLRUOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("evicted session status %d, want 404", resp.StatusCode)
 	}
+}
+
+// sseUntilGone reads an SSE stream until the terminal `event: gone` frame
+// and returns its data payload (the close reason).
+func sseUntilGone(t *testing.T, body io.Reader) string {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		if sc.Text() != "event: gone" {
+			continue
+		}
+		if !sc.Scan() {
+			t.Fatal("gone frame missing data line")
+		}
+		return strings.TrimPrefix(sc.Text(), "data: ")
+	}
+	t.Fatalf("stream ended without a gone frame (scan err %v)", sc.Err())
+	return ""
+}
+
+// TestTwinSSEGoneFrame: when a session goes away under a live SSE stream,
+// the client gets a terminal `event: gone` frame naming why — closed,
+// evicted, or parked — instead of a bare EOF.
+func TestTwinSSEGoneFrame(t *testing.T) {
+	// subscribeSSE opens the stream and waits until the session sees it.
+	subscribeSSE := func(t *testing.T, srv *httptest.Server, mgr *twin.Manager, id string) io.ReadCloser {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/session/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		s, err := mgr.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			snap, err := s.Status()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Subscribers > 0 {
+				return resp.Body
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("SSE handler never subscribed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	t.Run("closed", func(t *testing.T) {
+		srv, mgr := twinServer(t, twin.Config{})
+		var snap twin.Snapshot
+		post(t, srv.URL+"/session", `{"cores": 8}`, &snap)
+		body := subscribeSSE(t, srv, mgr, snap.ID)
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/session/"+snap.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := sseUntilGone(t, body); got != "closed" {
+			t.Fatalf("gone reason = %q, want closed", got)
+		}
+	})
+	t.Run("evicted", func(t *testing.T) {
+		srv, mgr := twinServer(t, twin.Config{MaxSessions: 1})
+		var snap twin.Snapshot
+		post(t, srv.URL+"/session", `{"cores": 8}`, &snap)
+		body := subscribeSSE(t, srv, mgr, snap.ID)
+		post(t, srv.URL+"/session", `{"cores": 8}`, nil) // evicts the first
+		if got := sseUntilGone(t, body); got != "evicted" {
+			t.Fatalf("gone reason = %q, want evicted", got)
+		}
+	})
+	t.Run("parked", func(t *testing.T) {
+		srv, mgr := twinServer(t, twin.Config{MaxSessions: 1, StateDir: t.TempDir(), Fsync: twin.FsyncAlways})
+		var snap twin.Snapshot
+		post(t, srv.URL+"/session", `{"cores": 8}`, &snap)
+		body := subscribeSSE(t, srv, mgr, snap.ID)
+		post(t, srv.URL+"/session", `{"cores": 8}`, nil) // parks the first
+		if got := sseUntilGone(t, body); got != "parked" {
+			t.Fatalf("gone reason = %q, want parked", got)
+		}
+		// Parked is not gone for good: the next lookup reactivates.
+		resp, err := http.Get(srv.URL + "/session/" + snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reactivation GET status %d, want 200", resp.StatusCode)
+		}
+	})
+}
+
+// TestTwinRetryAfterOn429: every 429 — twin budget caps and shedding gates
+// alike — carries a Retry-After header.
+func TestTwinRetryAfterOn429(t *testing.T) {
+	srv, _ := twinServer(t, twin.Config{MaxCandidates: 1})
+	var snap twin.Snapshot
+	post(t, srv.URL+"/session", `{"cores": 8}`, &snap)
+	resp, err := http.Post(srv.URL+"/session/"+snap.ID+"/whatif", "application/json",
+		strings.NewReader(`{"candidates": [{"policy":"sjf"},{"policy":"saf"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over candidate cap: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want default 1", ra)
+	}
+}
+
+// TestTwinShedding: a full concurrency gate answers 429 + Retry-After
+// immediately instead of queuing, counts the shed, and recovers as soon as
+// a slot frees.
+func TestTwinShedding(t *testing.T) {
+	mgr := twin.NewManager(twin.Config{TickInterval: time.Hour})
+	t.Cleanup(mgr.Close)
+	mux := http.NewServeMux()
+	a := registerTwinAPI(mux, mgr, apiConfig{MaxMutate: 1, RetryAfter: 7 * time.Second})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	a.mutateSem <- struct{}{} // occupy the only slot
+	resp, err := http.Post(srv.URL+"/session", "application/json", strings.NewReader(`{"cores": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("gated create: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want 7", ra)
+	}
+	if got := a.shedMutate.Load(); got != 1 {
+		t.Fatalf("shedMutate = %d, want 1", got)
+	}
+	<-a.mutateSem // slot frees
+	if code := post(t, srv.URL+"/session", `{"cores": 8}`, nil); code != http.StatusCreated {
+		t.Fatalf("create after gate opened: status %d, want 201", code)
+	}
+}
+
+// TestTwinWhatIfBudget: a what-if that cannot finish inside the deadline
+// budget is canceled and shed with 429 + Retry-After, not left running.
+func TestTwinWhatIfBudget(t *testing.T) {
+	mgr := twin.NewManager(twin.Config{TickInterval: time.Hour})
+	t.Cleanup(mgr.Close)
+	mux := http.NewServeMux()
+	registerTwinAPI(mux, mgr, apiConfig{WhatIfBudget: time.Nanosecond})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	var snap twin.Snapshot
+	post(t, srv.URL+"/session", `{"cores": 32}`, &snap)
+	post(t, srv.URL+"/session/"+snap.ID+"/submit", `{"jobs": [{"procs": 8, "run": 100}]}`, nil)
+	resp, err := http.Post(srv.URL+"/session/"+snap.ID+"/whatif", "application/json",
+		strings.NewReader(`{"candidates": [{"policy":"sjf"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget whatif: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-budget whatif missing Retry-After")
+	}
+}
+
+// TestTwinLogEndpoint: /log serves the published prefix as byte-stable
+// JSONL — identical across reads, one line per emitted event.
+func TestTwinLogEndpoint(t *testing.T) {
+	srv, _ := twinServer(t, twin.Config{})
+	var snap twin.Snapshot
+	post(t, srv.URL+"/session", `{"cores": 16}`, &snap)
+	base := srv.URL + "/session/" + snap.ID
+	post(t, base+"/submit", `{"jobs": [{"procs": 8, "run": 100}, {"procs": 8, "run": 50}]}`, nil)
+	post(t, base+"/advance", `{"to": 1000}`, &snap)
+
+	read := func() []byte {
+		resp, err := http.Get(base + "/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("log status %d", resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	first := read()
+	if got := bytes.Count(first, []byte("\n")); got != snap.EventsEmitted {
+		t.Fatalf("log has %d lines, want events_emitted = %d", got, snap.EventsEmitted)
+	}
+	if snap.EventsEmitted == 0 {
+		t.Fatal("setup: no events emitted")
+	}
+	if second := read(); !bytes.Equal(first, second) {
+		t.Fatal("log endpoint is not byte-stable across reads")
+	}
+	for _, line := range bytes.Split(bytes.TrimSuffix(first, []byte("\n")), []byte("\n")) {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil || ev.Kind == "" {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+	}
+}
+
+// TestTwinRecoveryOverHTTP is the end-to-end restart walkthrough: a second
+// server over the same state dir serves the same sessions with the same
+// event log, and they keep working.
+func TestTwinRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	cfg := twin.Config{StateDir: dir, Fsync: twin.FsyncAlways}
+
+	srv1, _ := twinServer(t, cfg)
+	var snap twin.Snapshot
+	post(t, srv1.URL+"/session", `{"cores": 32, "partitions": 2, "policy": "sjf", "backfill": "easy"}`, &snap)
+	base1 := srv1.URL + "/session/" + snap.ID
+	post(t, base1+"/submit", `{"jobs": [{"procs": 8, "run": 300}, {"procs": 16, "run": 100}, {"procs": 4, "run": 700}]}`, nil)
+	post(t, base1+"/advance", `{"to": 500}`, nil)
+	resp, err := http.Get(base1 + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(pre) == 0 {
+		t.Fatalf("pre-crash log: %d bytes, err %v", len(pre), err)
+	}
+
+	// "Restart": a second manager over the same dir while the first is
+	// simply abandoned (closed only at test cleanup, like a kill).
+	srv2, _ := twinServer(t, cfg)
+	var mets struct {
+		TwinRecovered int64 `json:"twin_recovered"`
+	}
+	if code := getJSON(t, srv2.URL+"/twin/metrics", &mets); code != http.StatusOK || mets.TwinRecovered != 1 {
+		t.Fatalf("metrics after restart: code %d, %+v", code, mets)
+	}
+	base2 := srv2.URL + "/session/" + snap.ID
+	resp, err = http.Get(base2 + "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	post2, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pre, post2) {
+		t.Fatalf("recovered log differs:\npre  %d bytes\npost %d bytes", len(pre), len(post2))
+	}
+	// Recovered session keeps working.
+	if code := post(t, base2+"/submit", `{"jobs": [{"procs": 8, "run": 60}]}`, nil); code != http.StatusOK {
+		t.Fatalf("submit after recovery: status %d", code)
+	}
+	if code := post(t, base2+"/advance", `{"by": 5000}`, &snap); code != http.StatusOK {
+		t.Fatalf("advance after recovery: status %d", code)
+	}
+	if snap.Jobs != 4 {
+		t.Fatalf("recovered session jobs = %d, want 4", snap.Jobs)
+	}
+}
+
+// getJSON fetches a URL and decodes the JSON reply into out when non-nil.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad JSON reply %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
 }

@@ -183,13 +183,13 @@ func (s *server) page(w http.ResponseWriter, title, body string) {
 
 // newMux builds the HTTP routes: the figure browser plus, when mgr is
 // non-nil, the digital-twin session API (split out for tests).
-func newMux(suite *figures.Suite, mgr *twin.Manager) *http.ServeMux {
+func newMux(suite *figures.Suite, mgr *twin.Manager, api apiConfig) *http.ServeMux {
 	s := newFigServer(suite)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/fig/", s.handleFig)
 	if mgr != nil {
-		registerTwinAPI(mux, mgr)
+		registerTwinAPI(mux, mgr, api)
 	}
 	return mux
 }
@@ -242,16 +242,31 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		days     = flag.Float64("days", 10, "synthetic trace duration in days")
-		simDays  = flag.Float64("simdays", 8, "duration for simulator-driven figures")
-		seed     = flag.Uint64("seed", 1, "generator seed")
-		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
-		sessions = flag.Int("sessions", 0, "max live twin sessions (0 = default)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		days         = flag.Float64("days", 10, "synthetic trace duration in days")
+		simDays      = flag.Float64("simdays", 8, "duration for simulator-driven figures")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		sessions     = flag.Int("sessions", 0, "max live twin sessions (0 = default)")
+		stateDir     = flag.String("state-dir", "", "directory for twin session journals (empty = in-memory only)")
+		fsync        = flag.String("fsync", "interval", "journal fsync policy: always, never, or an interval like 100ms")
+		maxWhatIf    = flag.Int("max-whatif", 0, "max concurrent what-if requests; excess shed with 429 (0 = unlimited)")
+		maxMutate    = flag.Int("max-mutate", 0, "max concurrent create/submit/advance requests; excess shed with 429 (0 = unlimited)")
+		whatIfBudget = flag.Duration("whatif-budget", 0, "wall-clock budget per what-if; over-budget forks answer 429 (0 = unbounded)")
 	)
 	flag.Parse()
+	fsPolicy, fsEvery, err := twin.ParseFsync(*fsync)
+	if err != nil {
+		log.Fatal("lumosweb: ", err)
+	}
 	suite := figures.NewSuite(figures.Config{Days: *days, SimDays: *simDays, Seed: *seed})
-	mgr := twin.NewManager(twin.Config{MaxSessions: *sessions})
+	mgr := twin.NewManager(twin.Config{
+		MaxSessions: *sessions,
+		StateDir:    *stateDir,
+		Fsync:       fsPolicy,
+		FsyncEvery:  fsEvery,
+	})
+	api := apiConfig{MaxWhatIf: *maxWhatIf, MaxMutate: *maxMutate, WhatIfBudget: *whatIfBudget}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -260,7 +275,7 @@ func main() {
 		log.Fatal("lumosweb: ", err)
 	}
 	fmt.Printf("lumosweb: serving on %s\n", ln.Addr())
-	if err := serve(ctx, newServer(newMux(suite, mgr)), ln, *drain, mgr.Close); err != nil {
+	if err := serve(ctx, newServer(newMux(suite, mgr, api)), ln, *drain, mgr.Close); err != nil {
 		log.Fatal("lumosweb: ", err)
 	}
 	fmt.Println("lumosweb: shut down cleanly")

@@ -19,7 +19,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	suite := figures.NewSuite(figures.Config{Days: 1, SimDays: 1, Seed: 3})
-	srv := httptest.NewServer(newMux(suite, nil))
+	srv := httptest.NewServer(newMux(suite, nil, apiConfig{}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -100,7 +100,7 @@ func TestGracefulShutdown(t *testing.T) {
 	done := make(chan error, 1)
 	hookRan := make(chan struct{})
 	go func() {
-		done <- serve(ctx, newServer(newMux(suite, nil)), ln, 5*time.Second,
+		done <- serve(ctx, newServer(newMux(suite, nil, apiConfig{})), ln, 5*time.Second,
 			func() { close(hookRan) })
 	}()
 

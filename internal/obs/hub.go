@@ -15,10 +15,19 @@ var ErrClosed = errors.New("obs: hub closed")
 // budget is exhausted.
 var ErrSubscribers = errors.New("obs: subscriber limit reached")
 
+// Frame is one fan-out delivery: either a decision event or an
+// out-of-band notice posted by the publisher (Notice non-empty). Notices
+// ride the same bounded ring as events, so a flood of either cannot grow
+// memory.
+type Frame struct {
+	Event  Event
+	Notice string
+}
+
 // Hub fans one decision-event stream out to dynamically attached
 // subscribers, each with its own bounded buffer. Publishing never blocks
 // and never allocates: when a subscriber's ring is full the OLDEST
-// buffered event is dropped and a per-subscriber drop counter incremented,
+// buffered frame is dropped and a per-subscriber drop counter incremented,
 // so one slow consumer cannot stall the publisher or grow memory — it just
 // loses history (Sub.Next reports the gap so clients can resynchronize).
 //
@@ -44,12 +53,24 @@ func NewHub(maxSubs int) *Hub {
 func (h *Hub) Observe(e Event) {
 	h.mu.Lock()
 	for _, s := range h.subs {
-		s.push(e)
+		s.push(Frame{Event: e})
 	}
 	h.mu.Unlock()
 }
 
-// Subscribe attaches a new subscriber with a ring buffer of buf events
+// Notify delivers an out-of-band notice to every subscriber, in-band with
+// the event stream (same ring, same drop-oldest policy). The twin service
+// uses it for state-change announcements a client must see to interpret
+// the stream, e.g. a session degrading to ephemeral mode.
+func (h *Hub) Notify(msg string) {
+	h.mu.Lock()
+	for _, s := range h.subs {
+		s.push(Frame{Notice: msg})
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe attaches a new subscriber with a ring buffer of buf frames
 // (<= 0 means 64). It fails with ErrClosed on a closed hub and
 // ErrSubscribers when the budget is exhausted.
 func (h *Hub) Subscribe(buf int) (*Sub, error) {
@@ -64,7 +85,7 @@ func (h *Hub) Subscribe(buf int) (*Sub, error) {
 	if h.maxSubs > 0 && len(h.subs) >= h.maxSubs {
 		return nil, fmt.Errorf("%w (%d active)", ErrSubscribers, len(h.subs))
 	}
-	s := &Sub{ring: make([]Event, buf), wake: make(chan struct{}, 1)}
+	s := &Sub{ring: make([]Frame, buf), wake: make(chan struct{}, 1)}
 	h.subs = append(h.subs, s)
 	return s, nil
 }
@@ -80,19 +101,25 @@ func (h *Hub) Unsubscribe(s *Sub) {
 		}
 	}
 	h.mu.Unlock()
-	s.close()
+	s.close("")
 }
 
-// Close detaches every subscriber (their buffered events remain readable,
+// Close detaches every subscriber (their buffered frames remain readable,
 // then Next returns ErrClosed) and rejects future subscriptions.
-func (h *Hub) Close() {
+func (h *Hub) Close() { h.CloseReason("") }
+
+// CloseReason is Close with a terminal reason each subscriber can read
+// back via Sub.Reason once its buffer drains — how the twin tells SSE
+// clients whether their session was evicted, parked to disk, or cleanly
+// shut down.
+func (h *Hub) CloseReason(reason string) {
 	h.mu.Lock()
 	subs := h.subs
 	h.subs = nil
 	h.closed = true
 	h.mu.Unlock()
 	for _, s := range subs {
-		s.close()
+		s.close(reason)
 	}
 }
 
@@ -103,20 +130,21 @@ func (h *Hub) Subscribers() int {
 	return len(h.subs)
 }
 
-// Sub is one hub subscription: a fixed-size ring of events plus a count of
-// events lost to backpressure. Next is single-consumer; the hub side may
-// push concurrently.
+// Sub is one hub subscription: a fixed-size ring of frames plus a count of
+// frames lost to backpressure. Next/NextFrame are single-consumer; the hub
+// side may push concurrently.
 type Sub struct {
 	mu      sync.Mutex
-	ring    []Event
+	ring    []Frame
 	head, n int
 	dropped uint64
 	closed  bool
+	reason  string
 	wake    chan struct{}
 }
 
-// push appends e, dropping the oldest buffered event when full.
-func (s *Sub) push(e Event) {
+// push appends f, dropping the oldest buffered frame when full.
+func (s *Sub) push(f Frame) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -127,7 +155,7 @@ func (s *Sub) push(e Event) {
 		s.n--
 		s.dropped++
 	}
-	s.ring[(s.head+s.n)%len(s.ring)] = e
+	s.ring[(s.head+s.n)%len(s.ring)] = f
 	s.n++
 	s.mu.Unlock()
 	select {
@@ -136,10 +164,14 @@ func (s *Sub) push(e Event) {
 	}
 }
 
-// close marks the subscription finished; buffered events stay readable.
-func (s *Sub) close() {
+// close marks the subscription finished; buffered frames stay readable.
+// The first non-empty reason wins.
+func (s *Sub) close(reason string) {
 	s.mu.Lock()
 	s.closed = true
+	if s.reason == "" {
+		s.reason = reason
+	}
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -147,36 +179,64 @@ func (s *Sub) close() {
 	}
 }
 
+// Reason reports why the subscription was closed ("" for an ordinary
+// Unsubscribe or reasonless Close). It is meaningful once Next or
+// NextFrame has returned ErrClosed.
+func (s *Sub) Reason() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reason
+}
+
 // Next blocks until an event is available and returns it together with the
-// number of events dropped since the previous Next (0 when the consumer
-// kept up). It returns ctx.Err() when ctx is done first, and ErrClosed
-// once the subscription is detached and the buffer drained.
+// number of frames dropped since the previous read (0 when the consumer
+// kept up). Notice frames are skipped — use NextFrame to see them. It
+// returns ctx.Err() when ctx is done first, and ErrClosed once the
+// subscription is detached and the buffer drained.
 func (s *Sub) Next(ctx context.Context) (Event, uint64, error) {
+	var dropped uint64
+	for {
+		f, d, err := s.NextFrame(ctx)
+		dropped += d
+		if err != nil {
+			return Event{}, dropped, err
+		}
+		if f.Notice != "" {
+			continue
+		}
+		return f.Event, dropped, nil
+	}
+}
+
+// NextFrame is Next without the notice filtering: it returns the next
+// buffered frame, event or notice, in publication order.
+func (s *Sub) NextFrame(ctx context.Context) (Frame, uint64, error) {
 	for {
 		s.mu.Lock()
 		if s.n > 0 {
-			e := s.ring[s.head]
+			f := s.ring[s.head]
+			s.ring[s.head] = Frame{} // drop the notice string reference
 			s.head = (s.head + 1) % len(s.ring)
 			s.n--
 			d := s.dropped
 			s.dropped = 0
 			s.mu.Unlock()
-			return e, d, nil
+			return f, d, nil
 		}
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
-			return Event{}, 0, ErrClosed
+			return Frame{}, 0, ErrClosed
 		}
 		select {
 		case <-s.wake:
 		case <-ctx.Done():
-			return Event{}, 0, ctx.Err()
+			return Frame{}, 0, ctx.Err()
 		}
 	}
 }
 
-// Buffered reports the number of events currently queued (for tests and
+// Buffered reports the number of frames currently queued (for tests and
 // status endpoints).
 func (s *Sub) Buffered() int {
 	s.mu.Lock()

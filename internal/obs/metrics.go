@@ -60,6 +60,19 @@ type Metrics struct {
 	// caller callbacks) or trace shape that forced the fallback.
 	Shards              int64  `json:"shards,omitempty"`
 	ShardFallbackReason string `json:"shard_fallback_reason,omitempty"`
+	// Twin-service durability counters (zero — and omitted — outside the
+	// twin service, which maintains one Metrics per manager): sessions
+	// rebuilt from their write-ahead journal (at startup or on parked-
+	// session reactivation), torn or corrupt journal tails truncated at
+	// the first bad frame, sessions spilled to disk by LRU eviction,
+	// parked sessions transparently reactivated on lookup, and sessions
+	// degraded to ephemeral (journal-less) mode after a journal write
+	// failure.
+	TwinRecovered   int64 `json:"twin_recovered,omitempty"`
+	TwinTruncations int64 `json:"twin_truncations,omitempty"`
+	TwinParked      int64 `json:"twin_parked,omitempty"`
+	TwinReactivated int64 `json:"twin_reactivated,omitempty"`
+	TwinEphemeral   int64 `json:"twin_ephemeral,omitempty"`
 	// WallSeconds is the run's wall-clock duration.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Canceled reports whether the run was cut short by its context.

@@ -82,6 +82,15 @@ type Session struct {
 	hub     *obs.Hub
 	closed  bool
 
+	// jr is the session's write-ahead journal (nil for in-memory-only
+	// sessions). A failed journal write flips ephemeral: the journal is
+	// dropped, onDegrade (a manager metrics hook) fires once, subscribers
+	// get an in-band notice, and the session keeps serving from memory —
+	// durability degrades, availability does not.
+	jr        *journal
+	ephemeral bool
+	onDegrade func()
+
 	// warm holds one paused simulation per fault-free candidate
 	// configuration (keyed policy|backfill|relax), kept at the session
 	// clock so a what-if forks it instead of replaying from t=0. Guarded
@@ -130,6 +139,80 @@ func newSession(id string, cfg SessionConfig, limits Config) (*Session, error) {
 
 // Config returns the resolved session configuration.
 func (s *Session) Config() SessionConfig { return s.cfg }
+
+// attachJournal wires a journal (already holding the session's create
+// record) and the degradation hook into the session. Called once, before
+// the session is published to other goroutines.
+func (s *Session) attachJournal(jr *journal, onDegrade func()) {
+	s.jr = jr
+	s.onDegrade = onDegrade
+}
+
+// journalAppendLocked writes one record, degrading the session to
+// ephemeral mode on failure. It never fails the caller's operation: the
+// in-memory state change proceeds, only durability is lost. Callers hold
+// s.mu.
+func (s *Session) journalAppendLocked(rec *record) {
+	if s.jr == nil {
+		return
+	}
+	err := s.jr.append(rec)
+	if err == nil {
+		return
+	}
+	_ = s.jr.close()
+	s.jr = nil
+	s.ephemeral = true
+	if s.onDegrade != nil {
+		s.onDegrade()
+	}
+	s.hub.Notify(fmt.Sprintf(
+		"journal write failed (%v); session %s is now ephemeral — state will not survive a restart", err, s.ID))
+}
+
+// durableLocked reports whether the session still has a live journal.
+func (s *Session) durableLocked() bool { return s.jr != nil }
+
+// restore rebuilds the session's state from journal records: the post-
+// clamp job log is installed verbatim and the clock set, then one replay
+// recomputes the schedule and the published-prefix counter. Because the
+// twin is a deterministic replay of its log, emitted = |events strictly
+// before the clock| equals exactly what the pre-crash session had
+// published incrementally.
+func (s *Session) restore(jobs []trace.Job, now float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs = jobs
+	s.now = now
+	s.replay = nil
+	if err := s.ensureReplayLocked(); err != nil {
+		return err
+	}
+	ev := s.replay.events
+	k := 0
+	for k < len(ev) && ev[k].Time < now {
+		k++
+	}
+	s.emitted = k
+	return nil
+}
+
+// EmittedPrefix returns a copy of the decision events the session has
+// published so far — the byte-diff surface for crash-recovery tests and
+// the /log endpoint.
+func (s *Session) EmittedPrefix() ([]obs.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := s.ensureReplayLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]obs.Event, s.emitted)
+	copy(out, s.replay.events[:s.emitted])
+	return out, nil
+}
 
 // Now returns the session clock.
 func (s *Session) Now() float64 {
@@ -186,6 +269,7 @@ func (s *Session) Submit(specs []JobSpec) ([]int, error) {
 		})
 		ids = append(ids, id)
 	}
+	s.journalAppendLocked(&record{Op: opSubmit, Jobs: toJournalJobs(staged)})
 	s.jobs = append(s.jobs, staged...)
 	s.replay = nil // schedule beyond the published prefix changed
 	return ids, nil
@@ -250,6 +334,9 @@ func (s *Session) AdvanceTo(t float64) error {
 func (s *Session) advanceLocked(to float64) error {
 	if s.closed {
 		return ErrClosed
+	}
+	if to > s.now {
+		s.journalAppendLocked(&record{Op: opAdvance, To: to})
 	}
 	s.now = to
 	if err := s.ensureReplayLocked(); err != nil {
@@ -335,6 +422,11 @@ type Snapshot struct {
 	EventsEmitted int `json:"events_emitted"`
 	// Subscribers is the live SSE subscriber count.
 	Subscribers int `json:"subscribers"`
+	// Durable reports whether the session has a live write-ahead journal;
+	// Ephemeral is set when it HAD one but lost it to a write failure.
+	// Both false means the manager runs without a state directory.
+	Durable   bool `json:"durable,omitempty"`
+	Ephemeral bool `json:"ephemeral,omitempty"`
 }
 
 // Status computes the snapshot (forcing a replay when stale).
@@ -360,6 +452,8 @@ func (s *Session) Status() (Snapshot, error) {
 		Jobs:          len(s.jobs),
 		EventsEmitted: s.emitted,
 		Subscribers:   s.hub.Subscribers(),
+		Durable:       s.durableLocked(),
+		Ephemeral:     s.ephemeral,
 	}
 	if s.replay.res == nil {
 		return snap, nil
@@ -412,16 +506,50 @@ func (s *Session) Unsubscribe(sub *obs.Sub) { s.hub.Unsubscribe(sub) }
 // Close tears the session down: subscribers are disconnected (after
 // draining their buffers) and every later call fails with ErrClosed.
 // Idempotent.
-func (s *Session) Close() {
+func (s *Session) Close() { s.closeReason("closed") }
+
+// closeReason is Close carrying a terminal reason ("closed", "evicted",
+// "parked") that subscribers read back once their buffers drain — the SSE
+// layer turns it into the stream's final `event: gone` frame. The journal
+// is flushed and closed first, so a parked session's directory is
+// complete before anyone can reactivate it.
+func (s *Session) closeReason(reason string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	if s.jr != nil {
+		_ = s.jr.close()
+		s.jr = nil
+	}
 	s.mu.Unlock()
 	s.warmMu.Lock()
 	s.warm = nil // drop the checkpoint table; each holds a full simulator
 	s.warmMu.Unlock()
-	s.hub.Close()
+	s.hub.CloseReason(reason)
+}
+
+// park closes the session for spill-to-disk eviction, reporting whether
+// it actually had a journal to spill to. The no-journal case (ephemeral,
+// in-memory-only, or already closed) returns false and leaves the caller
+// to evict destructively. The journal-present check and the close are one
+// critical section, so a concurrent write failure cannot park a session
+// whose journal just died.
+func (s *Session) park() bool {
+	s.mu.Lock()
+	if s.closed || s.jr == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	_ = s.jr.close()
+	s.jr = nil
+	s.mu.Unlock()
+	s.warmMu.Lock()
+	s.warm = nil
+	s.warmMu.Unlock()
+	s.hub.CloseReason("parked")
+	return true
 }

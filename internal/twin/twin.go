@@ -38,8 +38,16 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"crosssched/internal/obs"
+	"crosssched/internal/trace"
 )
 
 // Sentinel errors; the HTTP layer maps these to status codes.
@@ -73,6 +81,18 @@ type Config struct {
 	// TickInterval is the wall-clock granularity at which auto-ticking
 	// sessions advance (default 1s).
 	TickInterval time.Duration
+	// StateDir, when non-empty, makes sessions durable: each gets a
+	// write-ahead journal under StateDir/<id>/, NewManager recovers
+	// journaled sessions on startup, and LRU eviction parks sessions to
+	// disk instead of destroying them. Empty (the default) keeps today's
+	// in-memory-only behavior, bit-identical.
+	StateDir string
+	// Fsync and FsyncEvery pick the journal durability policy (default:
+	// FsyncInterval every 100ms). SegmentBytes caps one journal segment
+	// before rotation (default 1 MiB).
+	Fsync        FsyncPolicy
+	FsyncEvery   time.Duration
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -97,15 +117,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Manager owns the session table: creation, LRU eviction, lookup, the
-// shared wall-clock ticker, and teardown. All methods are safe for
-// concurrent use.
+// Manager owns the session table: creation, LRU eviction (spill-to-disk
+// parking when durable), lookup with transparent reactivation, the shared
+// wall-clock ticker, and teardown. All methods are safe for concurrent
+// use.
 type Manager struct {
 	cfg Config
 
 	mu       sync.Mutex
 	sessions map[string]*list.Element // value: *Session
 	lru      *list.List               // front = most recently used
+	parked   map[string]bool          // durable sessions spilled to disk
+	reviving map[string]*recoverOp    // single-flight reactivations
+	metrics  obs.Metrics              // Twin* counters, guarded by mu
 	seq      uint64
 	closed   bool
 
@@ -113,21 +137,148 @@ type Manager struct {
 	done chan struct{}
 }
 
-// NewManager starts a manager (and its single ticker goroutine).
+// recoverOp de-duplicates concurrent reactivations of one parked session:
+// the first Get replays the journal, later Gets wait on done.
+type recoverOp struct {
+	done chan struct{}
+	s    *Session
+	err  error
+}
+
+// sessionID is the manager's ID scheme; recovery trusts only directory
+// names matching it.
+var sessionID = regexp.MustCompile(`^s(\d{6,})$`)
+
+// NewManager starts a manager (and its single ticker goroutine). With
+// StateDir set it first recovers every journaled session found there —
+// torn or corrupt journal tails are truncated at the first bad frame, not
+// fatal — loading up to MaxSessions into memory (newest last, so they are
+// most recently used) and registering any surplus as parked.
 func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*list.Element),
 		lru:      list.New(),
+		parked:   make(map[string]bool),
+		reviving: make(map[string]*recoverOp),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if m.cfg.StateDir != "" {
+		m.recoverAll()
 	}
 	go m.tickLoop()
 	return m
 }
 
+// recoverAll scans StateDir and rebuilds sessions. It runs before the
+// manager is published, so no locking is needed; failures skip the
+// directory (the journal stays on disk untouched) rather than failing
+// startup.
+func (m *Manager) recoverAll() {
+	_ = os.MkdirAll(m.cfg.StateDir, 0o755)
+	ents, err := os.ReadDir(m.cfg.StateDir)
+	if err != nil {
+		return
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() && sessionID.MatchString(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if n, err := strconv.ParseUint(sessionID.FindStringSubmatch(id)[1], 10, 64); err == nil && n > m.seq {
+			m.seq = n
+		}
+		if m.lru.Len() >= m.cfg.MaxSessions {
+			// Surplus stays on disk; the first Get reactivates it (and
+			// parks a colder session in exchange).
+			m.parked[id] = true
+			continue
+		}
+		s, truncated, err := m.recoverSession(id)
+		if truncated {
+			m.metrics.TwinTruncations++
+		}
+		if err != nil {
+			continue
+		}
+		m.sessions[id] = m.lru.PushFront(s)
+		m.metrics.TwinRecovered++
+	}
+}
+
+// recoverSession rebuilds one session from its journal directory and
+// reopens the journal for appending. The restore invariant: a session is a
+// deterministic replay of its log, so replaying the journaled inputs
+// reproduces the pre-crash published event prefix byte-for-byte.
+func (m *Manager) recoverSession(id string) (*Session, bool, error) {
+	dir := filepath.Join(m.cfg.StateDir, id)
+	recs, truncated, err := replayJournal(dir)
+	if err != nil {
+		return nil, truncated, err
+	}
+	if len(recs) == 0 || recs[0].Op != opCreate || recs[0].Cfg == nil {
+		return nil, truncated, fmt.Errorf("twin: journal %s: missing create record", dir)
+	}
+	cfg, err := fromJournalConfig(recs[0].Cfg)
+	if err != nil {
+		return nil, truncated, err
+	}
+	s, err := newSession(id, cfg, m.cfg)
+	if err != nil {
+		return nil, truncated, err
+	}
+	var jobs []trace.Job
+	var now float64
+	for _, rec := range recs[1:] {
+		switch rec.Op {
+		case opSubmit:
+			jobs = append(jobs, fromJournalJobs(rec.Jobs)...)
+		case opAdvance:
+			if rec.To > now {
+				now = rec.To
+			}
+		}
+	}
+	if err := s.restore(jobs, now); err != nil {
+		return nil, truncated, err
+	}
+	if jr, err := openJournal(dir, m.journalOpts()); err != nil {
+		// Recovered but not re-journalable: serve it ephemeral rather
+		// than lose it. Pre-publication, so direct field writes are safe.
+		s.ephemeral = true
+		m.metrics.TwinEphemeral++
+	} else {
+		s.attachJournal(jr, m.noteEphemeral)
+	}
+	return s, truncated, nil
+}
+
+func (m *Manager) journalOpts() journalOpts {
+	return journalOpts{policy: m.cfg.Fsync, every: m.cfg.FsyncEvery, segBytes: m.cfg.SegmentBytes}
+}
+
+// noteEphemeral is the sessions' degradation hook (called under the
+// session's own lock; s.mu -> m.mu is the safe acquisition order).
+func (m *Manager) noteEphemeral() {
+	m.mu.Lock()
+	m.metrics.TwinEphemeral++
+	m.mu.Unlock()
+}
+
+// Metrics returns a copy of the manager's durability counters.
+func (m *Manager) Metrics() obs.Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics
+}
+
 // Create builds a session and registers it, evicting the least recently
-// used session when the cap is reached.
+// used session when the cap is reached — to disk when it has a journal,
+// destructively otherwise.
 func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -144,45 +295,139 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.cfg.StateDir != "" {
+		m.journalCreate(s)
+	}
 
-	var evicted []*Session
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		s.Close()
 		return nil, ErrClosed
 	}
+	victims := m.insertLocked(s)
+	m.mu.Unlock()
+	m.retire(victims)
+	return s, nil
+}
+
+// journalCreate opens the new session's journal and writes its create
+// record. Failure degrades the session to ephemeral instead of failing
+// the create: no durability beats no service.
+func (m *Manager) journalCreate(s *Session) {
+	dir := filepath.Join(m.cfg.StateDir, s.ID)
+	jr, err := openJournal(dir, m.journalOpts())
+	if err == nil {
+		err = jr.append(&record{Op: opCreate, ID: s.ID, Cfg: toJournalConfig(s.cfg)})
+		if err != nil {
+			_ = jr.close()
+		}
+	}
+	if err != nil {
+		s.ephemeral = true
+		m.noteEphemeral()
+		return
+	}
+	s.attachJournal(jr, m.noteEphemeral)
+}
+
+// insertLocked registers s as most recently used and pops LRU entries
+// while over the cap, returning them for the caller to retire outside the
+// table lock. Caller holds m.mu.
+func (m *Manager) insertLocked(s *Session) []*Session {
+	var victims []*Session
 	for m.lru.Len() >= m.cfg.MaxSessions {
 		oldest := m.lru.Back()
 		old := oldest.Value.(*Session)
 		m.lru.Remove(oldest)
 		delete(m.sessions, old.ID)
-		evicted = append(evicted, old)
+		victims = append(victims, old)
 	}
-	m.sessions[id] = m.lru.PushFront(s)
+	m.sessions[s.ID] = m.lru.PushFront(s)
+	return victims
+}
+
+// retire disposes of evicted sessions: durable ones are parked (journal
+// flushed and closed, THEN registered as parked, so a reactivation can
+// never read a journal mid-flush), the rest are destroyed. A parked
+// session answers its subscribers with a terminal "parked" reason.
+func (m *Manager) retire(victims []*Session) {
+	for _, old := range victims {
+		if !old.park() {
+			old.closeReason("evicted")
+			continue
+		}
+		m.mu.Lock()
+		if !m.closed {
+			m.parked[old.ID] = true
+			m.metrics.TwinParked++
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Get returns the session and marks it most recently used. A parked
+// session is transparently reactivated from its journal first (single-
+// flight: concurrent Gets share one replay).
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if el, ok := m.sessions[id]; ok {
+		m.lru.MoveToFront(el)
+		s := el.Value.(*Session)
+		m.mu.Unlock()
+		return s, nil
+	}
+	if op, ok := m.reviving[id]; ok {
+		m.mu.Unlock()
+		<-op.done
+		return op.s, op.err
+	}
+	if !m.parked[id] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	op := &recoverOp{done: make(chan struct{})}
+	m.reviving[id] = op
 	m.mu.Unlock()
-	for _, old := range evicted {
-		old.Close()
+
+	s, truncated, err := m.recoverSession(id) // journal replay, outside the lock
+
+	var victims []*Session
+	m.mu.Lock()
+	delete(m.reviving, id)
+	if truncated {
+		m.metrics.TwinTruncations++
 	}
+	if err == nil && m.closed {
+		err = ErrClosed
+	}
+	if err == nil {
+		delete(m.parked, id)
+		m.metrics.TwinRecovered++
+		m.metrics.TwinReactivated++
+		victims = m.insertLocked(s)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		if s != nil {
+			s.Close()
+		}
+		op.err = fmt.Errorf("twin: reactivate %q: %w", id, err)
+		close(op.done)
+		return nil, op.err
+	}
+	op.s = s
+	close(op.done)
+	m.retire(victims)
 	return s, nil
 }
 
-// Get returns the session and marks it most recently used.
-func (m *Manager) Get(id string) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrClosed
-	}
-	el, ok := m.sessions[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	m.lru.MoveToFront(el)
-	return el.Value.(*Session), nil
-}
-
-// Delete tears a session down. It reports ErrNotFound for unknown IDs.
+// Delete tears a session down — live or parked — and removes its durable
+// state. It reports ErrNotFound for unknown IDs.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	el, ok := m.sessions[id]
@@ -190,11 +435,18 @@ func (m *Manager) Delete(id string) error {
 		m.lru.Remove(el)
 		delete(m.sessions, id)
 	}
+	wasParked := m.parked[id]
+	delete(m.parked, id)
 	m.mu.Unlock()
-	if !ok {
+	if !ok && !wasParked {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	el.Value.(*Session).Close()
+	if ok {
+		el.Value.(*Session).Close()
+	}
+	if m.cfg.StateDir != "" {
+		_ = os.RemoveAll(filepath.Join(m.cfg.StateDir, id))
+	}
 	return nil
 }
 

@@ -1,10 +1,15 @@
 package twin
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -650,5 +655,367 @@ func TestWhatIfWarmTableCap(t *testing.T) {
 	s.warmMu.Unlock()
 	if n != 2 {
 		t.Fatalf("warm table has %d checkpoints, cap is 2", n)
+	}
+}
+
+// eventsJSONL renders events in the byte-stable obs wire encoding, the
+// same surface the /log endpoint and the crash test diff.
+func eventsJSONL(evs []obs.Event) []byte {
+	var buf, out []byte
+	for _, e := range evs {
+		buf = obs.AppendEventJSON(buf[:0], e)
+		out = append(out, buf...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// TestJournalCrashRecovery is the tentpole pin: drive a durable session,
+// abandon the manager without closing it (kill -9 semantics — journal file
+// handles just drop), recover a second manager over the same state dir,
+// and require the recovered session to reproduce the published event
+// prefix byte-for-byte and keep working.
+func TestJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	durable := Config{StateDir: dir, Fsync: FsyncAlways, TickInterval: time.Hour}
+
+	m1 := testManager(t, durable)
+	s1, err := m1.Create(SessionConfig{Cores: 64, Partitions: 2, Policy: sim.SJF, Backfill: sim.EASY, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Submit(burst(30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AdvanceTo(4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Submit(burst(10, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AdvanceTo(7000); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := s1.EmittedPrefix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre) == 0 {
+		t.Fatal("setup: no events emitted before the crash")
+	}
+	preSnap, err := s1.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": m1 is simply never closed before m2 takes over the dir
+	// (testManager's cleanup closes it at test end, after the comparison).
+	m2 := testManager(t, durable)
+	if got := m2.Metrics(); got.TwinRecovered != 1 || got.TwinTruncations != 0 {
+		t.Fatalf("recovery metrics = %+v, want 1 recovered, 0 truncations", got)
+	}
+	s2, err := m2.Get(s1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := s2.EmittedPrefix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(eventsJSONL(pre), eventsJSONL(post)) {
+		t.Fatalf("recovered event prefix differs:\npre  %d events\npost %d events", len(pre), len(post))
+	}
+	postSnap, err := s2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preSnap.Subscribers = 0 // subscriptions are not durable state
+	postSnap.Subscribers = 0
+	if preSnap != postSnap {
+		t.Fatalf("recovered snapshot differs:\npre  %+v\npost %+v", preSnap, postSnap)
+	}
+
+	// The recovered session is live: it accepts work and emits beyond the
+	// recovered prefix.
+	if _, err := s2.Submit(burst(5, 7000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AdvanceTo(20000); err != nil {
+		t.Fatal(err)
+	}
+	more, err := s2.EmittedPrefix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) <= len(pre) {
+		t.Fatalf("recovered session emitted nothing new (%d <= %d)", len(more), len(pre))
+	}
+}
+
+// TestJournalTornTailRecovery corrupts the journal tail between runs: the
+// next manager must truncate at the bad frame, count it, and recover the
+// clean prefix.
+func TestJournalTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	durable := Config{StateDir: dir, Fsync: FsyncAlways, TickInterval: time.Hour}
+
+	m1 := testManager(t, durable)
+	s1, err := m1.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Submit(burst(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AdvanceTo(1000); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	seg := filepath.Join(dir, s1.ID, "000001.wal")
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-3); err != nil { // tear into the advance frame
+		t.Fatal(err)
+	}
+
+	m2 := testManager(t, durable)
+	if got := m2.Metrics(); got.TwinRecovered != 1 || got.TwinTruncations != 1 {
+		t.Fatalf("metrics = %+v, want 1 recovered, 1 truncation", got)
+	}
+	s2, err := m2.Get(s1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn frame was the advance: the jobs survive, the clock reverts.
+	if snap.Jobs != 10 || snap.Now != 0 {
+		t.Fatalf("snapshot after torn-tail recovery = %+v, want 10 jobs at clock 0", snap)
+	}
+}
+
+// TestManagerParkReactivate pins the spill-to-disk LRU: eviction parks a
+// durable session (subscribers told "parked"), and the next Get
+// transparently reactivates it with its state intact.
+func TestManagerParkReactivate(t *testing.T) {
+	dir := t.TempDir()
+	m := testManager(t, Config{StateDir: dir, Fsync: FsyncAlways, MaxSessions: 2, TickInterval: time.Hour})
+	mk := func() *Session {
+		t.Helper()
+		s, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s1 := mk()
+	if _, err := s1.Submit(burst(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AdvanceTo(2000); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s1.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk() // s2
+	mk() // s3 -> s1 (LRU) parked
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 live", m.Len())
+	}
+	if got := m.Metrics(); got.TwinParked != 1 {
+		t.Fatalf("metrics = %+v, want 1 parked", got)
+	}
+	// The parked session's subscriber drains and learns why it ended.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		if _, _, err := sub.NextFrame(ctx); err != nil {
+			if !errors.Is(err, obs.ErrClosed) {
+				t.Fatalf("subscriber ended with %v, want ErrClosed", err)
+			}
+			break
+		}
+	}
+	if reason := sub.Reason(); reason != "parked" {
+		t.Fatalf("close reason = %q, want parked", reason)
+	}
+	if _, err := s1.Submit(burst(1, 3000)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("parked session object accepted a submit (err %v)", err)
+	}
+
+	// Lookup reactivates it — same ID, same state, counted — and parks
+	// another victim to stay under the cap.
+	s1b, err := m.Get(s1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1b == s1 {
+		t.Fatal("Get returned the closed session object, not a reactivation")
+	}
+	got, err := s1b.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Subscribers = 0
+	got.Subscribers = 0
+	if want != got {
+		t.Fatalf("reactivated snapshot differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	mets := m.Metrics()
+	if mets.TwinReactivated != 1 || mets.TwinRecovered != 1 || mets.TwinParked != 2 {
+		t.Fatalf("metrics = %+v, want 1 reactivated, 1 recovered, 2 parked", mets)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after reactivation, want 2", m.Len())
+	}
+
+	// Delete removes the durable state of live and parked sessions alike.
+	if err := m.Delete(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, s1.ID)); !os.IsNotExist(err) {
+		t.Fatalf("deleted session's state dir still present (err %v)", err)
+	}
+}
+
+// TestEphemeralDegradation sabotages the journal mid-flight: the session
+// must keep serving, flag itself ephemeral, notify subscribers in-band,
+// and count the degradation — never crash or fail the write path.
+func TestEphemeralDegradation(t *testing.T) {
+	m := testManager(t, Config{StateDir: t.TempDir(), Fsync: FsyncAlways, TickInterval: time.Hour})
+	s, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Unsubscribe(sub)
+	if snap, _ := s.Status(); !snap.Durable || snap.Ephemeral {
+		t.Fatalf("setup: session not durable: %+v", snap)
+	}
+
+	// Sabotage: close the journal's file descriptor out from under it, so
+	// the next append fails like a dying disk.
+	s.mu.Lock()
+	s.jr.f.Close()
+	s.mu.Unlock()
+
+	if _, err := s.Submit(burst(5, 0)); err != nil {
+		t.Fatalf("submit during journal failure must succeed, got %v", err)
+	}
+	snap, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Durable || !snap.Ephemeral {
+		t.Fatalf("session not degraded: %+v", snap)
+	}
+	if got := m.Metrics(); got.TwinEphemeral != 1 {
+		t.Fatalf("metrics = %+v, want 1 ephemeral", got)
+	}
+	// The subscriber hears about it in-band.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		f, _, err := sub.NextFrame(ctx)
+		if err != nil {
+			t.Fatalf("no degradation notice before %v", err)
+		}
+		if f.Notice != "" {
+			if !strings.Contains(f.Notice, "ephemeral") {
+				t.Fatalf("notice = %q, want an ephemeral-mode warning", f.Notice)
+			}
+			break
+		}
+	}
+	// Still fully serving.
+	if err := s.AdvanceTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(burst(3, 500)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManagerTeardownRaces hammers Close against every concurrent entry
+// point under -race: the only acceptable failures are ErrClosed and
+// friends, never a panic or a race report.
+func TestManagerTeardownRaces(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		m := NewManager(Config{StateDir: t.TempDir(), Fsync: FsyncNever, MaxSessions: 4, TickInterval: time.Hour})
+		seed, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seed.Submit(burst(5, 0)); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		spawn := func(f func()) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				f()
+			}()
+		}
+		for i := 0; i < 4; i++ {
+			spawn(func() {
+				for j := 0; j < 5; j++ {
+					s, err := m.Create(SessionConfig{Cores: 32, Policy: sim.FCFS, Backfill: sim.EASY})
+					if err != nil {
+						return
+					}
+					_, _ = s.Submit(burst(3, 0))
+					_ = s.AdvanceTo(1000)
+				}
+			})
+		}
+		spawn(func() {
+			for j := 0; j < 10; j++ {
+				if _, err := m.Get(seed.ID); err != nil {
+					return
+				}
+			}
+		})
+		spawn(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, _ = seed.WhatIf(ctx, WhatIfRequest{Candidates: []Candidate{{Policy: "sjf"}}})
+		})
+		spawn(func() {
+			sub, err := seed.Subscribe()
+			if err != nil {
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			for {
+				if _, _, err := sub.NextFrame(ctx); err != nil {
+					return
+				}
+			}
+		})
+		spawn(m.Close)
+		close(start)
+		wg.Wait()
+		m.Close()
 	}
 }

@@ -14,6 +14,8 @@
 #   RACE=-race       build server and client under the race detector (CI smoke)
 #   TWINLOAD_FLAGS   extra flags passed to twinload verbatim, e.g.
 #                    "-jobs 40 -cold-whatif" for the warm-vs-cold what-if A/B
+#   SERVER_FLAGS     extra flags passed to lumosweb verbatim, e.g.
+#                    "-state-dir /tmp/twins -fsync always" for durability A/Bs
 #
 # The script reports sessions/sec and what-if latency percentiles (from
 # twinload) plus the server's peak RSS, and exits nonzero if any session
@@ -37,7 +39,8 @@ go build $RACE -o "$TMP/lumosweb" ./cmd/lumosweb
 go build $RACE -o "$TMP/twinload" ./cmd/twinload
 
 # Tiny figure workload: this test is about the twin service, not renders.
-"$TMP/lumosweb" -addr 127.0.0.1:0 -days 1 -simdays 1 >"$TMP/server.log" 2>&1 &
+# shellcheck disable=SC2086
+"$TMP/lumosweb" -addr 127.0.0.1:0 -days 1 -simdays 1 ${SERVER_FLAGS:-} >"$TMP/server.log" 2>&1 &
 SERVER=$!
 
 # The server prints "lumosweb: serving on 127.0.0.1:PORT" once the listener
